@@ -1,0 +1,151 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+namespace javer::bench {
+
+double scale() {
+  static double cached = [] {
+    const char* env = std::getenv("JAVER_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return cached;
+}
+
+double budget(double base_seconds) { return base_seconds * scale(); }
+
+std::string fmt_time(double seconds) { return mp::format_duration(seconds); }
+
+void print_title(const std::string& table, const std::string& caption) {
+  std::printf("\n==== %s ====\n%s\n", table.c_str(), caption.c_str());
+  std::printf("(scale %.2g; set JAVER_BENCH_SCALE to enlarge)\n\n",
+              scale());
+}
+
+void print_shape(const std::string& claim, bool reproduced) {
+  std::printf("paper-shape: %s: %s\n", claim.c_str(),
+              reproduced ? "OK" : "NOT REPRODUCED");
+}
+
+aig::Aig truncate_properties(const aig::Aig& aig, std::size_t k) {
+  aig::Aig copy = aig;
+  if (k < copy.properties().size()) copy.properties().resize(k);
+  return copy;
+}
+
+Summary summarize(const mp::MultiResult& result) {
+  Summary s;
+  s.seconds = result.total_seconds;
+  for (const auto& pr : result.per_property) {
+    switch (pr.verdict) {
+      case mp::PropertyVerdict::FailsLocally:
+        s.debug_set_size++;
+        s.num_false++;
+        break;
+      case mp::PropertyVerdict::FailsGlobally:
+        s.num_false++;
+        break;
+      case mp::PropertyVerdict::HoldsLocally:
+      case mp::PropertyVerdict::HoldsGlobally:
+        s.num_true++;
+        break;
+      default:
+        s.num_unsolved++;
+        break;
+    }
+    s.max_frames = std::max(s.max_frames, pr.frames);
+  }
+  return s;
+}
+
+std::vector<NamedDesign> failing_family() {
+  // Eight designs with failing properties, echoing Table III's mix: a
+  // small debugging set (one deterministic + a few input-gated shallow
+  // failures) plus masked properties whose *global* counterexamples are
+  // deep (wrap counter depth), plus a body of true properties.
+  double s = scale();
+  auto scaled = [&](std::size_t v) {
+    return static_cast<std::size_t>(v * s);
+  };
+  std::vector<NamedDesign> family;
+  auto add = [&](const std::string& name, std::uint64_t seed,
+                 std::size_t wrap_bits, std::size_t gated,
+                 std::size_t masked, std::size_t rings, std::size_t ring_size,
+                 std::size_t pairs, std::size_t unreach) {
+    gen::SyntheticSpec spec;
+    spec.seed = seed;
+    spec.wrap_counter_bits = wrap_bits;
+    spec.sat_counter_bits = 7;
+    spec.rings = rings;
+    spec.ring_size = ring_size;
+    spec.ring_props = rings * ring_size;
+    spec.pair_props = scaled(pairs);
+    spec.unreachable_props = scaled(unreach);
+    spec.det_fail_props = 1;
+    spec.input_fail_props = gated;
+    spec.masked_fail_props = masked;
+    family.push_back({name, spec});
+  };
+  // name            seed wrap gated masked rings rsz pairs unreach
+  add("syn-f104",      11,  13,    1,     1,    2,  6,    4,      6);
+  add("syn-f260",      12,  12,    2,     1,    1,  8,    2,      8);
+  add("syn-f258",      13,  13,    1,     3,    2,  5,    6,      6);
+  add("syn-f175",      14,  14,    1,     1,    1,  4,    0,      2);
+  add("syn-f207",      15,  12,    1,     2,    2,  6,    6,     10);
+  add("syn-f254",      16,  12,    1,     1,    1,  6,    2,      2);
+  add("syn-f335",      17,  13,    4,     2,    2,  8,    8,     10);
+  add("syn-f380",      18,  14,    2,     3,    3,  6,   10,     14);
+  return family;
+}
+
+std::vector<NamedDesign> all_true_family() {
+  // Eight all-true designs echoing Table IV: ring-heavy designs (local
+  // proofs are one-frame with neighbours assumed), pair-heavy filler, and
+  // saturating-counter designs whose properties share one invariant
+  // (clause re-use target). Stride 2 keeps each unreachable-value proof
+  // non-trivial on its own.
+  double s = scale();
+  auto scaled = [&](std::size_t v) {
+    return static_cast<std::size_t>(v * s);
+  };
+  std::vector<NamedDesign> family;
+  auto add = [&](const std::string& name, std::uint64_t seed,
+                 std::size_t sat_bits, std::size_t rings,
+                 std::size_t ring_size, std::size_t ring_stride,
+                 std::size_t pairs, std::size_t unreach, std::size_t chain,
+                 std::size_t chain_depth) {
+    gen::SyntheticSpec spec;
+    spec.seed = seed;
+    spec.wrap_counter_bits = 8;
+    spec.sat_counter_bits = sat_bits;
+    spec.rings = rings;
+    spec.ring_size = ring_size;
+    // Sparse ring coverage when stride > 1: every proof then needs the
+    // ring's one-hot invariant (derive or re-use).
+    spec.ring_props = rings * (ring_size / ring_stride);
+    spec.ring_prop_stride = ring_stride;
+    spec.pair_props = scaled(pairs);
+    spec.unreachable_props = scaled(unreach);
+    spec.unreachable_stride = 2;
+    spec.chain_props = scaled(chain);
+    spec.chain_depth = chain_depth;
+    family.push_back({name, spec});
+  };
+  // name            seed sat rings rsz stride pairs unreach chain depth
+  add("syn-t124",      21,  8,    3, 12,    4,     8,     12,   12,   16);
+  add("syn-t135",      22,  7,    2,  6,    1,    12,      8,    0,    0);
+  add("syn-t139",      23,  9,    2, 16,    4,     4,     10,   16,   24);
+  add("syn-t256",      24,  8,    1,  5,    1,     0,      0,    0,    0);
+  add("syn-tbob",      25,  7,    2,  8,    1,     6,      6,    8,   12);
+  add("syn-t407",      26,  9,    3, 12,    3,    10,     16,   16,   20);
+  add("syn-t273",      27,  7,    1, 12,    1,     4,      4,    0,    0);
+  add("syn-t275",      28,  8,    4, 12,    4,    14,     20,   20,   24);
+  return family;
+}
+
+}  // namespace javer::bench

@@ -1,0 +1,60 @@
+// Shared plumbing for the table-reproduction benches: scaling, table
+// printing in the paper's row style, workload families, and result
+// summarization. Every bench binary prints (a) the table rows and (b) one
+// or more "paper-shape" lines stating the qualitative claim being
+// reproduced and whether this run exhibits it.
+#ifndef JAVER_BENCH_BENCH_UTIL_H
+#define JAVER_BENCH_BENCH_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+#include "gen/synthetic.h"
+#include "mp/report.h"
+
+namespace javer::bench {
+
+// JAVER_BENCH_SCALE environment variable (default 1.0). Values > 1
+// enlarge designs and budgets toward the paper's original regime.
+double scale();
+
+// Time-limit helper: base seconds scaled.
+double budget(double base_seconds);
+
+std::string fmt_time(double seconds);
+
+void print_title(const std::string& table, const std::string& caption);
+// Prints "paper-shape: <claim>: OK|NOT REPRODUCED".
+void print_shape(const std::string& claim, bool reproduced);
+
+// A copy of `aig` keeping only the first k properties ("verify the first
+// k properties of a benchmark", Table II).
+aig::Aig truncate_properties(const aig::Aig& aig, std::size_t k);
+
+struct Summary {
+  std::size_t num_false = 0;
+  std::size_t num_true = 0;
+  std::size_t num_unsolved = 0;
+  std::size_t debug_set_size = 0;
+  double seconds = 0.0;
+  int max_frames = 0;
+};
+
+Summary summarize(const mp::MultiResult& result);
+
+struct NamedDesign {
+  std::string name;
+  gen::SyntheticSpec spec;
+};
+
+// The two benchmark families standing in for the paper's HWMCC picks:
+// designs with failing properties (Table III/V/VIII) and designs where
+// every property holds (Table IV/VI/VII/IX). Sizes scale with
+// JAVER_BENCH_SCALE.
+std::vector<NamedDesign> failing_family();
+std::vector<NamedDesign> all_true_family();
+
+}  // namespace javer::bench
+
+#endif  // JAVER_BENCH_BENCH_UTIL_H

@@ -1,0 +1,107 @@
+// Micro-benchmarks of the substrates (google-benchmark): SAT solving,
+// AIG simulation, Tseitin encoding, and single IC3 proofs. These are not
+// paper tables; they track the performance of the pieces every table
+// depends on.
+#include <benchmark/benchmark.h>
+
+#include "aig/builder.h"
+#include "aig/sim.h"
+#include "base/rng.h"
+#include "cnf/tseitin.h"
+#include "gen/counter.h"
+#include "gen/random_design.h"
+#include "gen/synthetic.h"
+#include "ic3/ic3.h"
+#include "sat/solver.h"
+
+using namespace javer;
+
+namespace {
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  int num_vars = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(42);
+    sat::Solver solver;
+    for (int v = 0; v < num_vars; ++v) solver.new_var();
+    int num_clauses = static_cast<int>(num_vars * 4.2);
+    bool ok = true;
+    for (int c = 0; c < num_clauses && ok; ++c) {
+      sat::Lit lits[3];
+      for (auto& l : lits) {
+        l = sat::Lit::make(static_cast<sat::Var>(rng.below(num_vars)),
+                           rng.chance(1, 2));
+      }
+      ok = solver.add_clause({lits[0], lits[1], lits[2]});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_Simulator64(benchmark::State& state) {
+  gen::RandomDesignSpec spec;
+  spec.seed = 7;
+  spec.num_latches = 64;
+  spec.num_inputs = 16;
+  spec.num_ands = static_cast<std::size_t>(state.range(0));
+  aig::Aig aig = gen::make_random_design(spec);
+  aig::Simulator64 sim(aig);
+  std::vector<std::uint64_t> latches(aig.num_latches(), 0xDEADBEEFCAFEF00D);
+  std::vector<std::uint64_t> inputs(aig.num_inputs(), 0x0123456789ABCDEF);
+  for (auto _ : state) {
+    sim.eval(latches, inputs);
+    latches = sim.next_state();
+    benchmark::DoNotOptimize(latches);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // patterns per eval
+}
+BENCHMARK(BM_Simulator64)->Arg(1000)->Arg(10000);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  gen::RandomDesignSpec spec;
+  spec.seed = 9;
+  spec.num_latches = 32;
+  spec.num_inputs = 8;
+  spec.num_ands = static_cast<std::size_t>(state.range(0));
+  aig::Aig aig = gen::make_random_design(spec);
+  for (auto _ : state) {
+    sat::Solver solver;
+    cnf::Encoder enc(aig, solver);
+    cnf::Encoder::Frame f = enc.make_frame();
+    for (const aig::Latch& l : aig.latches()) {
+      benchmark::DoNotOptimize(enc.lit(f, l.next));
+    }
+  }
+}
+BENCHMARK(BM_TseitinEncode)->Arg(1000)->Arg(10000);
+
+void BM_Ic3CounterLocalProof(benchmark::State& state) {
+  aig::Aig aig =
+      gen::make_counter({.bits = static_cast<std::size_t>(state.range(0)),
+                         .buggy = true});
+  ts::TransitionSystem ts(aig);
+  for (auto _ : state) {
+    ic3::Ic3Options opts;
+    opts.assumed = {0};
+    ic3::Ic3 engine(ts, 1, opts);
+    benchmark::DoNotOptimize(engine.run().status);
+  }
+}
+BENCHMARK(BM_Ic3CounterLocalProof)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Ic3RingGlobalProof(benchmark::State& state) {
+  aig::Aig aig = gen::make_ring(static_cast<std::size_t>(state.range(0)));
+  ts::TransitionSystem ts(aig);
+  for (auto _ : state) {
+    ic3::Ic3 engine(ts, 0);
+    benchmark::DoNotOptimize(engine.run().status);
+  }
+}
+BENCHMARK(BM_Ic3RingGlobalProof)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

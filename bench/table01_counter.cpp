@@ -1,0 +1,112 @@
+// Table I reproduction: the Example-1 counter, solving P0/P1 globally
+// (BMC and IC3/PDR playing ABC's roles) versus locally (JA-verification).
+// Paper shape: global costs explode with the counter width (BMC first,
+// then PDR); the local column is flat and instant.
+#include <cstdio>
+#include <vector>
+
+#include "base/timer.h"
+#include "bench_util.h"
+#include "bmc/bmc.h"
+#include "gen/counter.h"
+#include "ic3/ic3.h"
+#include "mp/ja_verifier.h"
+
+using namespace javer;
+
+namespace {
+
+struct Row {
+  std::size_t bits;
+  int bmc_frames = -1;
+  double bmc_seconds = 0;
+  bool bmc_solved = false;
+  int pdr_frames = -1;
+  double pdr_seconds = 0;
+  bool pdr_solved = false;
+  double local_seconds = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Table I", "Example with a counter: solving globally (BMC, PDR) vs "
+                 "locally (JA-verification). '*' = time limit exceeded.");
+  double limit = bench::budget(5.0);
+
+  std::vector<std::size_t> sizes{4, 6, 8, 10, 12};
+  if (bench::scale() >= 2) sizes.push_back(14);
+  if (bench::scale() >= 4) sizes.push_back(16);
+
+  std::printf("%6s | %12s %9s | %12s %9s | %9s\n", "#bits", "bmc #frames",
+              "time", "pdr #frames", "time", "local");
+  std::printf("-------+------------------------+------------------------+"
+              "----------\n");
+
+  std::vector<Row> rows;
+  for (std::size_t bits : sizes) {
+    Row row{bits};
+    aig::Aig design = gen::make_counter({.bits = bits, .buggy = true});
+    ts::TransitionSystem ts(design);
+
+    {  // Global BMC on both properties (P1 dominates).
+      Timer t;
+      bmc::Bmc engine(ts);
+      bmc::BmcOptions opts;
+      opts.time_limit_seconds = limit;
+      bmc::BmcResult r = engine.run({1}, opts);
+      row.bmc_seconds = t.seconds();
+      row.bmc_solved = (r.status == CheckStatus::Fails);
+      row.bmc_frames = row.bmc_solved ? r.depth : r.frames_explored;
+    }
+    {  // Global IC3 (PDR role).
+      Timer t;
+      ic3::Ic3Options opts;
+      opts.time_limit_seconds = limit;
+      ic3::Ic3 engine(ts, 1, opts);
+      ic3::Ic3Result r = engine.run();
+      row.pdr_seconds = t.seconds();
+      row.pdr_solved = (r.status == CheckStatus::Fails);
+      row.pdr_frames = r.frames;
+    }
+    {  // JA-verification of both properties.
+      Timer t;
+      mp::JaOptions opts;
+      opts.time_limit_per_property = limit;
+      mp::JaVerifier ja(ts, opts);
+      mp::MultiResult result = ja.run();
+      row.local_seconds = t.seconds();
+      (void)result;
+    }
+    rows.push_back(row);
+
+    auto cell = [](bool solved, int frames) {
+      return solved ? std::to_string(frames) : std::string("*");
+    };
+    std::printf("%6zu | %12s %9s | %12s %9s | %9s\n", bits,
+                cell(row.bmc_solved, row.bmc_frames).c_str(),
+                row.bmc_solved ? bench::fmt_time(row.bmc_seconds).c_str()
+                               : "*",
+                cell(row.pdr_solved, row.pdr_frames).c_str(),
+                row.pdr_solved ? bench::fmt_time(row.pdr_seconds).c_str()
+                               : "*",
+                bench::fmt_time(row.local_seconds).c_str());
+  }
+
+  // Shape checks.
+  const Row& first = rows.front();
+  const Row& last = rows.back();
+  bool local_flat = true;
+  for (const Row& r : rows) local_flat &= (r.local_seconds < 0.5);
+  bench::print_shape(
+      "global cost grows with counter width",
+      (!last.bmc_solved || last.bmc_seconds > 4 * first.bmc_seconds) &&
+          (!last.pdr_solved || last.pdr_seconds > 2 * first.pdr_seconds));
+  bench::print_shape("local solving time is flat and ~instant", local_flat);
+  bench::print_shape(
+      "BMC needs 2^(n-1)+1 time frames when it finishes",
+      first.bmc_solved &&
+          first.bmc_frames == (1 << (first.bits - 1)) + 1);
+  return 0;
+}

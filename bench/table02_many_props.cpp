@@ -1,0 +1,105 @@
+// Table II reproduction: a few designs with a large number of properties,
+// verifying the first k properties jointly vs with JA-verification.
+// Paper shape: joint verification degrades as k grows (the aggregate
+// property depends on more and more of the design; a few hard properties
+// poison the whole conjunction), while JA-verification stays robust.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/synthetic.h"
+#include "mp/ja_verifier.h"
+#include "mp/joint_verifier.h"
+
+using namespace javer;
+
+int main() {
+  bench::print_title(
+      "Table II",
+      "Designs with many properties: joint vs JA on the first k "
+      "properties. Properties live on many independent substructures, so "
+      "the aggregate conjunction spans most of the design.");
+
+  // One large design per paper row: many rings (independent variable
+  // subsets) + unreachable-value properties + a couple of failing ones
+  // whose deep CEXs make joint iterations expensive.
+  struct DesignRow {
+    const char* name;
+    gen::SyntheticSpec spec;
+  };
+  std::vector<DesignRow> designs;
+  {
+    gen::SyntheticSpec s;  // "6s400-like": failing props present
+    s.seed = 400;
+    s.wrap_counter_bits = 13;
+    s.sat_counter_bits = 8;
+    s.rings = 6;
+    s.ring_size = 8;
+    s.ring_props = 48;
+    s.pair_props = 30;
+    s.unreachable_props = 40;
+    s.unreachable_stride = 2;
+    s.det_fail_props = 1;
+    s.input_fail_props = 3;
+    s.masked_fail_props = 3;
+    designs.push_back({"syn-m400", s});
+  }
+  {
+    gen::SyntheticSpec s;  // "6s289-like": all-true, ring heavy
+    s.seed = 289;
+    s.rings = 8;
+    s.ring_size = 10;
+    s.ring_props = 80;
+    s.pair_props = 30;
+    s.unreachable_props = 20;
+    s.unreachable_stride = 2;
+    designs.push_back({"syn-m289", s});
+  }
+
+  std::vector<std::size_t> ks{25, 50, 100};
+  double joint_limit = bench::budget(5.0);
+  double ja_prop_limit = bench::budget(2.0);
+
+  std::printf("%9s %6s | %14s %9s | %14s %9s\n", "name", "#tried",
+              "joint #unsolved", "time", "JA #unsolved", "time");
+  std::printf("-----------------+--------------------------+---------------"
+              "-----------\n");
+
+  bool ja_always_at_least_as_complete = true;
+  bool joint_degrades = false;
+  std::size_t prev_joint_unsolved = 0;
+
+  for (const auto& d : designs) {
+    aig::Aig full = gen::make_synthetic(d.spec);
+    for (std::size_t k : ks) {
+      if (k > full.num_properties()) continue;
+      aig::Aig design = bench::truncate_properties(full, k);
+      ts::TransitionSystem ts(design);
+
+      mp::JointOptions jopts;
+      jopts.total_time_limit = joint_limit;
+      bench::Summary joint = bench::summarize(mp::JointVerifier(ts, jopts).run());
+
+      mp::JaOptions japts;
+      japts.time_limit_per_property = ja_prop_limit;
+      japts.total_time_limit = joint_limit * 2;
+      bench::Summary ja = bench::summarize(mp::JaVerifier(ts, japts).run());
+
+      std::printf("%9s %6zu | %14zu %9s | %14zu %9s\n", d.name, k,
+                  joint.num_unsolved, bench::fmt_time(joint.seconds).c_str(),
+                  ja.num_unsolved, bench::fmt_time(ja.seconds).c_str());
+
+      ja_always_at_least_as_complete &=
+          (ja.num_unsolved <= joint.num_unsolved);
+      if (joint.num_unsolved > prev_joint_unsolved) joint_degrades = true;
+      prev_joint_unsolved = joint.num_unsolved;
+    }
+  }
+
+  bench::print_shape("JA never leaves more properties unsolved than joint",
+                     ja_always_at_least_as_complete);
+  bench::print_shape(
+      "joint verification leaves properties unsolved on failing designs",
+      joint_degrades || prev_joint_unsolved > 0);
+  return 0;
+}

@@ -1,0 +1,282 @@
+// javer_cli: a command-line multi-property model checker over AIGER files
+// exposing every verification mode of the library.
+//
+//   javer_cli [options] <design.aig|aag>
+//     --mode ja|joint|separate-global|parallel|clustered   (default: ja)
+//     --time-limit <sec/property or total for joint>       (default: 60)
+//     --order design|cone|shuffle                          (default: design)
+//     --no-reuse           disable strengthening-clause re-use
+//     --strict-lifting     lifting respects property constraints (§7-A)
+//     --etf <i>            mark property i Expected-To-Fail (repeatable)
+//     --witness            print AIGER witnesses for failed properties
+//     --certify            re-check every proof with independent SAT
+//                          queries (initiation/consecution/safety)
+//     --clause-db <file>   load/save the clause database (the paper's
+//                          external clauseDB)
+//     --quiet              summary only
+//
+// Exit code: 0 all properties hold, 1 some property fails, 2 unsolved
+// properties remain, 3 usage/input error.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aig/aiger_io.h"
+#include "base/timer.h"
+#include "ic3/certify.h"
+#include "mp/clustering.h"
+#include "mp/ja_verifier.h"
+#include "mp/joint_verifier.h"
+#include "mp/ordering.h"
+#include "mp/parallel_ja.h"
+#include "mp/report.h"
+#include "mp/separate_verifier.h"
+#include "ts/witness.h"
+
+namespace {
+
+struct CliOptions {
+  std::string mode = "ja";
+  std::string path;
+  std::string order = "design";
+  std::string clause_db_path;
+  double time_limit = 60.0;
+  bool reuse = true;
+  bool strict_lifting = false;
+  bool witness = false;
+  bool certify = false;
+  bool quiet = false;
+  std::vector<std::size_t> etf;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: javer_cli [--mode ja|joint|separate-global|parallel|"
+               "clustered]\n"
+               "                 [--time-limit SEC] [--order design|cone|"
+               "shuffle]\n"
+               "                 [--no-reuse] [--strict-lifting] [--etf I]*\n"
+               "                 [--witness] [--clause-db FILE] [--quiet]\n"
+               "                 design.aig\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "javer_cli: %s needs an argument\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const char* v = next("--mode");
+      if (v == nullptr) return false;
+      opts.mode = v;
+    } else if (arg == "--time-limit") {
+      const char* v = next("--time-limit");
+      if (v == nullptr) return false;
+      opts.time_limit = std::atof(v);
+    } else if (arg == "--order") {
+      const char* v = next("--order");
+      if (v == nullptr) return false;
+      opts.order = v;
+    } else if (arg == "--etf") {
+      const char* v = next("--etf");
+      if (v == nullptr) return false;
+      opts.etf.push_back(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--clause-db") {
+      const char* v = next("--clause-db");
+      if (v == nullptr) return false;
+      opts.clause_db_path = v;
+    } else if (arg == "--no-reuse") {
+      opts.reuse = false;
+    } else if (arg == "--strict-lifting") {
+      opts.strict_lifting = true;
+    } else if (arg == "--witness") {
+      opts.witness = true;
+    } else if (arg == "--certify") {
+      opts.certify = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "javer_cli: unknown option %s\n", arg.c_str());
+      return false;
+    } else {
+      opts.path = arg;
+    }
+  }
+  return !opts.path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace javer;
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) {
+    usage();
+    return 3;
+  }
+
+  aig::Aig design;
+  try {
+    design = aig::read_aiger_file(cli.path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "javer_cli: %s\n", e.what());
+    return 3;
+  }
+  for (std::size_t i : cli.etf) {
+    if (i >= design.num_properties()) {
+      std::fprintf(stderr, "javer_cli: --etf %zu out of range\n", i);
+      return 3;
+    }
+    design.properties()[i].expected_to_fail = true;
+  }
+  if (design.num_properties() == 0) {
+    std::fprintf(stderr, "javer_cli: design has no properties\n");
+    return 3;
+  }
+
+  ts::TransitionSystem ts(design);
+  if (!cli.quiet) {
+    std::printf("%s: %zu inputs, %zu latches, %zu ands, %zu properties\n",
+                cli.path.c_str(), design.num_inputs(), design.num_latches(),
+                design.num_ands(), design.num_properties());
+  }
+
+  std::vector<std::size_t> order;
+  if (cli.order == "cone") {
+    order = mp::order_by_cone_size(ts);
+  } else if (cli.order == "shuffle") {
+    order = mp::shuffled_order(ts, 1);
+  } else if (cli.order != "design") {
+    std::fprintf(stderr, "javer_cli: unknown order '%s'\n",
+                 cli.order.c_str());
+    return 3;
+  }
+
+  mp::ClauseDb db;
+  if (!cli.clause_db_path.empty()) {
+    try {
+      db.load_file(cli.clause_db_path);
+      if (!cli.quiet) {
+        std::printf("loaded %zu clauses from %s\n", db.size(),
+                    cli.clause_db_path.c_str());
+      }
+    } catch (const std::exception&) {
+      // Missing file is fine: start empty, save on exit.
+    }
+  }
+
+  Timer timer;
+  mp::MultiResult result;
+  if (cli.mode == "ja") {
+    mp::JaOptions opts;
+    opts.time_limit_per_property = cli.time_limit;
+    opts.clause_reuse = cli.reuse;
+    opts.lifting_respects_constraints = cli.strict_lifting;
+    opts.order = order;
+    result = mp::JaVerifier(ts, opts).run(db);
+  } else if (cli.mode == "separate-global") {
+    mp::SeparateOptions opts;
+    opts.local_proofs = false;
+    opts.clause_reuse = cli.reuse;
+    opts.time_limit_per_property = cli.time_limit;
+    opts.order = order;
+    result = mp::SeparateVerifier(ts, opts).run(db);
+  } else if (cli.mode == "joint") {
+    mp::JointOptions opts;
+    opts.total_time_limit = cli.time_limit;
+    result = mp::JointVerifier(ts, opts).run();
+  } else if (cli.mode == "parallel") {
+    mp::ParallelJaOptions opts;
+    opts.time_limit_per_property = cli.time_limit;
+    opts.clause_reuse = cli.reuse;
+    opts.lifting_respects_constraints = cli.strict_lifting;
+    result = mp::ParallelJaVerifier(ts, opts).run(db);
+  } else if (cli.mode == "clustered") {
+    mp::ClusteredJointOptions opts;
+    opts.total_time_limit = cli.time_limit;
+    result = mp::ClusteredJointVerifier(ts, opts).run();
+  } else {
+    std::fprintf(stderr, "javer_cli: unknown mode '%s'\n", cli.mode.c_str());
+    return 3;
+  }
+
+  // With --witness, stdout carries pure witness data (pipeable into
+  // witness_check); everything human-readable moves to stderr.
+  std::FILE* info = cli.witness ? stderr : stdout;
+  if (!cli.quiet) {
+    std::ostringstream report;
+    mp::print_report(report, ts, result);
+    std::fputs(report.str().c_str(), info);
+  }
+  std::fprintf(info,
+               "verified %zu properties in %s: %zu proved, %zu failed, %zu "
+               "unsolved\n",
+               ts.num_properties(),
+               mp::format_duration(timer.seconds()).c_str(),
+               result.num_proved(), result.num_failed(),
+               result.num_unsolved());
+
+  if (cli.witness) {
+    for (std::size_t p = 0; p < result.per_property.size(); ++p) {
+      const mp::PropertyResult& pr = result.per_property[p];
+      if (pr.verdict == mp::PropertyVerdict::FailsLocally ||
+          pr.verdict == mp::PropertyVerdict::FailsGlobally) {
+        ts::write_witness(std::cout, ts, pr.cex, p);
+      }
+    }
+  }
+  bool certified_ok = true;
+  if (cli.certify) {
+    std::size_t checked = 0;
+    for (std::size_t p = 0; p < result.per_property.size(); ++p) {
+      const mp::PropertyResult& pr = result.per_property[p];
+      if (pr.verdict != mp::PropertyVerdict::HoldsLocally &&
+          pr.verdict != mp::PropertyVerdict::HoldsGlobally) {
+        continue;
+      }
+      if (pr.invariant.empty() &&
+          pr.verdict == mp::PropertyVerdict::HoldsGlobally &&
+          (cli.mode == "joint" || cli.mode == "clustered")) {
+        continue;  // joint modes do not export per-property certificates
+      }
+      std::vector<std::size_t> assumed;
+      if (pr.verdict == mp::PropertyVerdict::HoldsLocally) {
+        for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+          if (j != p && !ts.expected_to_fail(j)) assumed.push_back(j);
+        }
+      }
+      ic3::CertificateCheck check =
+          ic3::certify_strengthening(ts, p, assumed, pr.invariant);
+      checked++;
+      if (!check.ok()) {
+        certified_ok = false;
+        std::fprintf(stderr, "certification FAILED for P%zu: %s\n", p,
+                     check.failure.c_str());
+      }
+    }
+    std::fprintf(info, "certified %zu proofs: %s\n", checked,
+                 certified_ok ? "all valid" : "FAILURES FOUND");
+  }
+  if (!cli.clause_db_path.empty() && db.size() > 0) {
+    try {
+      db.save(cli.clause_db_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "javer_cli: saving clause db failed: %s\n",
+                   e.what());
+    }
+  }
+
+  if (!certified_ok) return 3;
+  if (result.num_unsolved() > 0) return 2;
+  return result.num_failed() > 0 ? 1 : 0;
+}

@@ -1,0 +1,143 @@
+#include "aig/aig.h"
+
+#include <stdexcept>
+
+namespace javer::aig {
+
+namespace {
+const std::string kEmptyName;
+}
+
+Aig::Aig() {
+  nodes_.push_back(Node{NodeType::Constant, Lit(), Lit()});
+  names_.emplace_back("const0");
+}
+
+Lit Aig::add_input(const std::string& name) {
+  Var v = static_cast<Var>(nodes_.size());
+  nodes_.push_back(Node{NodeType::Input, Lit(), Lit()});
+  names_.push_back(name);
+  input_pos_[v] = static_cast<int>(inputs_.size());
+  inputs_.push_back(v);
+  return Lit::make(v);
+}
+
+Lit Aig::add_latch(Ternary reset, const std::string& name) {
+  Var v = static_cast<Var>(nodes_.size());
+  nodes_.push_back(Node{NodeType::Latch, Lit(), Lit()});
+  names_.push_back(name);
+  latch_pos_[v] = static_cast<int>(latches_.size());
+  latches_.push_back(Latch{v, Lit::false_lit(), reset});
+  return Lit::make(v);
+}
+
+void Aig::set_latch_next(Lit latch_lit, Lit next) {
+  if (latch_lit.complemented() || !is_latch(latch_lit.var())) {
+    throw std::invalid_argument("set_latch_next: not a latch literal");
+  }
+  latches_[latch_pos_.at(latch_lit.var())].next = next;
+}
+
+Lit Aig::add_and(Lit a, Lit b) {
+  // Constant folding and trivial cases.
+  if (a == Lit::false_lit() || b == Lit::false_lit()) return Lit::false_lit();
+  if (a == Lit::true_lit()) return b;
+  if (b == Lit::true_lit()) return a;
+  if (a == b) return a;
+  if (a == ~b) return Lit::false_lit();
+
+  if (a.code() > b.code()) std::swap(a, b);
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(a.code()) << 32) | b.code();
+  auto it = strash_.find(key);
+  if (it != strash_.end()) return Lit::make(it->second);
+
+  Var v = static_cast<Var>(nodes_.size());
+  nodes_.push_back(Node{NodeType::And, a, b});
+  names_.emplace_back();
+  strash_.emplace(key, v);
+  num_ands_++;
+  return Lit::make(v);
+}
+
+std::size_t Aig::add_property(Lit holds_lit, const std::string& name,
+                              bool expected_to_fail) {
+  properties_.push_back(Property{holds_lit, name, expected_to_fail});
+  return properties_.size() - 1;
+}
+
+void Aig::add_constraint(Lit lit) { constraints_.push_back(lit); }
+
+void Aig::add_output(Lit lit, const std::string& name) {
+  outputs_.push_back(lit);
+  output_names_.push_back(name);
+}
+
+int Aig::latch_index(Var v) const {
+  auto it = latch_pos_.find(v);
+  return it == latch_pos_.end() ? -1 : it->second;
+}
+
+int Aig::input_index(Var v) const {
+  auto it = input_pos_.find(v);
+  return it == input_pos_.end() ? -1 : it->second;
+}
+
+const std::string& Aig::name_of(Var v) const {
+  if (v < names_.size() && !names_[v].empty()) return names_[v];
+  return kEmptyName;
+}
+
+std::vector<bool> Aig::cone_of_influence(const std::vector<Lit>& roots,
+                                         bool through_latches) const {
+  std::vector<bool> in_cone(nodes_.size(), false);
+  std::vector<Var> stack;
+  auto push = [&](Lit l) {
+    Var v = l.var();
+    if (v < nodes_.size() && !in_cone[v]) {
+      in_cone[v] = true;
+      stack.push_back(v);
+    }
+  };
+  for (Lit r : roots) push(r);
+  while (!stack.empty()) {
+    Var v = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[v];
+    switch (n.type) {
+      case NodeType::And:
+        push(n.fanin0);
+        push(n.fanin1);
+        break;
+      case NodeType::Latch:
+        if (through_latches) push(latches_[latch_pos_.at(v)].next);
+        break;
+      default:
+        break;
+    }
+  }
+  return in_cone;
+}
+
+void Aig::check_well_formed() const {
+  for (Var v = 0; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    if (n.type == NodeType::And) {
+      if (n.fanin0.var() >= v || n.fanin1.var() >= v) {
+        throw std::logic_error("aig: and-gate fanin not topological");
+      }
+    }
+  }
+  auto check_lit = [this](Lit l, const char* what) {
+    if (l.var() >= nodes_.size()) {
+      throw std::logic_error(std::string("aig: out-of-range literal in ") +
+                             what);
+    }
+  };
+  for (const Latch& l : latches_) check_lit(l.next, "latch next");
+  for (const Property& p : properties_) check_lit(p.lit, "property");
+  for (Lit c : constraints_) check_lit(c, "constraint");
+  for (Lit o : outputs_) check_lit(o, "output");
+}
+
+}  // namespace javer::aig

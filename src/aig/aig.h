@@ -1,0 +1,150 @@
+// And-Inverter Graph with latches, multiple properties and invariant
+// constraints — the in-memory design representation (AIGER-compatible).
+//
+// Conventions follow the AIGER format: node variable 0 is the constant
+// FALSE; a literal is 2*var+complement. And-gates are kept in topological
+// order (both fanins of an and-gate have smaller variable indices). Latch
+// next-state literals may reference any node.
+#ifndef JAVER_AIG_AIG_H
+#define JAVER_AIG_AIG_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace javer::aig {
+
+using Var = std::uint32_t;
+
+// AIG literal: variable with optional complement. Literal 0 is constant
+// false, literal 1 constant true.
+class Lit {
+ public:
+  constexpr Lit() : code_(0) {}
+  static constexpr Lit make(Var v, bool complemented = false) {
+    return Lit(2 * v + (complemented ? 1 : 0));
+  }
+  static constexpr Lit from_code(std::uint32_t code) { return Lit(code); }
+  static constexpr Lit false_lit() { return Lit(0); }
+  static constexpr Lit true_lit() { return Lit(1); }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool complemented() const { return (code_ & 1) != 0; }
+  constexpr std::uint32_t code() const { return code_; }
+  constexpr bool is_constant() const { return var() == 0; }
+
+  constexpr Lit operator~() const { return Lit(code_ ^ 1); }
+  constexpr Lit operator^(bool flip) const {
+    return Lit(code_ ^ (flip ? 1u : 0u));
+  }
+  constexpr bool operator==(const Lit& o) const { return code_ == o.code_; }
+  constexpr bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  constexpr bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  explicit constexpr Lit(std::uint32_t code) : code_(code) {}
+  std::uint32_t code_;
+};
+
+enum class NodeType : std::uint8_t { Constant, Input, Latch, And };
+
+struct Node {
+  NodeType type = NodeType::Constant;
+  Lit fanin0;  // valid for And
+  Lit fanin1;  // valid for And
+};
+
+struct Latch {
+  Var var = 0;
+  Lit next;                        // next-state function literal
+  Ternary reset = Ternary::False;  // X means uninitialized
+};
+
+// A safety property: holds in a step when `lit` evaluates to true there.
+// (The AIGER "bad" literal is the negation.) `expected_to_fail` implements
+// the paper's ETF designation from Section 5.
+struct Property {
+  Lit lit;
+  std::string name;
+  bool expected_to_fail = false;
+};
+
+class Aig {
+ public:
+  Aig();
+
+  // --- construction ---
+  Lit add_input(const std::string& name = "");
+  // Creates a latch with the given reset value; next function is set later
+  // (supports cyclic dependencies). Returns the latch output literal.
+  Lit add_latch(Ternary reset = Ternary::False, const std::string& name = "");
+  void set_latch_next(Lit latch_lit, Lit next);
+  // Structurally-hashed, constant-folding AND node creation.
+  Lit add_and(Lit a, Lit b);
+
+  std::size_t add_property(Lit holds_lit, const std::string& name = "",
+                           bool expected_to_fail = false);
+  void add_constraint(Lit lit);
+  void add_output(Lit lit, const std::string& name = "");
+
+  // --- structure access ---
+  std::size_t num_nodes() const { return nodes_.size(); }  // incl. constant
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_latches() const { return latches_.size(); }
+  std::size_t num_ands() const { return num_ands_; }
+  std::size_t num_properties() const { return properties_.size(); }
+
+  const Node& node(Var v) const { return nodes_[v]; }
+  const std::vector<Var>& inputs() const { return inputs_; }
+  const std::vector<Latch>& latches() const { return latches_; }
+  const std::vector<Property>& properties() const { return properties_; }
+  std::vector<Property>& properties() { return properties_; }
+  const std::vector<Lit>& constraints() const { return constraints_; }
+  const std::vector<Lit>& outputs() const { return outputs_; }
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+
+  // Index of a latch variable within latches(), or -1.
+  int latch_index(Var v) const;
+  // Index of an input variable within inputs(), or -1.
+  int input_index(Var v) const;
+
+  bool is_latch(Var v) const { return nodes_[v].type == NodeType::Latch; }
+  bool is_input(Var v) const { return nodes_[v].type == NodeType::Input; }
+  bool is_and(Var v) const { return nodes_[v].type == NodeType::And; }
+
+  const std::string& name_of(Var v) const;
+
+  // --- analysis ---
+  // Variables in the transitive fanin cone of the given roots. Latches in
+  // the cone contribute their next-state cones as well when
+  // `through_latches` is set.
+  std::vector<bool> cone_of_influence(const std::vector<Lit>& roots,
+                                      bool through_latches) const;
+
+  // Structural sanity: and-fanins precede gates, latch nexts defined, all
+  // property/constraint/output literals in range. Throws on violation.
+  void check_well_formed() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Var> inputs_;
+  std::vector<Latch> latches_;
+  std::vector<Lit> outputs_;
+  std::vector<std::string> output_names_;
+  std::vector<Property> properties_;
+  std::vector<Lit> constraints_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::uint64_t, Var> strash_;
+  std::unordered_map<Var, int> latch_pos_;
+  std::unordered_map<Var, int> input_pos_;
+  std::size_t num_ands_ = 0;
+};
+
+}  // namespace javer::aig
+
+#endif  // JAVER_AIG_AIG_H

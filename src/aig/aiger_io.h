@@ -1,0 +1,34 @@
+// AIGER 1.9 reader/writer (ASCII "aag" and binary "aig"), including the
+// multi-property extensions used by the HWMCC multi-property track:
+// bad-state properties (B) and invariant constraints (C), latch reset
+// values, and the symbol table. Justice/fairness sections are not
+// supported (the paper's benchmarks are safety-only).
+#ifndef JAVER_AIG_AIGER_IO_H
+#define JAVER_AIG_AIGER_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.h"
+
+namespace javer::aig {
+
+struct AigerReadOptions {
+  // HWMCC'10-era files encode the property as a plain output; when set and
+  // the file has no B section, outputs are read as bad-state properties.
+  bool outputs_as_bad_fallback = true;
+};
+
+// Parses either format (auto-detected from the header). Throws
+// std::runtime_error on malformed input.
+Aig read_aiger(std::istream& in, const AigerReadOptions& opts = {});
+Aig read_aiger_file(const std::string& path, const AigerReadOptions& opts = {});
+
+// Writes the design. Node variables are renumbered into AIGER canonical
+// order (inputs, latches, and-gates).
+void write_aiger(std::ostream& out, const Aig& aig, bool binary);
+void write_aiger_file(const std::string& path, const Aig& aig, bool binary);
+
+}  // namespace javer::aig
+
+#endif  // JAVER_AIG_AIGER_IO_H

@@ -1,0 +1,153 @@
+#include "aig/builder.h"
+
+#include <stdexcept>
+
+namespace javer::aig {
+
+Lit Builder::lxor(Lit a, Lit b) {
+  // a ^ b = (a | b) & ~(a & b)
+  return land(lor(a, b), ~land(a, b));
+}
+
+Lit Builder::lmux(Lit s, Lit t, Lit e) {
+  return lor(land(s, t), land(~s, e));
+}
+
+Lit Builder::land_many(const std::vector<Lit>& lits) {
+  Lit acc = Lit::true_lit();
+  for (Lit l : lits) acc = land(acc, l);
+  return acc;
+}
+
+Lit Builder::lor_many(const std::vector<Lit>& lits) {
+  Lit acc = Lit::false_lit();
+  for (Lit l : lits) acc = lor(acc, l);
+  return acc;
+}
+
+Word Builder::constant_word(std::uint64_t value, std::size_t width) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    w[i] = ((value >> i) & 1) ? Lit::true_lit() : Lit::false_lit();
+  }
+  return w;
+}
+
+Word Builder::input_word(std::size_t width, const std::string& prefix) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    w[i] = aig_.add_input(prefix.empty() ? ""
+                                         : prefix + "[" + std::to_string(i) +
+                                               "]");
+  }
+  return w;
+}
+
+Word Builder::latch_word(std::size_t width, Ternary reset,
+                         const std::string& prefix) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    w[i] = aig_.add_latch(reset, prefix.empty() ? ""
+                                                : prefix + "[" +
+                                                      std::to_string(i) + "]");
+  }
+  return w;
+}
+
+void Builder::set_next(const Word& latch_word, const Word& next) {
+  if (latch_word.size() != next.size()) {
+    throw std::invalid_argument("set_next: width mismatch");
+  }
+  for (std::size_t i = 0; i < latch_word.size(); ++i) {
+    aig_.set_latch_next(latch_word[i], next[i]);
+  }
+}
+
+Word Builder::not_word(const Word& a) {
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = ~a[i];
+  return w;
+}
+
+Word Builder::and_word(const Word& a, const Word& b) {
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = land(a[i], b[i]);
+  return w;
+}
+
+Word Builder::or_word(const Word& a, const Word& b) {
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = lor(a[i], b[i]);
+  return w;
+}
+
+Word Builder::xor_word(const Word& a, const Word& b) {
+  Word w(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w[i] = lxor(a[i], b[i]);
+  return w;
+}
+
+Word Builder::mux_word(Lit s, const Word& t, const Word& e) {
+  Word w(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) w[i] = lmux(s, t[i], e[i]);
+  return w;
+}
+
+Word Builder::inc_word(const Word& a, Lit carry_in) {
+  Word w(a.size());
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    w[i] = lxor(a[i], carry);
+    carry = land(a[i], carry);
+  }
+  return w;
+}
+
+Word Builder::add_word(const Word& a, const Word& b) {
+  Word w(a.size());
+  Lit carry = Lit::false_lit();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Lit axb = lxor(a[i], b[i]);
+    w[i] = lxor(axb, carry);
+    carry = lor(land(a[i], b[i]), land(axb, carry));
+  }
+  return w;
+}
+
+Lit Builder::eq_const(const Word& a, std::uint64_t value) {
+  std::vector<Lit> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits.push_back(a[i] ^ !((value >> i) & 1));
+  }
+  return land_many(bits);
+}
+
+Lit Builder::eq_word(const Word& a, const Word& b) {
+  std::vector<Lit> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bits.push_back(lequiv(a[i], b[i]));
+  return land_many(bits);
+}
+
+Lit Builder::ule_const(const Word& a, std::uint64_t value) {
+  // a <= value  <=>  !(a > value). Accumulate LSB to MSB:
+  // gt(0..i) = (a[i] > v[i]) | (a[i] == v[i]) & gt(0..i-1).
+  Lit gt = Lit::false_lit();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bool v = (value >> i) & 1;
+    Lit vi = v ? Lit::true_lit() : Lit::false_lit();
+    gt = lor(land(a[i], ~vi), land(lequiv(a[i], vi), gt));
+  }
+  return ~gt;
+}
+
+Lit Builder::ult_word(const Word& a, const Word& b) {
+  Lit lt = Lit::false_lit();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    lt = lor(land(~a[i], b[i]), land(lequiv(a[i], b[i]), lt));
+  }
+  return lt;
+}
+
+}  // namespace javer::aig

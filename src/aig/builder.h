@@ -1,0 +1,64 @@
+// Word-level construction helpers over an Aig: bit-vector logic and
+// arithmetic used by the workload generators (counters, comparators,
+// adders, muxes). A Word is little-endian: word[0] is the LSB.
+#ifndef JAVER_AIG_BUILDER_H
+#define JAVER_AIG_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace javer::aig {
+
+using Word = std::vector<Lit>;
+
+class Builder {
+ public:
+  explicit Builder(Aig& aig) : aig_(aig) {}
+
+  Aig& aig() { return aig_; }
+
+  // --- bit-level ---
+  Lit land(Lit a, Lit b) { return aig_.add_and(a, b); }
+  Lit lor(Lit a, Lit b) { return ~aig_.add_and(~a, ~b); }
+  Lit lxor(Lit a, Lit b);
+  Lit lnot(Lit a) { return ~a; }
+  Lit limplies(Lit a, Lit b) { return lor(~a, b); }
+  Lit lequiv(Lit a, Lit b) { return ~lxor(a, b); }
+  // if s then t else e
+  Lit lmux(Lit s, Lit t, Lit e);
+  Lit land_many(const std::vector<Lit>& lits);
+  Lit lor_many(const std::vector<Lit>& lits);
+
+  // --- words ---
+  Word constant_word(std::uint64_t value, std::size_t width);
+  Word input_word(std::size_t width, const std::string& prefix = "");
+  Word latch_word(std::size_t width, Ternary reset = Ternary::False,
+                  const std::string& prefix = "");
+  void set_next(const Word& latch_word, const Word& next);
+
+  Word not_word(const Word& a);
+  Word and_word(const Word& a, const Word& b);
+  Word or_word(const Word& a, const Word& b);
+  Word xor_word(const Word& a, const Word& b);
+  Word mux_word(Lit s, const Word& t, const Word& e);
+
+  // Ripple-carry increment/addition (no carry-out; wraps modulo 2^width).
+  Word inc_word(const Word& a, Lit carry_in);
+  Word add_word(const Word& a, const Word& b);
+
+  // Comparisons (unsigned).
+  Lit eq_const(const Word& a, std::uint64_t value);
+  Lit eq_word(const Word& a, const Word& b);
+  Lit ule_const(const Word& a, std::uint64_t value);  // a <= value
+  Lit ult_word(const Word& a, const Word& b);         // a < b
+
+ private:
+  Aig& aig_;
+};
+
+}  // namespace javer::aig
+
+#endif  // JAVER_AIG_BUILDER_H

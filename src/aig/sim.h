@@ -1,0 +1,72 @@
+// AIG simulation: 64-way parallel bit simulation and three-valued
+// (ternary) simulation. Used for counterexample validation, first-failure
+// analysis and workload-generator sanity checks.
+#ifndef JAVER_AIG_SIM_H
+#define JAVER_AIG_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.h"
+#include "base/status.h"
+
+namespace javer::aig {
+
+// Evaluates all nodes for 64 parallel patterns (bit i of every word belongs
+// to pattern i).
+class Simulator64 {
+ public:
+  explicit Simulator64(const Aig& aig);
+
+  // state[j] = 64 packed values of latch j; inputs[j] likewise for input j.
+  void eval(const std::vector<std::uint64_t>& state,
+            const std::vector<std::uint64_t>& inputs);
+
+  std::uint64_t value(Lit l) const;
+  std::vector<std::uint64_t> next_state() const;
+
+ private:
+  const Aig& aig_;
+  std::vector<std::uint64_t> values_;
+};
+
+// Single-pattern convenience wrapper over bool vectors.
+class Simulator {
+ public:
+  explicit Simulator(const Aig& aig) : sim64_(aig), aig_(aig) {}
+
+  void eval(const std::vector<bool>& state, const std::vector<bool>& inputs);
+
+  bool value(Lit l) const { return (sim64_.value(l) & 1) != 0; }
+  std::vector<bool> next_state() const;
+
+ private:
+  Simulator64 sim64_;
+  const Aig& aig_;
+};
+
+// Three-valued simulation; X models unknown/unassigned bits.
+class TernarySimulator {
+ public:
+  explicit TernarySimulator(const Aig& aig);
+
+  void eval(const std::vector<Ternary>& state,
+            const std::vector<Ternary>& inputs);
+
+  Ternary value(Lit l) const;
+  std::vector<Ternary> next_state() const;
+
+ private:
+  const Aig& aig_;
+  std::vector<Ternary> values_;
+};
+
+// The design's initial state; latches with X reset get `x_fill`.
+std::vector<bool> initial_state(const Aig& aig, bool x_fill = false);
+
+// True if `state` is an initial state (matches every non-X reset).
+bool is_initial_state(const Aig& aig, const std::vector<bool>& state);
+
+}  // namespace javer::aig
+
+#endif  // JAVER_AIG_SIM_H

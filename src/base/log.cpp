@@ -1,0 +1,28 @@
+#include "base/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace javer {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Silent)};
+std::mutex g_log_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (log_level() < level) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[javer] %s\n", message.c_str());
+}
+
+}  // namespace javer

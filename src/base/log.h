@@ -1,0 +1,44 @@
+// Minimal leveled logger. Engines log through this so that tests can keep
+// output quiet while examples and benches can turn on verbose tracing.
+#ifndef JAVER_BASE_LOG_H
+#define JAVER_BASE_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace javer {
+
+enum class LogLevel : int { Silent = 0, Info = 1, Verbose = 2, Debug = 3 };
+
+// Process-wide log level; defaults to Silent so library users opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_line(LogLevel level, const std::string& message);
+
+// Usage: JAVER_LOG(Info) << "frames=" << n;
+#define JAVER_LOG(level_name)                                         \
+  for (bool javer_log_once =                                          \
+           ::javer::log_level() >= ::javer::LogLevel::level_name;     \
+       javer_log_once; javer_log_once = false)                        \
+  ::javer::LogStream(::javer::LogLevel::level_name)
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, buffer_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace javer
+
+#endif  // JAVER_BASE_LOG_H

@@ -1,0 +1,34 @@
+#include "base/rng.h"
+
+namespace javer {
+
+Rng::Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+std::uint64_t Rng::next() {
+  // xorshift64* (Vigna). Good enough statistical quality for workload
+  // generation and decision heuristics; fast and dependency-free.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Modulo bias is irrelevant at our bounds (<< 2^64).
+  return next() % bound;
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::chance(std::uint32_t num, std::uint32_t den) {
+  return below(den) < num;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace javer

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random generator (xorshift64*). Engines and workload
+// generators must be reproducible across runs, so they take an explicit
+// seed instead of using std::random_device.
+#ifndef JAVER_BASE_RNG_H
+#define JAVER_BASE_RNG_H
+
+#include <cstdint>
+
+namespace javer {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli draw: true with probability num/den.
+  bool chance(std::uint32_t num, std::uint32_t den);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace javer
+
+#endif  // JAVER_BASE_RNG_H

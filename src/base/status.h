@@ -1,0 +1,49 @@
+// Common small value types shared across the library.
+#ifndef JAVER_BASE_STATUS_H
+#define JAVER_BASE_STATUS_H
+
+#include <cstdint>
+#include <string>
+
+namespace javer {
+
+// Three-valued logic used for simulation values and query answers.
+enum class Ternary : std::uint8_t { False = 0, True = 1, X = 2 };
+
+inline Ternary ternary_not(Ternary t) {
+  if (t == Ternary::X) return Ternary::X;
+  return t == Ternary::True ? Ternary::False : Ternary::True;
+}
+
+inline Ternary ternary_and(Ternary a, Ternary b) {
+  if (a == Ternary::False || b == Ternary::False) return Ternary::False;
+  if (a == Ternary::True && b == Ternary::True) return Ternary::True;
+  return Ternary::X;
+}
+
+inline const char* to_string(Ternary t) {
+  switch (t) {
+    case Ternary::False: return "0";
+    case Ternary::True: return "1";
+    default: return "x";
+  }
+}
+
+// Outcome of checking one property with one engine.
+enum class CheckStatus : std::uint8_t {
+  Holds,    // property proven (an inductive invariant exists)
+  Fails,    // counterexample found
+  Unknown,  // resource limit reached before an answer
+};
+
+inline const char* to_string(CheckStatus s) {
+  switch (s) {
+    case CheckStatus::Holds: return "holds";
+    case CheckStatus::Fails: return "fails";
+    default: return "unknown";
+  }
+}
+
+}  // namespace javer
+
+#endif  // JAVER_BASE_STATUS_H

@@ -1,0 +1,13 @@
+#include "base/timer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace javer {
+
+double Deadline::remaining() const {
+  if (budget_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, budget_ - timer_.seconds());
+}
+
+}  // namespace javer

@@ -1,0 +1,47 @@
+// Wall-clock timing and soft deadlines for engine resource limits.
+#ifndef JAVER_BASE_TIMER_H
+#define JAVER_BASE_TIMER_H
+
+#include <chrono>
+
+namespace javer {
+
+// Stopwatch measuring wall-clock time since construction or last reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A deadline that engines poll between SAT calls. A non-positive budget
+// means "no limit".
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+
+  double remaining() const;
+  double budget() const { return budget_; }
+  double elapsed() const { return timer_.seconds(); }
+
+ private:
+  Timer timer_;
+  double budget_ = 0.0;
+};
+
+}  // namespace javer
+
+#endif  // JAVER_BASE_TIMER_H

@@ -1,0 +1,125 @@
+#include "bmc/bmc.h"
+
+#include <stdexcept>
+
+#include "base/log.h"
+
+namespace javer::bmc {
+
+Bmc::Bmc(const ts::TransitionSystem& ts) : ts_(ts), encoder_(ts.aig(), solver_) {
+  // Frame 0: latches bound to their reset values; X-reset latches get
+  // fresh variables (any initial value).
+  cnf::Encoder::Frame f0 = encoder_.make_frame();
+  for (const aig::Latch& l : ts.aig().latches()) {
+    switch (l.reset) {
+      case Ternary::False:
+        encoder_.bind(f0, l.var, ~encoder_.true_lit());
+        break;
+      case Ternary::True:
+        encoder_.bind(f0, l.var, encoder_.true_lit());
+        break;
+      case Ternary::X:
+        encoder_.bind(f0, l.var, sat::Lit::make(solver_.new_var()));
+        break;
+    }
+  }
+  frames_.push_back(std::move(f0));
+}
+
+void Bmc::make_next_frame() {
+  cnf::Encoder::Frame& cur = frames_.back();
+  cnf::Encoder::Frame next = encoder_.make_frame();
+  for (const aig::Latch& l : ts_.aig().latches()) {
+    encoder_.bind(next, l.var, encoder_.lit(cur, l.next));
+  }
+  frames_.push_back(std::move(next));
+}
+
+ts::Trace Bmc::extract_trace(std::size_t depth) {
+  ts::Trace trace;
+  const aig::Aig& aig = ts_.aig();
+  for (std::size_t t = 0; t <= depth; ++t) {
+    cnf::Encoder::Frame& f = frames_[t];
+    ts::Step step;
+    step.state.resize(aig.num_latches());
+    step.inputs.resize(aig.num_inputs());
+    for (std::size_t i = 0; i < aig.num_latches(); ++i) {
+      aig::Var v = aig.latches()[i].var;
+      step.state[i] =
+          f.mapped(v) && solver_.model_value(f.at(v)) == sat::kTrue;
+    }
+    for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
+      aig::Var v = aig.inputs()[i];
+      step.inputs[i] =
+          f.mapped(v) && solver_.model_value(f.at(v)) == sat::kTrue;
+    }
+    trace.steps.push_back(std::move(step));
+  }
+  return trace;
+}
+
+BmcResult Bmc::run(const std::vector<std::size_t>& targets,
+                   const BmcOptions& opts) {
+  if (targets.empty()) {
+    throw std::invalid_argument("bmc: no targets");
+  }
+  Deadline deadline(opts.time_limit_seconds);
+  solver_.set_deadline(opts.time_limit_seconds > 0 ? &deadline : nullptr);
+  solver_.set_conflict_budget(opts.conflict_budget);
+
+  BmcResult result;
+  for (int depth = 0; depth <= opts.max_depth; ++depth) {
+    while (static_cast<int>(frames_.size()) <= depth) make_next_frame();
+    cnf::Encoder::Frame& f = frames_[depth];
+
+    // Design constraints hold at every step, including the final one.
+    // (Encoded as units the first time the frame becomes a query target.)
+    for (aig::Lit c : ts_.aig().constraints()) {
+      solver_.add_unit(encoder_.lit(f, c));
+    }
+
+    // Target clause: at least one target property fails at this depth.
+    sat::Lit act = sat::Lit::make(solver_.new_var());
+    std::vector<sat::Lit> clause{~act};
+    for (std::size_t p : targets) {
+      clause.push_back(~encoder_.lit(f, ts_.property_lit(p)));
+    }
+    solver_.add_clause(clause);
+
+    sat::SolveResult res = solver_.solve({act});
+    if (res == sat::SolveResult::Sat) {
+      result.status = CheckStatus::Fails;
+      result.depth = depth;
+      result.cex = extract_trace(depth);
+      for (std::size_t p : targets) {
+        if (solver_.model_value(encoder_.lit(f, ts_.property_lit(p))) ==
+            sat::kFalse) {
+          result.failed_targets.push_back(p);
+        }
+      }
+      JAVER_LOG(Verbose) << "bmc: cex at depth " << depth;
+      return result;
+    }
+    solver_.add_unit(~act);  // retire this depth's target clause
+    if (res == sat::SolveResult::Undecided) {
+      result.status = CheckStatus::Unknown;
+      return result;
+    }
+
+    result.frames_explored = depth + 1;
+    if (deadline.expired()) {
+      result.status = CheckStatus::Unknown;
+      return result;
+    }
+
+    // This depth is now a non-final step of any longer trace: assert the
+    // assumed ("just assume") properties here permanently.
+    for (std::size_t p : opts.assumed) {
+      solver_.add_unit(encoder_.lit(f, ts_.property_lit(p)));
+    }
+  }
+  result.status = CheckStatus::Unknown;
+  return result;
+}
+
+}  // namespace javer::bmc

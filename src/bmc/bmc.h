@@ -1,0 +1,63 @@
+// Incremental bounded model checking over the functional transition
+// relation (step t+1 state variables are the step-t next-state function
+// literals — no equality clauses needed).
+//
+// Supports the paper's two modes:
+//  * global: find a shortest trace to a step violating any target property;
+//  * local ("Just-Assume"): additionally assert the assumed properties on
+//    every non-final step, which is BMC w.r.t. the projection T_P.
+#ifndef JAVER_BMC_BMC_H
+#define JAVER_BMC_BMC_H
+
+#include <vector>
+
+#include "base/status.h"
+#include "base/timer.h"
+#include "cnf/tseitin.h"
+#include "sat/solver.h"
+#include "ts/trace.h"
+#include "ts/transition_system.h"
+
+namespace javer::bmc {
+
+struct BmcOptions {
+  int max_depth = 100000;
+  double time_limit_seconds = 0.0;     // 0 = unlimited
+  std::uint64_t conflict_budget = 0;   // per solve; 0 = unlimited
+  // Property indices asserted to hold on all non-final steps (the "just
+  // assume" constraints). Must not overlap `targets`.
+  std::vector<std::size_t> assumed;
+};
+
+struct BmcResult {
+  CheckStatus status = CheckStatus::Unknown;  // Fails or Unknown (BMC
+                                              // cannot prove Holds)
+  int depth = -1;               // CEX length when status == Fails
+  int frames_explored = 0;      // number of completed bounds
+  ts::Trace cex;
+  std::vector<std::size_t> failed_targets;  // targets false at final step
+};
+
+class Bmc {
+ public:
+  explicit Bmc(const ts::TransitionSystem& ts);
+
+  // Searches for a trace whose final step falsifies at least one target.
+  BmcResult run(const std::vector<std::size_t>& targets,
+                const BmcOptions& opts = {});
+
+  const sat::SolverStats& solver_stats() const { return solver_.stats(); }
+
+ private:
+  void make_next_frame();
+  ts::Trace extract_trace(std::size_t depth);
+
+  const ts::TransitionSystem& ts_;
+  sat::Solver solver_;
+  cnf::Encoder encoder_;
+  std::vector<cnf::Encoder::Frame> frames_;
+};
+
+}  // namespace javer::bmc
+
+#endif  // JAVER_BMC_BMC_H

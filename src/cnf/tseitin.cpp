@@ -1,0 +1,76 @@
+#include "cnf/tseitin.h"
+
+namespace javer::cnf {
+
+Encoder::Encoder(const aig::Aig& aig, sat::Solver& solver)
+    : aig_(aig), solver_(solver) {
+  sat::Var t = solver_.new_var();
+  true_lit_ = sat::Lit::make(t);
+  solver_.add_unit(true_lit_);
+}
+
+sat::Lit Encoder::lit(Frame& frame, aig::Lit l) {
+  sat::Lit base = encode_var(frame, l.var());
+  return base ^ l.complemented();
+}
+
+sat::Lit Encoder::encode_var(Frame& frame, aig::Var v) {
+  if (frame.mapped(v)) return frame.at(v);
+
+  const aig::Node& n = aig_.node(v);
+  sat::Lit result;
+  switch (n.type) {
+    case aig::NodeType::Constant:
+      result = ~true_lit_;
+      break;
+    case aig::NodeType::Input:
+    case aig::NodeType::Latch:
+      result = sat::Lit::make(solver_.new_var());
+      break;
+    case aig::NodeType::And: {
+      // Iterative DFS: encode fanin cone without native recursion (AIG
+      // chains can be tens of thousands of gates deep).
+      std::vector<aig::Var> stack{v};
+      while (!stack.empty()) {
+        aig::Var u = stack.back();
+        if (frame.mapped(u)) {
+          stack.pop_back();
+          continue;
+        }
+        const aig::Node& un = aig_.node(u);
+        if (un.type != aig::NodeType::And) {
+          encode_var(frame, u);  // leaf: constant/input/latch
+          stack.pop_back();
+          continue;
+        }
+        aig::Var v0 = un.fanin0.var();
+        aig::Var v1 = un.fanin1.var();
+        bool ready = true;
+        if (!frame.mapped(v0)) {
+          stack.push_back(v0);
+          ready = false;
+        }
+        if (!frame.mapped(v1)) {
+          stack.push_back(v1);
+          ready = false;
+        }
+        if (!ready) continue;
+        sat::Lit g = sat::Lit::make(solver_.new_var());
+        sat::Lit a = frame.at(v0) ^ un.fanin0.complemented();
+        sat::Lit b = frame.at(v1) ^ un.fanin1.complemented();
+        // g <-> a & b
+        solver_.add_binary(~g, a);
+        solver_.add_binary(~g, b);
+        solver_.add_ternary(g, ~a, ~b);
+        frame.set(u, g);
+        stack.pop_back();
+      }
+      result = frame.at(v);
+      return result;
+    }
+  }
+  frame.set(v, result);
+  return result;
+}
+
+}  // namespace javer::cnf

@@ -1,0 +1,32 @@
+#include "gen/counter.h"
+
+#include "aig/builder.h"
+
+namespace javer::gen {
+
+aig::Aig make_counter(const CounterSpec& spec) {
+  aig::Aig aig;
+  aig::Builder b(aig);
+
+  aig::Lit enable = aig.add_input("enable");
+  aig::Lit req = aig.add_input("req");
+  aig::Word val = b.latch_word(spec.bits, Ternary::False, "val");
+
+  const std::uint64_t rval = std::uint64_t{1} << (spec.bits - 1);
+  aig::Lit at_rval = b.eq_const(val, rval);
+  // Intended: reset when the counter reaches rval, or on request.
+  // The buggy line from the paper only resets when both hold.
+  aig::Lit reset = spec.buggy ? b.land(at_rval, req) : b.lor(at_rval, req);
+
+  aig::Word incremented = b.inc_word(val, aig::Lit::true_lit());
+  aig::Word after_reset =
+      b.mux_word(reset, b.constant_word(0, spec.bits), incremented);
+  aig::Word next = b.mux_word(enable, after_reset, val);
+  b.set_next(val, next);
+
+  aig.add_property(req, "P0: req == 1");
+  aig.add_property(b.ule_const(val, rval), "P1: val <= rval");
+  return aig;
+}
+
+}  // namespace javer::gen

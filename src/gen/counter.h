@@ -1,0 +1,25 @@
+// The paper's Example 1: an n-bit counter with enable and req inputs and a
+// (configurable) bug in the reset logic, plus the two properties
+//   P0: req == 1            (fails in every time frame)
+//   P1: val <= rval         (fails globally iff buggy; holds locally)
+// with rval = 1 << (n-1). Used by Table I and the counter_debug example.
+#ifndef JAVER_GEN_COUNTER_H
+#define JAVER_GEN_COUNTER_H
+
+#include <cstddef>
+
+#include "aig/aig.h"
+
+namespace javer::gen {
+
+struct CounterSpec {
+  std::size_t bits = 8;
+  bool buggy = true;  // buggy: reset = (val==rval) && req
+                      // fixed: reset = (val==rval) || req
+};
+
+aig::Aig make_counter(const CounterSpec& spec);
+
+}  // namespace javer::gen
+
+#endif  // JAVER_GEN_COUNTER_H

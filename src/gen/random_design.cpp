@@ -1,0 +1,55 @@
+#include "gen/random_design.h"
+
+#include <vector>
+
+#include "aig/builder.h"
+#include "base/rng.h"
+
+namespace javer::gen {
+
+aig::Aig make_random_design(const RandomDesignSpec& spec) {
+  aig::Aig aig;
+  aig::Builder b(aig);
+  Rng rng(spec.seed);
+
+  std::vector<aig::Lit> nodes;
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    nodes.push_back(aig.add_input());
+  }
+  std::vector<aig::Lit> latches;
+  for (std::size_t i = 0; i < spec.num_latches; ++i) {
+    Ternary reset = Ternary::False;
+    std::uint64_t r = rng.below(spec.allow_x_reset ? 4 : 3);
+    if (r == 1) reset = Ternary::True;
+    if (r == 3) reset = Ternary::X;
+    aig::Lit l = aig.add_latch(reset);
+    latches.push_back(l);
+    nodes.push_back(l);
+  }
+
+  auto random_lit = [&]() {
+    aig::Lit l = nodes[rng.below(nodes.size())];
+    return l ^ rng.chance(1, 2);
+  };
+
+  for (std::size_t i = 0; i < spec.num_ands; ++i) {
+    nodes.push_back(b.land(random_lit(), random_lit()));
+  }
+
+  for (aig::Lit l : latches) {
+    aig.set_latch_next(l, random_lit());
+  }
+
+  for (std::size_t i = 0; i < spec.num_properties; ++i) {
+    aig::Lit p = random_lit();
+    if (rng.chance(spec.weaken_percent, 100)) {
+      // Weaken with a disjunction so a good share of properties hold.
+      p = b.lor(p, random_lit());
+      p = b.lor(p, random_lit());
+    }
+    aig.add_property(p, "rand" + std::to_string(i));
+  }
+  return aig;
+}
+
+}  // namespace javer::gen

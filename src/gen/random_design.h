@@ -1,0 +1,31 @@
+// Random small designs for property-based testing: arbitrary AIG cones
+// over a handful of latches and inputs, random resets (including X),
+// random next-state functions and random property literals. Small enough
+// for the explicit-state reference checker to give exact answers.
+#ifndef JAVER_GEN_RANDOM_DESIGN_H
+#define JAVER_GEN_RANDOM_DESIGN_H
+
+#include <cstdint>
+
+#include "aig/aig.h"
+
+namespace javer::gen {
+
+struct RandomDesignSpec {
+  std::uint64_t seed = 1;
+  std::size_t num_latches = 4;
+  std::size_t num_inputs = 2;
+  std::size_t num_ands = 20;
+  std::size_t num_properties = 3;
+  bool allow_x_reset = true;
+  // Bias property literals towards "mostly true" so runs exercise both
+  // holding and failing paths (percent chance to OR the property with a
+  // wide disjunction, making it likelier to hold).
+  unsigned weaken_percent = 50;
+};
+
+aig::Aig make_random_design(const RandomDesignSpec& spec);
+
+}  // namespace javer::gen
+
+#endif  // JAVER_GEN_RANDOM_DESIGN_H

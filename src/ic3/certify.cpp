@@ -1,0 +1,92 @@
+#include "ic3/certify.h"
+
+#include "cnf/tseitin.h"
+#include "sat/solver.h"
+
+namespace javer::ic3 {
+
+CertificateCheck certify_strengthening(
+    const ts::TransitionSystem& ts, std::size_t prop,
+    const std::vector<std::size_t>& assumed,
+    const std::vector<ts::Cube>& invariant) {
+  CertificateCheck check;
+  const aig::Aig& aig = ts.aig();
+
+  // (1) Initiation: every clause must be satisfied by all initial states,
+  // i.e. every cube must be disjoint from I (exact syntactic test).
+  for (const ts::Cube& c : invariant) {
+    if (c.empty() || !ts.cube_disjoint_from_init(c)) {
+      check.failure = "initiation fails for cube " + ts::cube_to_string(c);
+      return check;
+    }
+  }
+  check.initiation = true;
+
+  // (2) Consecution: SAT?[Inv ∧ constr ∧ assumed ∧ T ∧ ¬Inv'] == UNSAT.
+  {
+    sat::Solver solver;
+    cnf::Encoder enc(aig, solver);
+    cnf::Encoder::Frame f = enc.make_frame();
+    auto state_lit = [&](const ts::StateLit& l) {
+      return enc.lit(f, aig::Lit::make(aig.latches()[l.latch].var)) ^
+             !l.value;
+    };
+    auto next_lit = [&](const ts::StateLit& l) {
+      return enc.lit(f, aig.latches()[l.latch].next) ^ !l.value;
+    };
+    for (const ts::Cube& c : invariant) {
+      std::vector<sat::Lit> clause;
+      for (const ts::StateLit& l : c) clause.push_back(~state_lit(l));
+      solver.add_clause(clause);
+    }
+    for (aig::Lit cl : ts.design_constraints()) {
+      solver.add_unit(enc.lit(f, cl));
+    }
+    for (std::size_t j : assumed) {
+      solver.add_unit(enc.lit(f, ts.property_lit(j)));
+    }
+    // ¬Inv' ⟺ at least one cube holds in the next state.
+    std::vector<sat::Lit> some_cube_next;
+    for (const ts::Cube& c : invariant) {
+      sat::Lit sel = sat::Lit::make(solver.new_var());
+      for (const ts::StateLit& l : c) solver.add_binary(~sel, next_lit(l));
+      some_cube_next.push_back(sel);
+    }
+    if (!some_cube_next.empty()) {
+      solver.add_clause(some_cube_next);
+      if (solver.solve() != sat::SolveResult::Unsat) {
+        check.failure = "consecution fails";
+        return check;
+      }
+    }
+  }
+  check.consecution = true;
+
+  // (3) Safety: SAT?[Inv ∧ constr ∧ ¬P] == UNSAT.
+  {
+    sat::Solver solver;
+    cnf::Encoder enc(aig, solver);
+    cnf::Encoder::Frame f = enc.make_frame();
+    for (const ts::Cube& c : invariant) {
+      std::vector<sat::Lit> clause;
+      for (const ts::StateLit& l : c) {
+        clause.push_back(
+            ~(enc.lit(f, aig::Lit::make(aig.latches()[l.latch].var)) ^
+              !l.value));
+      }
+      solver.add_clause(clause);
+    }
+    for (aig::Lit cl : ts.design_constraints()) {
+      solver.add_unit(enc.lit(f, cl));
+    }
+    solver.add_unit(~enc.lit(f, ts.property_lit(prop)));
+    if (solver.solve() != sat::SolveResult::Unsat) {
+      check.failure = "safety fails: invariant does not imply the property";
+      return check;
+    }
+  }
+  check.safety = true;
+  return check;
+}
+
+}  // namespace javer::ic3

@@ -1,0 +1,38 @@
+// Independent certification of inductive strengthenings. A proof produced
+// by IC3 (or loaded from a ClauseDb) is checked with fresh SAT queries
+// that share no state with the engine:
+//   (1) initiation:  I → ¬c for every cube c (syntactic, exact),
+//   (2) consecution: Inv ∧ constraints ∧ assumed ∧ T → Inv',
+//   (3) safety:      Inv ∧ constraints → P.
+// This is the trust anchor for clause re-use and for consumers who want
+// checkable certificates rather than a yes/no answer.
+#ifndef JAVER_IC3_CERTIFY_H
+#define JAVER_IC3_CERTIFY_H
+
+#include <string>
+#include <vector>
+
+#include "ts/transition_system.h"
+
+namespace javer::ic3 {
+
+struct CertificateCheck {
+  bool initiation = false;
+  bool consecution = false;
+  bool safety = false;
+
+  bool ok() const { return initiation && consecution && safety; }
+  // Human-readable description of the first failure, empty when ok.
+  std::string failure;
+};
+
+// Verifies that `invariant` (cubes whose negations form the strengthening)
+// certifies property `prop` under the given assumption set.
+CertificateCheck certify_strengthening(
+    const ts::TransitionSystem& ts, std::size_t prop,
+    const std::vector<std::size_t>& assumed,
+    const std::vector<ts::Cube>& invariant);
+
+}  // namespace javer::ic3
+
+#endif  // JAVER_IC3_CERTIFY_H

@@ -1,0 +1,262 @@
+#include "ic3/frames.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace javer::ic3 {
+
+FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
+    : ts_(ts), encoder_(ts.aig(), solver_), frame_(encoder_.make_frame()) {
+  const aig::Aig& aig = ts.aig();
+  solver_.set_deadline(config.deadline);
+  solver_.set_conflict_budget(config.conflict_budget);
+
+  // Present-state and input variables first, so their solver variables are
+  // dense and easy to map back from assumption cores.
+  latch_lits_.reserve(aig.num_latches());
+  for (const aig::Latch& l : aig.latches()) {
+    latch_lits_.push_back(encoder_.lit(frame_, aig::Lit::make(l.var)));
+  }
+  input_lits_.reserve(aig.num_inputs());
+  for (aig::Var v : aig.inputs()) {
+    input_lits_.push_back(encoder_.lit(frame_, aig::Lit::make(v)));
+  }
+
+  // Combinational cones: next-state functions, properties, constraints.
+  next_lits_.reserve(aig.num_latches());
+  for (const aig::Latch& l : aig.latches()) {
+    next_lits_.push_back(encoder_.lit(frame_, l.next));
+  }
+  prop_lit_ = encoder_.lit(frame_, ts.property_lit(config.target_prop));
+  for (std::size_t j : config.assumed) {
+    assumed_lits_.push_back(encoder_.lit(frame_, ts.property_lit(j)));
+  }
+  for (aig::Lit c : ts.design_constraints()) {
+    sat::Lit cl = encoder_.lit(frame_, c);
+    constraint_lits_.push_back(cl);
+    solver_.add_unit(cl);  // design constraints hold unconditionally
+  }
+
+  // Path constraints behind one activation literal: on every non-final
+  // step the target property itself holds (standard IC3 keeps P in the
+  // frames; a trace's prefix consists of P-states) and so does every
+  // assumed property (the T_P projection of the paper).
+  assumed_act_ = sat::Lit::make(solver_.new_var());
+  solver_.add_binary(~assumed_act_, prop_lit_);
+  for (sat::Lit a : assumed_lits_) {
+    solver_.add_binary(~assumed_act_, a);
+  }
+
+  if (config.init_units) {
+    for (std::size_t i = 0; i < aig.num_latches(); ++i) {
+      switch (aig.latches()[i].reset) {
+        case Ternary::False:
+          solver_.add_unit(~latch_lits_[i]);
+          break;
+        case Ternary::True:
+          solver_.add_unit(latch_lits_[i]);
+          break;
+        case Ternary::X:
+          break;  // free initial value
+      }
+    }
+  }
+
+  // Reverse map for core extraction.
+  var_to_latch_.assign(solver_.num_vars() + 1, -1);
+  for (std::size_t i = 0; i < latch_lits_.size(); ++i) {
+    sat::Var v = latch_lits_[i].var();
+    if (static_cast<std::size_t>(v) >= var_to_latch_.size()) {
+      var_to_latch_.resize(v + 1, -1);
+    }
+    var_to_latch_[v] = static_cast<int>(i);
+  }
+}
+
+sat::Lit FrameSolver::state_assumption(const ts::StateLit& l) const {
+  return latch_lits_[l.latch] ^ !l.value;
+}
+
+sat::Lit FrameSolver::next_assumption(const ts::StateLit& l) const {
+  return next_lits_[l.latch] ^ !l.value;
+}
+
+sat::Lit FrameSolver::fresh_activation() {
+  return sat::Lit::make(solver_.new_var());
+}
+
+void FrameSolver::retire_activation(sat::Lit act) {
+  solver_.add_unit(~act);
+  retired_activations_++;
+}
+
+void FrameSolver::add_blocking_clause(const ts::Cube& cube) {
+  std::vector<sat::Lit> clause;
+  clause.reserve(cube.size());
+  for (const ts::StateLit& l : cube) {
+    clause.push_back(~state_assumption(l));
+  }
+  solver_.add_clause(clause);
+}
+
+sat::SolveResult FrameSolver::query_bad() {
+  return solver_.solve({~prop_lit_});
+}
+
+sat::SolveResult FrameSolver::query_consecution(
+    const ts::Cube& cube, bool add_negation, std::vector<std::size_t>* core) {
+  std::vector<sat::Lit> assumptions;
+  sat::Lit act = sat::kUndefLit;
+  if (add_negation) {
+    act = fresh_activation();
+    std::vector<sat::Lit> clause{~act};
+    for (const ts::StateLit& l : cube) {
+      clause.push_back(~state_assumption(l));
+    }
+    solver_.add_clause(clause);
+    assumptions.push_back(act);
+  }
+  assumptions.push_back(assumed_act_);
+  // Remember which assumption corresponds to which cube literal.
+  std::size_t next_base = assumptions.size();
+  for (const ts::StateLit& l : cube) {
+    assumptions.push_back(next_assumption(l));
+  }
+
+  sat::SolveResult res = solver_.solve(assumptions);
+  if (res == sat::SolveResult::Unsat && core != nullptr) {
+    core->clear();
+    const auto& conflict = solver_.conflict_core();
+    for (std::size_t i = 0; i < cube.size(); ++i) {
+      sat::Lit a = assumptions[next_base + i];
+      for (sat::Lit c : conflict) {
+        if (c == a) {
+          core->push_back(i);
+          break;
+        }
+      }
+    }
+  }
+  if (add_negation) retire_activation(act);
+  return res;
+}
+
+ts::Cube FrameSolver::lift_core_to_cube() const {
+  ts::Cube cube;
+  for (sat::Lit c : solver_.conflict_core()) {
+    sat::Var v = c.var();
+    if (static_cast<std::size_t>(v) < var_to_latch_.size() &&
+        var_to_latch_[v] >= 0) {
+      // The assumption literal was latch_lit ^ !value; recover the value.
+      bool value = !c.sign() == !latch_lits_[var_to_latch_[v]].sign();
+      cube.push_back(ts::StateLit{var_to_latch_[v], value});
+    }
+  }
+  ts::sort_cube(cube);
+  return cube;
+}
+
+ts::Cube FrameSolver::lift_predecessor(const std::vector<bool>& state,
+                                       const std::vector<bool>& inputs,
+                                       const ts::Cube& target,
+                                       bool respect_assumed) {
+  // Refutation clause: act -> (some target literal fails next
+  //                            OR some design constraint fails now
+  //                            OR some assumed property fails now).
+  // Assuming the full (state, inputs) must make this UNSAT; the core over
+  // the state literals is the lifted cube.
+  sat::Lit act = fresh_activation();
+  std::vector<sat::Lit> clause{~act};
+  for (const ts::StateLit& l : target) {
+    clause.push_back(~next_assumption(l));
+  }
+  for (sat::Lit c : constraint_lits_) clause.push_back(~c);
+  if (respect_assumed) {
+    clause.push_back(~prop_lit_);  // non-final step: target holds too
+    for (sat::Lit a : assumed_lits_) clause.push_back(~a);
+  }
+  solver_.add_clause(clause);
+
+  std::vector<sat::Lit> assumptions{act};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    assumptions.push_back(input_lits_[i] ^ !inputs[i]);
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    assumptions.push_back(latch_lits_[i] ^ !state[i]);
+  }
+
+  sat::SolveResult res = solver_.solve(assumptions);
+  retire_activation(act);
+  if (res != sat::SolveResult::Unsat) {
+    // Budget expiry mid-lift, or (should not happen) a satisfiable lift
+    // query; fall back to the full state cube, which is always sound.
+    ts::Cube full;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      full.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+    return full;
+  }
+  ts::Cube cube = lift_core_to_cube();
+  if (cube.empty()) {
+    // Degenerate (target reachable from every state under these inputs);
+    // keep the concrete state so the obligation machinery stays sound.
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      cube.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+  }
+  return cube;
+}
+
+ts::Cube FrameSolver::lift_bad(const std::vector<bool>& state,
+                               const std::vector<bool>& inputs) {
+  // Refutation clause: act -> (property holds OR a design constraint
+  // fails). UNSAT core over state literals = states that, under these
+  // inputs, violate the property while satisfying the constraints.
+  sat::Lit act = fresh_activation();
+  std::vector<sat::Lit> clause{~act, prop_lit_};
+  for (sat::Lit c : constraint_lits_) clause.push_back(~c);
+  solver_.add_clause(clause);
+
+  std::vector<sat::Lit> assumptions{act};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    assumptions.push_back(input_lits_[i] ^ !inputs[i]);
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    assumptions.push_back(latch_lits_[i] ^ !state[i]);
+  }
+
+  sat::SolveResult res = solver_.solve(assumptions);
+  retire_activation(act);
+  if (res != sat::SolveResult::Unsat) {
+    ts::Cube full;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      full.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+    return full;
+  }
+  ts::Cube cube = lift_core_to_cube();
+  if (cube.empty()) {
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      cube.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+  }
+  return cube;
+}
+
+std::vector<bool> FrameSolver::model_state() const {
+  std::vector<bool> s(latch_lits_.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = solver_.model_value(latch_lits_[i]) == sat::kTrue;
+  }
+  return s;
+}
+
+std::vector<bool> FrameSolver::model_inputs() const {
+  std::vector<bool> x(input_lits_.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = solver_.model_value(input_lits_[i]) == sat::kTrue;
+  }
+  return x;
+}
+
+}  // namespace javer::ic3

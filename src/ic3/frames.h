@@ -1,0 +1,105 @@
+// FrameSolver: one incremental SAT context used by IC3 for a single frame
+// F_k (or for lifting). It encodes, over one time step:
+//   * present-state latch variables and input variables,
+//   * the next-state function literal of every latch (functional T),
+//   * the target property cone and the assumed-property cones,
+//   * design invariant constraints (asserted as units),
+//   * optionally the initial-state units (frame 0),
+//   * the blocking clauses of the frame.
+//
+// Assumed properties ("just assume" constraints, Section 7-A of the paper)
+// are attached behind one activation literal so that consecution queries
+// can assert them while bad-state queries (where the failing state need
+// not satisfy the other properties) do not.
+#ifndef JAVER_IC3_FRAMES_H
+#define JAVER_IC3_FRAMES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/timer.h"
+#include "cnf/tseitin.h"
+#include "sat/solver.h"
+#include "ts/transition_system.h"
+
+namespace javer::ic3 {
+
+class FrameSolver {
+ public:
+  struct Config {
+    std::size_t target_prop = 0;
+    std::vector<std::size_t> assumed;  // property indices assumed to hold
+    bool init_units = false;           // assert initial state (frame 0)
+    const Deadline* deadline = nullptr;
+    std::uint64_t conflict_budget = 0;
+  };
+
+  FrameSolver(const ts::TransitionSystem& ts, const Config& config);
+
+  // Adds the permanent blocking clause ¬cube to this frame.
+  void add_blocking_clause(const ts::Cube& cube);
+
+  // SAT?[F ∧ design-constraints ∧ ¬P]: looks for a bad state in the frame.
+  // Assumed properties are *not* asserted (the failing state need not
+  // satisfy them).
+  sat::SolveResult query_bad();
+
+  // SAT?[F ∧ constraints ∧ assumed ∧ (¬cube)? ∧ T ∧ cube'].
+  // On UNSAT, when `core` is non-null it receives the indices into `cube`
+  // of the literals that appear in the assumption core (a sufficient
+  // subset for unreachability).
+  sat::SolveResult query_consecution(const ts::Cube& cube, bool add_negation,
+                                     std::vector<std::size_t>* core);
+
+  // Lifting (Section 7-A). Both return a cube over the latches such that
+  // every state in it, under `inputs`, (a) transitions into `target`
+  // (predecessor form) or (b) violates the target property (bad form);
+  // design constraints are always respected; assumed properties are
+  // respected only when `respect_assumed` is set.
+  ts::Cube lift_predecessor(const std::vector<bool>& state,
+                            const std::vector<bool>& inputs,
+                            const ts::Cube& target, bool respect_assumed);
+  ts::Cube lift_bad(const std::vector<bool>& state,
+                    const std::vector<bool>& inputs);
+
+  // Model extraction after a Sat query.
+  std::vector<bool> model_state() const;
+  std::vector<bool> model_inputs() const;
+
+  // Number of retired activation literals; high counts warrant a rebuild.
+  int retired_activations() const { return retired_activations_; }
+  const sat::SolverStats& stats() const { return solver_.stats(); }
+
+ private:
+  sat::Lit state_assumption(const ts::StateLit& l) const;
+  sat::Lit next_assumption(const ts::StateLit& l) const;
+  sat::Lit fresh_activation();
+  void retire_activation(sat::Lit act);
+  ts::Cube lift_core_to_cube() const;
+
+  const ts::TransitionSystem& ts_;
+  sat::Solver solver_;
+  cnf::Encoder encoder_;
+  cnf::Encoder::Frame frame_;
+
+  std::vector<sat::Lit> latch_lits_;
+  std::vector<sat::Lit> input_lits_;
+  std::vector<sat::Lit> next_lits_;
+  sat::Lit prop_lit_;                   // target property (holds-literal)
+  std::vector<sat::Lit> assumed_lits_;  // assumed property holds-literals
+  // Activates the non-final-step ("path") constraints: the target property
+  // AND every assumed property hold at the present step. Consecution
+  // queries assume it; bad-state queries do not (the failing step need not
+  // satisfy any property).
+  sat::Lit assumed_act_;
+  std::vector<sat::Lit> constraint_lits_;
+
+  // Maps solver variable -> latch index (for core extraction), -1 if none.
+  std::vector<int> var_to_latch_;
+
+  int retired_activations_ = 0;
+};
+
+}  // namespace javer::ic3
+
+#endif  // JAVER_IC3_FRAMES_H

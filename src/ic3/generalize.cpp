@@ -1,0 +1,89 @@
+// Inductive generalization: core shrinking, initial-state repair, MIC
+// literal dropping, and forward pushing of blocked cubes.
+#include <algorithm>
+
+#include "ic3/ic3.h"
+
+namespace javer::ic3 {
+
+ts::Cube Ic3::shrink_with_core(const ts::Cube& cube,
+                               const std::vector<std::size_t>& core) const {
+  if (core.empty()) return cube;  // degenerate core: keep everything
+  ts::Cube out;
+  out.reserve(core.size());
+  for (std::size_t i : core) out.push_back(cube[i]);
+  ts::sort_cube(out);
+  return out;
+}
+
+ts::Cube Ic3::repair_init_intersection(const ts::Cube& shrunk,
+                                       const ts::Cube& original) const {
+  if (!shrunk.empty() && ts_.cube_disjoint_from_init(shrunk)) return shrunk;
+  // Add back one literal of the (init-disjoint) original cube that
+  // contradicts a fixed reset value.
+  for (const ts::StateLit& l : original) {
+    Ternary reset = ts_.aig().latches()[l.latch].reset;
+    if (reset == Ternary::X) continue;
+    if (l.value != (reset == Ternary::True)) {
+      ts::Cube out = shrunk;
+      if (std::find(out.begin(), out.end(), l) == out.end()) {
+        out.push_back(l);
+        ts::sort_cube(out);
+      }
+      return out;
+    }
+  }
+  // The original must have been init-disjoint; reaching here would mean it
+  // was not. Fall back to the original cube (always sound).
+  return original;
+}
+
+ts::Cube Ic3::mic(ts::Cube cube, FrameSolver& checker) {
+  // Try to drop each literal once; accept a drop when the weakened cube is
+  // still init-disjoint and relatively inductive on `checker` (the UNSAT
+  // core shrinks it further for free).
+  std::size_t i = 0;
+  while (i < cube.size() && cube.size() > 1) {
+    ts::Cube cand;
+    cand.reserve(cube.size() - 1);
+    for (std::size_t j = 0; j < cube.size(); ++j) {
+      if (j != i) cand.push_back(cube[j]);
+    }
+    if (!ts_.cube_disjoint_from_init(cand)) {
+      i++;
+      continue;
+    }
+    std::vector<std::size_t> core;
+    stats_.mic_queries++;
+    sat::SolveResult r = checked(
+        checker.query_consecution(cand, /*add_negation=*/true, &core));
+    if (r == sat::SolveResult::Unsat) {
+      ts::Cube next = shrink_with_core(cand, core);
+      next = repair_init_intersection(next, cand);
+      cube = std::move(next);
+      // Position i now points at a different literal; keep scanning from
+      // the same index (everything before it was already tried).
+      if (i >= cube.size()) break;
+    } else {
+      i++;
+    }
+  }
+  return cube;
+}
+
+int Ic3::push_forward(const ts::Cube& cube, int from_level) {
+  // The cube is inductive relative to F_{from_level-1}; push it as far as
+  // consecution keeps holding. The clause is not yet in the solvers, so
+  // the query must include the negation.
+  int level = from_level;
+  while (level < top_frame_) {
+    stats_.consecution_queries++;
+    sat::SolveResult r = checked(
+        ctx(level).query_consecution(cube, /*add_negation=*/true, nullptr));
+    if (r != sat::SolveResult::Unsat) break;
+    level++;
+  }
+  return level;
+}
+
+}  // namespace javer::ic3

@@ -1,0 +1,484 @@
+#include "ic3/ic3.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <stdexcept>
+
+#include "aig/sim.h"
+#include "base/log.h"
+
+namespace javer::ic3 {
+
+Ic3::Ic3(const ts::TransitionSystem& ts, std::size_t target_prop,
+         Ic3Options opts)
+    : ts_(ts),
+      target_prop_(target_prop),
+      opts_(std::move(opts)),
+      deadline_(opts_.time_limit_seconds) {
+  if (target_prop_ >= ts.num_properties()) {
+    throw std::invalid_argument("ic3: target property out of range");
+  }
+  for (std::size_t j : opts_.assumed) {
+    if (j == target_prop_) {
+      throw std::invalid_argument("ic3: target cannot be assumed");
+    }
+    if (j >= ts.num_properties()) {
+      throw std::invalid_argument("ic3: assumed property out of range");
+    }
+  }
+  frame_cubes_.resize(1);  // level 0 placeholder (F_0 = I, holds no cubes)
+}
+
+Ic3::~Ic3() = default;
+
+std::unique_ptr<FrameSolver> Ic3::make_solver(int k) const {
+  FrameSolver::Config config;
+  config.target_prop = target_prop_;
+  config.assumed = opts_.assumed;
+  config.init_units = (k == 0);
+  config.deadline = opts_.time_limit_seconds > 0 ? &deadline_ : nullptr;
+  config.conflict_budget = opts_.conflict_budget_per_query;
+  return std::make_unique<FrameSolver>(ts_, config);
+}
+
+FrameSolver& Ic3::ctx(int k) {
+  assert(k >= 0 && k < static_cast<int>(solvers_.size()));
+  FrameSolver& fs = *solvers_[k];
+  if (fs.retired_activations() <= opts_.rebuild_threshold) return fs;
+
+  // Too many dead activation literals: rebuild this frame's solver from
+  // the transition system plus the cubes blocked at levels >= k.
+  stats_.solver_rebuilds++;
+  solvers_[k] = make_solver(k);
+  if (k > 0) {
+    for (const ts::Cube& c : inf_cubes_) solvers_[k]->add_blocking_clause(c);
+    for (int j = k; j < static_cast<int>(frame_cubes_.size()); ++j) {
+      for (const ts::Cube& c : frame_cubes_[j]) {
+        solvers_[k]->add_blocking_clause(c);
+      }
+    }
+  }
+  return *solvers_[k];
+}
+
+FrameSolver& Ic3::lift_ctx() {
+  if (!lift_solver_ ||
+      lift_solver_->retired_activations() > opts_.rebuild_threshold) {
+    if (lift_solver_) stats_.solver_rebuilds++;
+    lift_solver_ = make_solver(-1);  // no init units, no frame clauses
+  }
+  return *lift_solver_;
+}
+
+FrameSolver& Ic3::inf_ctx() {
+  if (!inf_solver_ ||
+      inf_solver_->retired_activations() > opts_.rebuild_threshold) {
+    if (inf_solver_) stats_.solver_rebuilds++;
+    inf_solver_ = make_solver(-1);
+    for (const ts::Cube& c : inf_cubes_) inf_solver_->add_blocking_clause(c);
+  }
+  return *inf_solver_;
+}
+
+void Ic3::add_inf_cube(const ts::Cube& cube) {
+  // Drop delta-frame cubes the new clause subsumes everywhere.
+  for (auto& level : frame_cubes_) {
+    level.erase(std::remove_if(level.begin(), level.end(),
+                               [&](const ts::Cube& c) {
+                                 return ts::cube_subsumes(cube, c);
+                               }),
+                level.end());
+  }
+  inf_cubes_.push_back(cube);
+  inf_ctx().add_blocking_clause(cube);
+  for (std::size_t k = 1; k < solvers_.size(); ++k) {
+    solvers_[k]->add_blocking_clause(cube);
+  }
+  stats_.clauses_added++;
+}
+
+void Ic3::ensure_frame(int k) {
+  while (static_cast<int>(frame_cubes_.size()) <= k) {
+    frame_cubes_.emplace_back();
+  }
+  while (static_cast<int>(solvers_.size()) <= k) {
+    int idx = static_cast<int>(solvers_.size());
+    solvers_.push_back(make_solver(idx));
+    if (idx > 0) {
+      for (const ts::Cube& c : inf_cubes_) {
+        solvers_[idx]->add_blocking_clause(c);
+      }
+      // Delta levels above idx do not exist yet, so F_idx = F_inf here.
+    }
+  }
+}
+
+sat::SolveResult Ic3::checked(sat::SolveResult r) const {
+  if (r == sat::SolveResult::Undecided) throw Timeout{};
+  return r;
+}
+
+// --- seed clause validation (clause re-use, §6-B/§7-B) ---------------------
+
+void Ic3::validate_seed_clauses() {
+  // Keep the largest subset R of the seeds such that
+  //   I → R  and  R ∧ constr ∧ assumed ∧ T → R'.
+  // Initial-state containment is syntactic; self-inductiveness is computed
+  // as a fixpoint: repeatedly drop clauses whose consecution fails
+  // relative to the surviving set.
+  std::vector<ts::Cube> candidates;
+  for (const ts::Cube& c : opts_.seed_clauses) {
+    if (!c.empty() && ts_.cube_disjoint_from_init(c)) {
+      candidates.push_back(c);
+    } else {
+      stats_.seed_clauses_dropped++;
+    }
+  }
+
+  while (!candidates.empty()) {
+    FrameSolver::Config config;
+    config.target_prop = target_prop_;
+    config.assumed = opts_.assumed;
+    config.deadline = opts_.time_limit_seconds > 0 ? &deadline_ : nullptr;
+    config.conflict_budget = opts_.conflict_budget_per_query;
+    FrameSolver checker(ts_, config);
+    for (const ts::Cube& c : candidates) checker.add_blocking_clause(c);
+
+    std::vector<ts::Cube> survivors;
+    for (const ts::Cube& c : candidates) {
+      // ¬c is already part of the clause set, so consecution relative to
+      // the candidate set is exactly query R ∧ T ∧ c' (no extra negation).
+      sat::SolveResult r =
+          checked(checker.query_consecution(c, /*add_negation=*/false,
+                                            nullptr));
+      if (r == sat::SolveResult::Unsat) {
+        survivors.push_back(c);
+      } else {
+        stats_.seed_clauses_dropped++;
+      }
+    }
+    if (survivors.size() == candidates.size()) break;  // fixpoint
+    candidates = std::move(survivors);
+  }
+
+  inf_cubes_ = std::move(candidates);
+  stats_.seed_clauses_kept = inf_cubes_.size();
+}
+
+void Ic3::mine_singleton_invariants() {
+  // A few passes so that mutually dependent singletons (a latch whose
+  // inductiveness needs another mined clause) settle; designs rarely need
+  // more than two.
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < ts_.num_latches(); ++i) {
+      for (bool value : {false, true}) {
+        ts::Cube c{ts::StateLit{static_cast<int>(i), value}};
+        if (!ts_.cube_disjoint_from_init(c)) continue;
+        bool known = false;
+        for (const ts::Cube& have : inf_cubes_) {
+          if (ts::cube_subsumes(have, c)) known = true;
+        }
+        if (known) continue;
+        stats_.consecution_queries++;
+        if (checked(inf_ctx().query_consecution(c, /*add_negation=*/true,
+                                                nullptr)) ==
+            sat::SolveResult::Unsat) {
+          add_inf_cube(c);
+          stats_.mined_invariants++;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+// --- frame bookkeeping ------------------------------------------------------
+
+int Ic3::highest_blocked_level(const ts::Cube& cube, int from) const {
+  for (const ts::Cube& c : inf_cubes_) {
+    if (ts::cube_subsumes(c, cube)) return INT_MAX;
+  }
+  for (int j = static_cast<int>(frame_cubes_.size()) - 1; j >= from; --j) {
+    for (const ts::Cube& c : frame_cubes_[j]) {
+      if (ts::cube_subsumes(c, cube)) return j;
+    }
+  }
+  return from - 1;
+}
+
+void Ic3::add_blocked_cube(const ts::Cube& cube, int level) {
+  ensure_frame(level);
+  // Remove cubes this one subsumes at levels 1..level (their clauses stay
+  // in the solvers, which is sound; the new clause is stronger).
+  for (int j = 1; j <= level; ++j) {
+    auto& list = frame_cubes_[j];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const ts::Cube& c) {
+                                return ts::cube_subsumes(cube, c);
+                              }),
+               list.end());
+  }
+  frame_cubes_[level].push_back(cube);
+  for (int j = 1; j <= level; ++j) {
+    solvers_[j]->add_blocking_clause(cube);
+  }
+  stats_.clauses_added++;
+}
+
+// --- obligations ------------------------------------------------------------
+
+void Ic3::enqueue(int obligation_index) {
+  if (pool_.size() > opts_.max_obligations) throw Timeout{};
+  queue_.emplace_back(pool_[obligation_index].frame, queue_ticket_++,
+                      obligation_index);
+  std::push_heap(queue_.begin(), queue_.end(),
+                 std::greater<std::tuple<int, std::uint64_t, int>>());
+}
+
+int Ic3::pop_min_frame() {
+  std::pop_heap(queue_.begin(), queue_.end(),
+                std::greater<std::tuple<int, std::uint64_t, int>>());
+  int idx = std::get<2>(queue_.back());
+  queue_.pop_back();
+  return idx;
+}
+
+std::vector<bool> Ic3::initial_state_in_cube(const ts::Cube& cube) const {
+  std::vector<bool> s = ts_.initial_state();
+  for (const ts::StateLit& l : cube) {
+    // Only latches with X reset may disagree with the canonical initial
+    // state; the cube intersects I, so fixing them keeps s initial.
+    s[l.latch] = l.value;
+  }
+  return s;
+}
+
+void Ic3::build_cex(const std::vector<bool>& init_state,
+                    const std::vector<bool>& first_inputs, int chain_start) {
+  // The universal lifting property guarantees: every state in an
+  // obligation's cube, under the obligation's stored inputs, steps into
+  // the parent's cube (and the bad obligation's inputs expose the property
+  // violation). The trace is therefore reconstructed by plain simulation.
+  cex_.steps.clear();
+  aig::Simulator sim(ts_.aig());
+
+  std::vector<bool> state = init_state;
+  std::vector<bool> inputs = first_inputs;
+  int node = chain_start;
+  while (true) {
+    cex_.steps.push_back(ts::Step{state, inputs});
+    sim.eval(state, inputs);
+    if (node < 0) break;  // the step just recorded was the bad one
+    state = sim.next_state();
+    inputs = pool_[node].inputs;
+    node = pool_[node].parent;
+  }
+}
+
+bool Ic3::block_from_bad_state() {
+  FrameSolver& top = ctx(top_frame_);
+  std::vector<bool> state = top.model_state();
+  std::vector<bool> inputs = top.model_inputs();
+  ts::Cube cube = lift_ctx().lift_bad(state, inputs);
+
+  if (!ts_.cube_disjoint_from_init(cube)) {
+    // A bad (initial) state: length-0 counterexample.
+    build_cex(initial_state_in_cube(cube), inputs, -1);
+    return false;
+  }
+
+  pool_.push_back(Obligation{std::move(cube), std::move(state),
+                             std::move(inputs), top_frame_, -1, 0});
+  stats_.obligations++;
+  int root = static_cast<int>(pool_.size()) - 1;
+  return block_obligation(root);
+}
+
+bool Ic3::block_obligation(int root_index) {
+  queue_.clear();
+  enqueue(root_index);
+
+  while (!queue_.empty()) {
+    int oi = pop_min_frame();
+    int k = pool_[oi].frame;
+    assert(k >= 1);
+
+    // Already discharged by an existing clause?
+    int blocked = highest_blocked_level(pool_[oi].cube, k);
+    if (blocked >= k) {
+      if (blocked < top_frame_) {
+        pool_[oi].frame = blocked + 1;
+        enqueue(oi);
+      }
+      continue;
+    }
+
+    if (deadline_.expired() && opts_.time_limit_seconds > 0) throw Timeout{};
+
+    // PDR's push-to-infinity, tried first on the untouched obligation
+    // cube: if ¬cube is inductive relative to the path constraints alone,
+    // install it at F_inf. This is what makes local proofs converge in one
+    // frame when the assumed properties already refute the bad region
+    // (the paper's Example 1 and Table X shapes).
+    stats_.consecution_queries++;
+    std::vector<std::size_t> inf_core;
+    sat::SolveResult inf_res = checked(inf_ctx().query_consecution(
+        pool_[oi].cube, /*add_negation=*/true, &inf_core));
+    if (inf_res == sat::SolveResult::Unsat) {
+      ts::Cube c = shrink_with_core(pool_[oi].cube, inf_core);
+      c = repair_init_intersection(c, pool_[oi].cube);
+      c = mic(std::move(c), inf_ctx());
+      add_inf_cube(c);
+      continue;  // blocked at every frame; obligation discharged
+    }
+
+    std::vector<std::size_t> core;
+    stats_.consecution_queries++;
+    sat::SolveResult res = checked(
+        ctx(k - 1).query_consecution(pool_[oi].cube, /*add_negation=*/true,
+                                     &core));
+    if (res == sat::SolveResult::Unsat) {
+      // Blockable: shrink by the core, repair init intersection, MIC, push.
+      ts::Cube c = shrink_with_core(pool_[oi].cube, core);
+      c = repair_init_intersection(c, pool_[oi].cube);
+      c = mic(std::move(c), ctx(k - 1));
+      // The MIC-generalized cube is frequently inductive relative to the
+      // path constraints alone even when the raw obligation cube was not;
+      // promote it to F_inf when it is.
+      stats_.consecution_queries++;
+      if (checked(inf_ctx().query_consecution(c, /*add_negation=*/true,
+                                              nullptr)) ==
+          sat::SolveResult::Unsat) {
+        add_inf_cube(c);
+        continue;
+      }
+      int level = push_forward(c, k);
+      add_blocked_cube(c, level);
+      if (level < top_frame_) {
+        pool_[oi].frame = level + 1;
+        enqueue(oi);
+      }
+    } else {
+      // A predecessor exists; lift it and recurse one frame down.
+      FrameSolver& fs = ctx(k - 1);
+      std::vector<bool> pstate = fs.model_state();
+      std::vector<bool> pinputs = fs.model_inputs();
+      ts::Cube pcube = lift_ctx().lift_predecessor(
+          pstate, pinputs, pool_[oi].cube,
+          opts_.lifting_respects_constraints);
+
+      if (!ts_.cube_disjoint_from_init(pcube)) {
+        // The lifted predecessor cube contains an initial state: a full
+        // counterexample trace exists through the obligation chain.
+        build_cex(initial_state_in_cube(pcube), pinputs, oi);
+        return false;
+      }
+      pool_.push_back(Obligation{std::move(pcube), std::move(pstate),
+                                 std::move(pinputs), k - 1, oi,
+                                 pool_[oi].depth + 1});
+      stats_.obligations++;
+      enqueue(static_cast<int>(pool_.size()) - 1);
+      enqueue(oi);  // retry after the predecessor is resolved
+    }
+  }
+  return true;
+}
+
+// --- propagation / fixpoint -------------------------------------------------
+
+void Ic3::propagate_and_check_fixpoint() {
+  for (int lvl = 1; lvl < top_frame_; ++lvl) {
+    std::vector<ts::Cube> keep;
+    std::vector<ts::Cube> cubes = frame_cubes_[lvl];  // copy: list mutates
+    for (const ts::Cube& c : cubes) {
+      // ¬c is already in F_lvl, so no extra negation is needed.
+      stats_.consecution_queries++;
+      sat::SolveResult r = checked(
+          ctx(lvl).query_consecution(c, /*add_negation=*/false, nullptr));
+      if (r == sat::SolveResult::Unsat) {
+        frame_cubes_[lvl + 1].push_back(c);
+        solvers_[lvl + 1]->add_blocking_clause(c);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    frame_cubes_[lvl] = std::move(keep);
+    if (frame_cubes_[lvl].empty()) {
+      fixpoint_found_ = true;
+      fixpoint_level_ = lvl;
+      return;
+    }
+  }
+}
+
+// --- main loop ---------------------------------------------------------------
+
+Ic3Result Ic3::run() {
+  Ic3Result result;
+  try {
+    validate_seed_clauses();
+    mine_singleton_invariants();
+    ensure_frame(0);
+
+    // Depth-0 check: an initial state violating the property.
+    if (checked(ctx(0).query_bad()) == sat::SolveResult::Sat) {
+      build_cex(ctx(0).model_state(), ctx(0).model_inputs(), -1);
+      result.status = CheckStatus::Fails;
+      result.frames = 0;
+      result.cex = std::move(cex_);
+      result.stats = stats_;
+      return result;
+    }
+
+    top_frame_ = 1;
+    ensure_frame(1);
+
+    while (true) {
+      // Clear all bad states reachable within top_frame_ steps.
+      while (checked(ctx(top_frame_).query_bad()) == sat::SolveResult::Sat) {
+        if (opts_.time_limit_seconds > 0 && deadline_.expired()) {
+          throw Timeout{};
+        }
+        if (!block_from_bad_state()) {
+          result.status = CheckStatus::Fails;
+          result.frames = top_frame_;
+          result.cex = std::move(cex_);
+          result.stats = stats_;
+          return result;
+        }
+      }
+      result.frames = top_frame_;
+
+      if (top_frame_ >= opts_.max_frames) throw Timeout{};
+
+      top_frame_++;
+      ensure_frame(top_frame_);
+      propagate_and_check_fixpoint();
+      if (fixpoint_found_) {
+        result.status = CheckStatus::Holds;
+        result.frames = std::max(result.frames, fixpoint_level_);
+        result.invariant = inf_cubes_;
+        for (int j = fixpoint_level_ + 1;
+             j < static_cast<int>(frame_cubes_.size()); ++j) {
+          for (const ts::Cube& c : frame_cubes_[j]) {
+            result.invariant.push_back(c);
+          }
+        }
+        result.stats = stats_;
+        return result;
+      }
+      JAVER_LOG(Debug) << "ic3: frame " << top_frame_ << ", clauses "
+                       << stats_.clauses_added;
+    }
+  } catch (const Timeout&) {
+    result.status = CheckStatus::Unknown;
+    result.frames = top_frame_;
+    result.stats = stats_;
+    return result;
+  }
+}
+
+}  // namespace javer::ic3

@@ -1,0 +1,165 @@
+// IC3/PDR engine with the features the paper's study needs:
+//  * "just assume" constraints: other properties asserted on all non-final
+//    steps, implementing local proofs w.r.t. the projection T_P (§4, §7-A);
+//  * state lifting that either respects or ignores the assumed-property
+//    constraints (§7-A, ablated in Tables VIII/IX);
+//  * strengthening-clause re-use: seed clauses from earlier runs are
+//    re-validated (largest self-inductive subset) and installed at F_∞
+//    (§6-B, §7-B, ablated in Table VII);
+//  * inductive invariant export for the clause database;
+//  * counterexample traces built from lifted obligation chains, with the
+//    universal-lifting property making reconstruction purely simulative.
+#ifndef JAVER_IC3_IC3_H
+#define JAVER_IC3_IC3_H
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "base/timer.h"
+#include "ic3/frames.h"
+#include "ts/trace.h"
+#include "ts/transition_system.h"
+
+namespace javer::ic3 {
+
+struct Ic3Options {
+  // Property indices assumed to hold on non-final steps (local proofs).
+  // Empty = global proof.
+  std::vector<std::size_t> assumed;
+  // §7-A: when true, lifted predecessor cubes are guaranteed to satisfy
+  // the assumed properties (no spurious local CEXs, smaller cubes); when
+  // false, lifting ignores them (larger cubes, possible spurious CEXs that
+  // the caller must detect and retry in respecting mode).
+  bool lifting_respects_constraints = false;
+  // Candidate invariant clauses from earlier runs, as cubes (clause =
+  // negation of cube). Re-validated before use.
+  std::vector<ts::Cube> seed_clauses;
+
+  double time_limit_seconds = 0.0;
+  std::uint64_t conflict_budget_per_query = 0;
+  int max_frames = 100000;
+  std::size_t max_obligations = 2u << 20;
+  int rebuild_threshold = 500;
+};
+
+struct Ic3Stats {
+  std::uint64_t obligations = 0;
+  std::uint64_t clauses_added = 0;
+  std::uint64_t consecution_queries = 0;
+  std::uint64_t mic_queries = 0;
+  std::uint64_t seed_clauses_kept = 0;
+  std::uint64_t seed_clauses_dropped = 0;
+  std::uint64_t solver_rebuilds = 0;
+  std::uint64_t mined_invariants = 0;
+};
+
+struct Ic3Result {
+  CheckStatus status = CheckStatus::Unknown;
+  // Number of time frames unfolded when the engine stopped (the paper's
+  // "#time frames" metric, Tables I and X).
+  int frames = 0;
+  ts::Trace cex;  // valid when status == Fails
+  // On Holds: cubes whose negations, conjoined, form an inductive
+  // strengthening: I → Inv, Inv ∧ constr ∧ assumed ∧ T → Inv',
+  // Inv ∧ constr → P.
+  std::vector<ts::Cube> invariant;
+  Ic3Stats stats;
+};
+
+class Ic3 {
+ public:
+  Ic3(const ts::TransitionSystem& ts, std::size_t target_prop,
+      Ic3Options opts = {});
+  ~Ic3();
+
+  Ic3Result run();
+
+ private:
+  struct Timeout {};  // internal control-flow signal for budget expiry
+
+  struct Obligation {
+    ts::Cube cube;
+    std::vector<bool> state;   // concrete witness state in `cube`
+    std::vector<bool> inputs;  // input driving every cube state onward
+    int frame = 0;
+    int parent = -1;  // index into pool_, towards the bad state
+    int depth = 0;    // distance to the bad obligation
+  };
+
+  // --- solver contexts ---
+  FrameSolver& ctx(int k);
+  FrameSolver& lift_ctx();
+  FrameSolver& inf_ctx();
+  std::unique_ptr<FrameSolver> make_solver(int k) const;
+  void ensure_frame(int k);
+
+  // --- blocking ---
+  // Returns false when a counterexample was found (cex_ is set).
+  bool block_from_bad_state();
+  bool block_obligation(int root_index);
+  void enqueue(int obligation_index);
+  int pop_min_frame();
+  // Highest level >= `from` whose clause set already blocks `cube`
+  // (syntactic subsumption), or from-1 if none; INT_MAX for F_inf.
+  int highest_blocked_level(const ts::Cube& cube, int from) const;
+  void add_blocked_cube(const ts::Cube& cube, int level);
+  // Installs a cube at F_inf: its negation is inductive relative to the
+  // path constraints alone (PDR's "push to infinity").
+  void add_inf_cube(const ts::Cube& cube);
+
+  // --- generalization (generalize.cpp) ---
+  ts::Cube shrink_with_core(const ts::Cube& cube,
+                            const std::vector<std::size_t>& core) const;
+  ts::Cube repair_init_intersection(const ts::Cube& shrunk,
+                                    const ts::Cube& original) const;
+  // MIC literal dropping with consecution checked on `checker` (a frame
+  // context or the F_inf context).
+  ts::Cube mic(ts::Cube cube, FrameSolver& checker);
+  int push_forward(const ts::Cube& cube, int from_level);
+
+  // --- counterexamples ---
+  // Builds the trace: `init_state` -[first_inputs]-> chain(ob) ... bad.
+  void build_cex(const std::vector<bool>& init_state,
+                 const std::vector<bool>& first_inputs, int chain_start);
+  // An initial state contained in `cube` (which intersects I).
+  std::vector<bool> initial_state_in_cube(const ts::Cube& cube) const;
+
+  // --- proof ---
+  void validate_seed_clauses();
+  // One-time pass installing every latch literal that contradicts its
+  // reset and is one-step inductive relative to the path constraints as
+  // an F_inf clause. Under JA assumptions this catches the "other
+  // property forbids the trigger" invariants instantly (e.g. a stage
+  // latch that can only rise when an assumed property has already
+  // failed), which frame-relative generalization discovers only slowly.
+  void mine_singleton_invariants();
+  void propagate_and_check_fixpoint();
+  sat::SolveResult checked(sat::SolveResult r) const;
+
+  const ts::TransitionSystem& ts_;
+  std::size_t target_prop_;
+  Ic3Options opts_;
+  Deadline deadline_;
+
+  std::vector<std::unique_ptr<FrameSolver>> solvers_;
+  std::unique_ptr<FrameSolver> lift_solver_;
+  std::unique_ptr<FrameSolver> inf_solver_;
+  std::vector<std::vector<ts::Cube>> frame_cubes_;  // delta encoding
+  std::vector<ts::Cube> inf_cubes_;  // F_inf: seeds + globally inductive
+
+  std::vector<Obligation> pool_;
+  // Min-heap entries: (frame, insertion order, pool index).
+  std::vector<std::tuple<int, std::uint64_t, int>> queue_;
+  std::uint64_t queue_ticket_ = 0;
+
+  int top_frame_ = 0;  // N: the current working frame
+  bool fixpoint_found_ = false;
+  int fixpoint_level_ = -1;
+  ts::Trace cex_;
+  Ic3Stats stats_;
+};
+
+}  // namespace javer::ic3
+
+#endif  // JAVER_IC3_IC3_H

@@ -1,0 +1,80 @@
+#include "mp/clause_db.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace javer::mp {
+
+ClauseDb::ClauseDb(const ClauseDb& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  cubes_ = other.cubes_;
+}
+
+std::size_t ClauseDb::add(const std::vector<ts::Cube>& cubes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t added = 0;
+  for (const ts::Cube& c : cubes) {
+    ts::Cube sorted = c;
+    ts::sort_cube(sorted);
+    if (cubes_.insert(sorted).second) added++;
+  }
+  return added;
+}
+
+std::vector<ts::Cube> ClauseDb::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<ts::Cube>(cubes_.begin(), cubes_.end());
+}
+
+std::size_t ClauseDb::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cubes_.size();
+}
+
+void ClauseDb::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cubes_.clear();
+}
+
+void ClauseDb::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("clausedb: cannot open " + path);
+  for (const ts::Cube& c : snapshot()) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << (c[i].value ? '+' : '-') << c[i].latch;
+    }
+    out << '\n';
+  }
+}
+
+ClauseDb ClauseDb::load(const std::string& path) {
+  ClauseDb db;
+  db.load_file(path);
+  return db;
+}
+
+std::size_t ClauseDb::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("clausedb: cannot open " + path);
+  std::string line;
+  std::vector<ts::Cube> batch;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string token;
+    ts::Cube cube;
+    while (ss >> token) {
+      if (token.size() < 2 || (token[0] != '+' && token[0] != '-')) {
+        throw std::runtime_error("clausedb: bad token '" + token + "'");
+      }
+      cube.push_back(
+          ts::StateLit{std::stoi(token.substr(1)), token[0] == '+'});
+    }
+    if (!cube.empty()) batch.push_back(std::move(cube));
+  }
+  return add(batch);
+}
+
+}  // namespace javer::mp

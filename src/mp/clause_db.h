@@ -1,0 +1,46 @@
+// ClauseDb: the paper's external "clauseDB" store of strengthening clauses
+// (Section 7-B). Runs for individual properties append the clauses of
+// their inductive strengthenings; later runs seed IC3 with the accumulated
+// set (which re-validates them against its own assumption set).
+//
+// Thread-safe, so the parallel verifier (Section 11) can share one
+// database. Clauses are stored as cubes: the clause is the negation.
+#ifndef JAVER_MP_CLAUSE_DB_H
+#define JAVER_MP_CLAUSE_DB_H
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ts/transition_system.h"
+
+namespace javer::mp {
+
+class ClauseDb {
+ public:
+  ClauseDb() = default;
+  ClauseDb(const ClauseDb& other);
+  ClauseDb& operator=(const ClauseDb&) = delete;
+
+  // Adds cubes (duplicates are ignored). Returns how many were new.
+  std::size_t add(const std::vector<ts::Cube>& cubes);
+
+  std::vector<ts::Cube> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  // Text persistence, one cube per line: "+3 -7" means l3=1 ∧ l7=0.
+  void save(const std::string& path) const;
+  static ClauseDb load(const std::string& path);
+  // Appends the file's cubes to this database; returns how many were new.
+  std::size_t load_file(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::set<ts::Cube> cubes_;
+};
+
+}  // namespace javer::mp
+
+#endif  // JAVER_MP_CLAUSE_DB_H

@@ -1,0 +1,123 @@
+#include "mp/clustering.h"
+
+#include <algorithm>
+
+#include "base/timer.h"
+
+namespace javer::mp {
+
+namespace {
+
+// Latch-cone bitset per property.
+std::vector<std::vector<bool>> property_cones(
+    const ts::TransitionSystem& ts) {
+  std::vector<std::vector<bool>> cones;
+  cones.reserve(ts.num_properties());
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    auto node_cone = ts.aig().cone_of_influence({ts.property_lit(p)},
+                                                /*through_latches=*/true);
+    std::vector<bool> latch_cone(ts.num_latches(), false);
+    for (std::size_t i = 0; i < ts.num_latches(); ++i) {
+      latch_cone[i] = node_cone[ts.aig().latches()[i].var];
+    }
+    cones.push_back(std::move(latch_cone));
+  }
+  return cones;
+}
+
+double jaccard(const std::vector<bool>& a, const std::vector<bool>& b) {
+  std::size_t inter = 0, uni = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] && b[i]) inter++;
+    if (a[i] || b[i]) uni++;
+  }
+  // Two empty cones (purely combinational properties) are "similar".
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> cluster_properties(
+    const ts::TransitionSystem& ts, const ClusterOptions& opts) {
+  std::size_t k = ts.num_properties();
+  auto cones = property_cones(ts);
+
+  // Single-link agglomeration via union-find.
+  std::vector<std::size_t> parent(k);
+  for (std::size_t i = 0; i < k; ++i) parent[i] = i;
+  std::vector<std::size_t> size(k, 1);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      std::size_t ri = find(i), rj = find(j);
+      if (ri == rj) continue;
+      if (size[ri] + size[rj] > opts.max_cluster_size) continue;
+      if (jaccard(cones[i], cones[j]) >= opts.min_similarity) {
+        parent[rj] = ri;
+        size[ri] += size[rj];
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> clusters;
+  std::vector<int> cluster_of(k, -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t root = find(i);
+    if (cluster_of[root] < 0) {
+      cluster_of[root] = static_cast<int>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[cluster_of[root]].push_back(i);
+  }
+  return clusters;
+}
+
+ClusteredJointVerifier::ClusteredJointVerifier(const ts::TransitionSystem& ts,
+                                               ClusteredJointOptions opts)
+    : ts_(ts), opts_(std::move(opts)) {}
+
+MultiResult ClusteredJointVerifier::run() {
+  Timer total;
+  MultiResult result;
+  result.per_property.resize(ts_.num_properties());
+
+  auto clusters = cluster_properties(ts_, opts_.clustering);
+  for (const auto& cluster : clusters) {
+    double remaining = 0.0;
+    if (opts_.total_time_limit > 0) {
+      remaining = opts_.total_time_limit - total.seconds();
+      if (remaining <= 0) break;  // rest stays Unknown
+    }
+    double cluster_limit = opts_.time_limit_per_cluster;
+    if (remaining > 0 && (cluster_limit <= 0 || cluster_limit > remaining)) {
+      cluster_limit = remaining;
+    }
+
+    // Joint verification restricted to this cluster: reuse JointVerifier
+    // on a design whose property list is the cluster.
+    aig::Aig sub = ts_.aig();
+    std::vector<aig::Property> props;
+    for (std::size_t p : cluster) {
+      props.push_back(ts_.aig().properties()[p]);
+    }
+    sub.properties() = props;
+    ts::TransitionSystem sub_ts(sub);
+    JointOptions jopts;
+    jopts.total_time_limit = cluster_limit;
+    MultiResult sub_result = JointVerifier(sub_ts, jopts).run();
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      result.per_property[cluster[i]] = sub_result.per_property[i];
+    }
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace javer::mp

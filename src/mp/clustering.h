@@ -1,0 +1,52 @@
+// Structure-aware property clustering — the *competing* approach the
+// paper's related work discusses (Cabodi/Nocco [8], Camurati et al. [10]):
+// group properties with similar cones of influence and verify each group
+// jointly. Implemented here as a baseline so the purely semantic
+// JA-verification can be compared against (and composed with) it: local
+// proofs and clause re-use apply within a cluster unchanged.
+#ifndef JAVER_MP_CLUSTERING_H
+#define JAVER_MP_CLUSTERING_H
+
+#include <vector>
+
+#include "mp/joint_verifier.h"
+#include "mp/report.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp {
+
+struct ClusterOptions {
+  // Minimum Jaccard similarity of two properties' latch cones for them to
+  // share a cluster (agglomerative, single-link).
+  double min_similarity = 0.5;
+  std::size_t max_cluster_size = 64;
+};
+
+// Partitions property indices into clusters of structurally similar
+// properties. Every property appears in exactly one cluster.
+std::vector<std::vector<std::size_t>> cluster_properties(
+    const ts::TransitionSystem& ts, const ClusterOptions& opts = {});
+
+struct ClusteredJointOptions {
+  ClusterOptions clustering;
+  double total_time_limit = 0.0;
+  double time_limit_per_cluster = 0.0;
+};
+
+// The grouping baseline: joint verification per cluster (each cluster's
+// aggregate property is the conjunction of its members).
+class ClusteredJointVerifier {
+ public:
+  ClusteredJointVerifier(const ts::TransitionSystem& ts,
+                         ClusteredJointOptions opts = {});
+
+  MultiResult run();
+
+ private:
+  const ts::TransitionSystem& ts_;
+  ClusteredJointOptions opts_;
+};
+
+}  // namespace javer::mp
+
+#endif  // JAVER_MP_CLUSTERING_H

@@ -1,0 +1,25 @@
+#include "mp/ja_verifier.h"
+
+namespace javer::mp {
+
+JaVerifier::JaVerifier(const ts::TransitionSystem& ts, JaOptions opts)
+    : ts_(ts) {
+  sep_opts_.local_proofs = true;
+  sep_opts_.clause_reuse = opts.clause_reuse;
+  sep_opts_.lifting_respects_constraints = opts.lifting_respects_constraints;
+  sep_opts_.time_limit_per_property = opts.time_limit_per_property;
+  sep_opts_.total_time_limit = opts.total_time_limit;
+  sep_opts_.order = std::move(opts.order);
+}
+
+MultiResult JaVerifier::run() {
+  ClauseDb db;
+  return run(db);
+}
+
+MultiResult JaVerifier::run(ClauseDb& db) {
+  SeparateVerifier sep(ts_, sep_opts_);
+  return sep.run(db);
+}
+
+}  // namespace javer::mp

@@ -1,0 +1,45 @@
+// Joint verification (the baseline the paper compares against): verify the
+// aggregate property P = P1 ∧ ... ∧ Pk with a single IC3 run. When the
+// aggregate fails, the counterexample's final state identifies a subset of
+// failed properties; those are removed and the procedure restarts on the
+// remaining conjunction (the paper's Jnt-ver script).
+#ifndef JAVER_MP_JOINT_VERIFIER_H
+#define JAVER_MP_JOINT_VERIFIER_H
+
+#include <memory>
+#include <vector>
+
+#include "ic3/ic3.h"
+#include "mp/report.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp {
+
+struct JointOptions {
+  double total_time_limit = 0.0;             // the paper used 10 hours
+  double time_limit_per_iteration = 0.0;     // 0 = bounded only by total
+  std::uint64_t conflict_budget_per_query = 0;
+  bool lifting_respects_constraints = false; // joint runs have no assumed
+                                             // props, so this rarely matters
+};
+
+class JointVerifier {
+ public:
+  JointVerifier(const ts::TransitionSystem& ts, JointOptions opts = {});
+
+  MultiResult run();
+
+ private:
+  const ts::TransitionSystem& ts_;
+  JointOptions opts_;
+};
+
+// Builds a copy of `aig` extended with one new property that is the
+// conjunction of the given properties; returns the copy and the index of
+// the aggregate property within it.
+std::pair<aig::Aig, std::size_t> make_aggregate(
+    const aig::Aig& aig, const std::vector<std::size_t>& props);
+
+}  // namespace javer::mp
+
+#endif  // JAVER_MP_JOINT_VERIFIER_H

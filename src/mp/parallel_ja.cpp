@@ -1,0 +1,60 @@
+#include "mp/parallel_ja.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "base/timer.h"
+
+namespace javer::mp {
+
+ParallelJaVerifier::ParallelJaVerifier(const ts::TransitionSystem& ts,
+                                       ParallelJaOptions opts)
+    : ts_(ts), opts_(std::move(opts)) {}
+
+MultiResult ParallelJaVerifier::run() {
+  ClauseDb db;
+  return run(db);
+}
+
+MultiResult ParallelJaVerifier::run(ClauseDb& db) {
+  Timer total;
+  MultiResult result;
+  result.per_property.resize(ts_.num_properties());
+
+  unsigned threads = opts_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(
+      threads, std::max<std::size_t>(ts_.num_properties(), 1));
+
+  SeparateOptions sep_opts;
+  sep_opts.local_proofs = true;
+  sep_opts.clause_reuse = opts_.clause_reuse;
+  sep_opts.lifting_respects_constraints = opts_.lifting_respects_constraints;
+  sep_opts.time_limit_per_property = opts_.time_limit_per_property;
+
+  std::atomic<std::size_t> next_prop{0};
+  auto worker = [&]() {
+    // Each worker owns its verifier; the TransitionSystem and AIG are
+    // read-only, and the ClauseDb is internally synchronized.
+    SeparateVerifier verifier(ts_, sep_opts);
+    while (true) {
+      std::size_t p = next_prop.fetch_add(1);
+      if (p >= ts_.num_properties()) break;
+      result.per_property[p] =
+          verifier.verify_one(p, opts_.clause_reuse ? &db : nullptr);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace javer::mp

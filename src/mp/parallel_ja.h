@@ -1,0 +1,39 @@
+// Parallel JA-verification (Section 11). Properties are independent in
+// JA-verification — each is proved locally against the same (I, T) — so a
+// worker pool checks them concurrently. Workers share one ClauseDb:
+// snapshots seed each run, and completed proofs merge their strengthening
+// clauses back (the paper's observation that information exchange shrinks
+// as the property count grows makes even a stale snapshot useful).
+#ifndef JAVER_MP_PARALLEL_JA_H
+#define JAVER_MP_PARALLEL_JA_H
+
+#include "mp/clause_db.h"
+#include "mp/report.h"
+#include "mp/separate_verifier.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp {
+
+struct ParallelJaOptions {
+  unsigned num_threads = 0;  // 0 = hardware concurrency
+  double time_limit_per_property = 0.0;
+  bool clause_reuse = true;
+  bool lifting_respects_constraints = false;
+};
+
+class ParallelJaVerifier {
+ public:
+  ParallelJaVerifier(const ts::TransitionSystem& ts,
+                     ParallelJaOptions opts = {});
+
+  MultiResult run();
+  MultiResult run(ClauseDb& db);
+
+ private:
+  const ts::TransitionSystem& ts_;
+  ParallelJaOptions opts_;
+};
+
+}  // namespace javer::mp
+
+#endif  // JAVER_MP_PARALLEL_JA_H

@@ -1,0 +1,76 @@
+#include "mp/report.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace javer::mp {
+
+const char* to_string(PropertyVerdict v) {
+  switch (v) {
+    case PropertyVerdict::HoldsGlobally: return "holds-globally";
+    case PropertyVerdict::HoldsLocally: return "holds-locally";
+    case PropertyVerdict::FailsLocally: return "fails-locally";
+    case PropertyVerdict::FailsGlobally: return "fails-globally";
+    default: return "unknown";
+  }
+}
+
+std::size_t MultiResult::count(PropertyVerdict v) const {
+  std::size_t n = 0;
+  for (const PropertyResult& r : per_property) {
+    if (r.verdict == v) n++;
+  }
+  return n;
+}
+
+std::vector<std::size_t> MultiResult::debugging_set() const {
+  std::vector<std::size_t> d;
+  for (std::size_t i = 0; i < per_property.size(); ++i) {
+    if (per_property[i].verdict == PropertyVerdict::FailsLocally) {
+      d.push_back(i);
+    }
+  }
+  return d;
+}
+
+std::string format_duration(double seconds) {
+  std::ostringstream out;
+  if (seconds >= 3600.0) {
+    out << std::fixed << std::setprecision(1) << seconds / 3600.0 << " h";
+  } else if (seconds >= 1.0) {
+    out << std::fixed << std::setprecision(1) << seconds << " s";
+  } else {
+    out << std::fixed << std::setprecision(3) << seconds << " s";
+  }
+  return out.str();
+}
+
+void print_report(std::ostream& out, const ts::TransitionSystem& ts,
+                  const MultiResult& result) {
+  for (std::size_t i = 0; i < result.per_property.size(); ++i) {
+    const PropertyResult& r = result.per_property[i];
+    out << "  P" << i;
+    if (!ts.property_name(i).empty()) out << " (" << ts.property_name(i) << ')';
+    out << ": " << to_string(r.verdict) << "  [" << format_duration(r.seconds)
+        << ", " << r.frames << " frames";
+    if (r.verdict == PropertyVerdict::FailsLocally ||
+        r.verdict == PropertyVerdict::FailsGlobally) {
+      out << ", cex length " << r.cex.length();
+    }
+    if (r.spurious_restarts > 0) {
+      out << ", " << r.spurious_restarts << " strict-lifting restart(s)";
+    }
+    out << "]\n";
+  }
+  auto dbg = result.debugging_set();
+  out << "  summary: " << result.num_proved() << " proved, "
+      << result.num_failed() << " failed, " << result.num_unsolved()
+      << " unsolved; debugging set {";
+  for (std::size_t i = 0; i < dbg.size(); ++i) {
+    out << (i ? ", " : "") << 'P' << dbg[i];
+  }
+  out << "}; total " << format_duration(result.total_seconds) << '\n';
+}
+
+}  // namespace javer::mp

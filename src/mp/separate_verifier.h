@@ -1,0 +1,62 @@
+// Separate verification: properties proved one at a time with IC3, in
+// either of the paper's two proof modes:
+//   * local  — other ETH properties are assumed on non-final steps (the
+//              T_P projection); this is the core of JA-verification (§4);
+//   * global — no assumptions.
+// Orthogonally, strengthening clauses of completed proofs can be re-used
+// through a ClauseDb (§6/§7-B), and lifting can respect or ignore the
+// property constraints (§7-A), including the spurious-counterexample
+// detect-and-retry loop.
+//
+// Tables III–IX are all driven by this class under different options;
+// JaVerifier (ja_verifier.h) is the preset the paper calls
+// "JA-verification" (local proofs + clause re-use).
+#ifndef JAVER_MP_SEPARATE_VERIFIER_H
+#define JAVER_MP_SEPARATE_VERIFIER_H
+
+#include <vector>
+
+#include "ic3/ic3.h"
+#include "mp/clause_db.h"
+#include "mp/report.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp {
+
+struct SeparateOptions {
+  bool local_proofs = true;        // local (JA) vs global separate
+  bool clause_reuse = true;        // accumulate/seed via ClauseDb
+  bool lifting_respects_constraints = false;  // §7-A; only affects local
+  double time_limit_per_property = 0.0;       // seconds; 0 = unlimited
+  double total_time_limit = 0.0;              // seconds; 0 = unlimited
+  std::uint64_t conflict_budget_per_query = 0;
+  // Verification order (indices); empty = design order, the paper's
+  // default ("properties are verified in the order they are given").
+  std::vector<std::size_t> order;
+};
+
+class SeparateVerifier {
+ public:
+  SeparateVerifier(const ts::TransitionSystem& ts, SeparateOptions opts = {});
+
+  // Verifies every property. An external ClauseDb can be supplied (e.g.
+  // shared across workers or loaded from disk); otherwise an internal one
+  // is used.
+  MultiResult run();
+  MultiResult run(ClauseDb& db);
+
+  // Verifies a single property (used by Table X and the parallel driver);
+  // does not touch any clause database unless one is given.
+  PropertyResult verify_one(std::size_t prop, ClauseDb* db = nullptr);
+
+ private:
+  // Assumption set for target `prop`: every ETH property except the target.
+  std::vector<std::size_t> assumptions_for(std::size_t prop) const;
+
+  const ts::TransitionSystem& ts_;
+  SeparateOptions opts_;
+};
+
+}  // namespace javer::mp
+
+#endif  // JAVER_MP_SEPARATE_VERIFIER_H

@@ -1,0 +1,187 @@
+#include "ref/explicit_checker.h"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "aig/sim.h"
+
+namespace javer::ref {
+
+namespace {
+
+using State = std::uint64_t;
+
+std::vector<bool> unpack(State s, std::size_t n) {
+  std::vector<bool> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = (s >> i) & 1;
+  return v;
+}
+
+State pack(const std::vector<bool>& v) {
+  State s = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) s |= State{1} << i;
+  }
+  return s;
+}
+
+// All initial states: latches with X reset range over both values.
+std::vector<State> initial_states(const aig::Aig& aig,
+                                  const ExplicitLimits& limits) {
+  std::vector<std::size_t> x_latches;
+  State base = 0;
+  for (std::size_t i = 0; i < aig.num_latches(); ++i) {
+    switch (aig.latches()[i].reset) {
+      case Ternary::True:
+        base |= State{1} << i;
+        break;
+      case Ternary::X:
+        x_latches.push_back(i);
+        break;
+      default:
+        break;
+    }
+  }
+  if (x_latches.size() > 20) {
+    throw std::runtime_error("explicit: too many uninitialized latches");
+  }
+  std::vector<State> init;
+  std::size_t combos = std::size_t{1} << x_latches.size();
+  if (combos > limits.max_states) {
+    throw std::runtime_error("explicit: initial state set too large");
+  }
+  for (std::size_t c = 0; c < combos; ++c) {
+    State s = base;
+    for (std::size_t b = 0; b < x_latches.size(); ++b) {
+      if ((c >> b) & 1) s |= State{1} << x_latches[b];
+    }
+    init.push_back(s);
+  }
+  return init;
+}
+
+struct BfsOutcome {
+  std::vector<int> fail_depth;
+  std::size_t visited = 0;
+};
+
+// Shared BFS. When `gate_on_assumed` is set, a step (s,x) at which some
+// assumed property fails does not generate a successor (this is exactly
+// the T_P projection: no transitions out of a !P-state; the self-loop the
+// definition adds never reaches new states, so it is skipped).
+BfsOutcome bfs(const ts::TransitionSystem& ts,
+               const std::vector<std::size_t>& assumed, bool gate_on_assumed,
+               const ExplicitLimits& limits) {
+  const aig::Aig& aig = ts.aig();
+  std::size_t num_props = ts.num_properties();
+  std::size_t num_inputs = aig.num_inputs();
+  if (aig.num_latches() > limits.max_latches) {
+    throw std::runtime_error("explicit: too many latches");
+  }
+  if (num_inputs > limits.max_inputs) {
+    throw std::runtime_error("explicit: too many inputs");
+  }
+
+  std::vector<bool> is_assumed(num_props, false);
+  for (std::size_t j : assumed) is_assumed[j] = true;
+
+  BfsOutcome out;
+  out.fail_depth.assign(num_props, -1);
+
+  std::unordered_map<State, int> depth_of;
+  std::queue<State> queue;
+  for (State s : initial_states(aig, limits)) {
+    if (!depth_of.count(s)) {
+      depth_of.emplace(s, 0);
+      queue.push(s);
+    }
+  }
+
+  aig::Simulator sim(aig);
+  std::size_t input_combos = std::size_t{1} << num_inputs;
+  std::size_t props_open = num_props;
+
+  while (!queue.empty()) {
+    State s = queue.front();
+    queue.pop();
+    int d = depth_of[s];
+    std::vector<bool> state = unpack(s, aig.num_latches());
+
+    for (std::size_t xc = 0; xc < input_combos; ++xc) {
+      std::vector<bool> inputs = unpack(xc, num_inputs);
+      sim.eval(state, inputs);
+
+      // Steps violating a design constraint are not part of any trace.
+      bool constraints_ok = true;
+      for (aig::Lit c : aig.constraints()) {
+        if (!sim.value(c)) {
+          constraints_ok = false;
+          break;
+        }
+      }
+      if (!constraints_ok) continue;
+
+      bool assumed_ok = true;
+      for (std::size_t p = 0; p < num_props; ++p) {
+        bool holds = sim.value(ts.property_lit(p));
+        if (!holds) {
+          if (out.fail_depth[p] < 0) {
+            out.fail_depth[p] = d;
+            props_open--;
+          }
+          if (is_assumed[p]) assumed_ok = false;
+        }
+      }
+      if (gate_on_assumed && !assumed_ok) continue;
+
+      State next = pack(sim.next_state());
+      if (!depth_of.count(next)) {
+        if (depth_of.size() >= limits.max_states) {
+          throw std::runtime_error("explicit: state limit exceeded");
+        }
+        depth_of.emplace(next, d + 1);
+        queue.push(next);
+      }
+    }
+    // Keep exploring even when all properties already failed: depth values
+    // are final once set (BFS order), so we could stop early here.
+    if (props_open == 0) break;
+  }
+  out.visited = depth_of.size();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> ExplicitResult::debugging_set() const {
+  std::vector<std::size_t> d;
+  for (std::size_t i = 0; i < local_fail_depth.size(); ++i) {
+    if (local_fail_depth[i] >= 0) d.push_back(i);
+  }
+  return d;
+}
+
+ExplicitResult explicit_check(const ts::TransitionSystem& ts,
+                              const std::vector<std::size_t>& assumed,
+                              const ExplicitLimits& limits) {
+  ExplicitResult result;
+  BfsOutcome global = bfs(ts, assumed, /*gate_on_assumed=*/false, limits);
+  BfsOutcome local = bfs(ts, assumed, /*gate_on_assumed=*/true, limits);
+  result.global_fail_depth = std::move(global.fail_depth);
+  result.local_fail_depth = std::move(local.fail_depth);
+  result.reachable_states = global.visited;
+  result.locally_reachable_states = local.visited;
+  return result;
+}
+
+ExplicitResult explicit_check(const ts::TransitionSystem& ts,
+                              const ExplicitLimits& limits) {
+  std::vector<std::size_t> assumed;
+  for (std::size_t i = 0; i < ts.num_properties(); ++i) {
+    if (!ts.expected_to_fail(i)) assumed.push_back(i);
+  }
+  return explicit_check(ts, assumed, limits);
+}
+
+}  // namespace javer::ref

@@ -1,0 +1,71 @@
+#include "sat/dimacs.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace javer::sat {
+
+DimacsCnf read_dimacs(std::istream& in) {
+  DimacsCnf cnf;
+  std::string line;
+  bool have_header = false;
+  std::size_t expected_clauses = 0;
+  std::vector<Lit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      header >> p >> fmt >> cnf.num_vars >> expected_clauses;
+      if (fmt != "cnf" || cnf.num_vars < 0) {
+        throw std::runtime_error("dimacs: bad problem line: " + line);
+      }
+      have_header = true;
+      continue;
+    }
+    std::istringstream body(line);
+    long long v = 0;
+    while (body >> v) {
+      if (v == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        Var var = static_cast<Var>(std::llabs(v)) - 1;
+        if (var >= cnf.num_vars) {
+          throw std::runtime_error("dimacs: literal out of range: " + line);
+        }
+        current.push_back(Lit::make(var, v < 0));
+      }
+    }
+  }
+  if (!have_header) throw std::runtime_error("dimacs: missing p-line");
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: clause not terminated by 0");
+  }
+  return cnf;
+}
+
+DimacsCnf read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dimacs: cannot open " + path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const DimacsCnf& cnf) {
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (Lit l : clause) {
+      out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+void write_dimacs_file(const std::string& path, const DimacsCnf& cnf) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("dimacs: cannot open " + path);
+  write_dimacs(out, cnf);
+}
+
+}  // namespace javer::sat

@@ -1,0 +1,27 @@
+// DIMACS CNF reading/writing, for interop and for debugging SAT queries.
+#ifndef JAVER_SAT_DIMACS_H
+#define JAVER_SAT_DIMACS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace javer::sat {
+
+struct DimacsCnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+// Parses DIMACS CNF. Throws std::runtime_error on malformed input.
+DimacsCnf read_dimacs(std::istream& in);
+DimacsCnf read_dimacs_file(const std::string& path);
+
+void write_dimacs(std::ostream& out, const DimacsCnf& cnf);
+void write_dimacs_file(const std::string& path, const DimacsCnf& cnf);
+
+}  // namespace javer::sat
+
+#endif  // JAVER_SAT_DIMACS_H

@@ -1,0 +1,93 @@
+#include "sat/ref_dpll.h"
+
+namespace javer::sat {
+
+namespace {
+
+// Recursive DPLL over a value vector: 0 undef, 1 true, -1 false.
+bool dpll(const std::vector<std::vector<Lit>>& clauses,
+          std::vector<Value>& values) {
+  // Unit propagation to a fixed point.
+  bool changed = true;
+  std::vector<std::pair<Var, Value>> trail;
+  while (changed) {
+    changed = false;
+    for (const auto& clause : clauses) {
+      int num_unassigned = 0;
+      Lit unit = kUndefLit;
+      bool satisfied = false;
+      for (Lit l : clause) {
+        Value v = values[l.var()];
+        Value lv = l.sign() ? static_cast<Value>(-v) : v;
+        if (lv == kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (lv == kUndef) {
+          num_unassigned++;
+          unit = l;
+        }
+      }
+      if (satisfied) continue;
+      if (num_unassigned == 0) {
+        for (auto& [var, old] : trail) values[var] = old;
+        return false;  // conflict
+      }
+      if (num_unassigned == 1) {
+        trail.emplace_back(unit.var(), values[unit.var()]);
+        values[unit.var()] = unit.sign() ? kFalse : kTrue;
+        changed = true;
+      }
+    }
+  }
+
+  // Find an unassigned variable to branch on.
+  Var branch = kNoVar;
+  for (Var v = 0; v < static_cast<Var>(values.size()); ++v) {
+    if (values[v] == kUndef) {
+      branch = v;
+      break;
+    }
+  }
+  if (branch == kNoVar) return true;  // full model
+
+  for (Value choice : {kTrue, kFalse}) {
+    values[branch] = choice;
+    if (dpll(clauses, values)) return true;
+  }
+  values[branch] = kUndef;
+  for (auto& [var, old] : trail) values[var] = old;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<bool>> ref_dpll_solve(
+    int num_vars, const std::vector<std::vector<Lit>>& clauses) {
+  for (const auto& c : clauses) {
+    if (c.empty()) return std::nullopt;
+  }
+  std::vector<Value> values(num_vars, kUndef);
+  if (!dpll(clauses, values)) return std::nullopt;
+  std::vector<bool> model(num_vars);
+  for (Var v = 0; v < num_vars; ++v) model[v] = (values[v] == kTrue);
+  return model;
+}
+
+bool ref_check_model(const std::vector<std::vector<Lit>>& clauses,
+                     const std::vector<bool>& assignment) {
+  for (const auto& clause : clauses) {
+    bool satisfied = false;
+    for (Lit l : clause) {
+      bool v = assignment[l.var()];
+      if (l.sign() ? !v : v) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace javer::sat

@@ -1,0 +1,25 @@
+// A deliberately simple reference SAT solver (plain DPLL with unit
+// propagation, no learning). Exponential, only for cross-checking the CDCL
+// solver on small random formulas in tests.
+#ifndef JAVER_SAT_REF_DPLL_H
+#define JAVER_SAT_REF_DPLL_H
+
+#include <optional>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace javer::sat {
+
+// Returns a satisfying assignment (indexed by variable, true/false) or
+// nullopt when the formula is unsatisfiable.
+std::optional<std::vector<bool>> ref_dpll_solve(
+    int num_vars, const std::vector<std::vector<Lit>>& clauses);
+
+// Checks that `assignment` satisfies all clauses.
+bool ref_check_model(const std::vector<std::vector<Lit>>& clauses,
+                     const std::vector<bool>& assignment);
+
+}  // namespace javer::sat
+
+#endif  // JAVER_SAT_REF_DPLL_H

@@ -1,0 +1,621 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace javer::sat {
+
+namespace {
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kActivityRescale = 1e100;
+constexpr int kRestartBase = 100;
+
+// The Luby sequence (1,1,2,1,1,2,4,...) scaled by kRestartBase controls
+// restart intervals, as in MiniSat.
+double luby(double y, int x) {
+  int size = 1;
+  int seq = 0;
+  while (size < x + 1) {
+    seq++;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    seq--;
+    x = x % size;
+  }
+  return std::pow(y, seq);
+}
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoCref);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  polarity_.push_back(0);
+  seen_.push_back(0);
+  model_.push_back(kUndef);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::initializer_list<Lit> lits) {
+  return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Normalize: sort, drop duplicates and false literals, detect tautology
+  // and satisfied clauses against the level-0 assignment.
+  std::vector<Lit> ps(lits.begin(), lits.end());
+  std::sort(ps.begin(), ps.end());
+  std::vector<Lit> out;
+  out.reserve(ps.size());
+  Lit prev = kUndefLit;
+  for (Lit l : ps) {
+    assert(l.var() >= 0 && l.var() < num_vars());
+    if (value(l) == kTrue || l == ~prev) return true;  // satisfied/tautology
+    if (value(l) == kFalse || l == prev) continue;     // false or duplicate
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoCref);
+    ok_ = (propagate() == kNoCref);
+    return ok_;
+  }
+  CRef cr = alloc_clause(out, /*learnt=*/false);
+  attach_clause(cr);
+  num_problem_clauses_++;
+  return true;
+}
+
+Solver::CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
+  CRef cr;
+  if (!free_list_.empty()) {
+    cr = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    cr = static_cast<CRef>(clauses_.size());
+    clauses_.emplace_back();
+  }
+  Clause& c = clauses_[cr];
+  c.lits.assign(lits.begin(), lits.end());
+  c.activity = 0.0;
+  c.lbd = 0;
+  c.learnt = learnt;
+  c.deleted = false;
+  return cr;
+}
+
+void Solver::attach_clause(CRef cr) {
+  const Clause& c = clauses_[cr];
+  assert(c.lits.size() >= 2);
+  watches_[(~c.lits[0]).code()].push_back({cr, c.lits[1]});
+  watches_[(~c.lits[1]).code()].push_back({cr, c.lits[0]});
+}
+
+void Solver::detach_clause(CRef cr) {
+  const Clause& c = clauses_[cr];
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[(~c.lits[i]).code()];
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].cref == cr) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::remove_clause(CRef cr) {
+  Clause& c = clauses_[cr];
+  detach_clause(cr);
+  if (!c.learnt) num_problem_clauses_--;
+  c.deleted = true;
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+  free_list_.push_back(cr);
+}
+
+bool Solver::clause_satisfied(const Clause& c) const {
+  for (Lit l : c.lits) {
+    if (value(l) == kTrue) return true;
+  }
+  return false;
+}
+
+void Solver::enqueue(Lit l, CRef reason) {
+  assert(value(l) == kUndef);
+  Var v = l.var();
+  assign_[v] = l.sign() ? kFalse : kTrue;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::CRef Solver::propagate() {
+  CRef conflict = kNoCref;
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    stats_.propagations++;
+    auto& ws = watches_[p.code()];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      if (value(w.blocker) == kTrue) {  // clause already satisfied
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[w.cref];
+      // Make sure the false watched literal (~p) is at position 1.
+      Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      i++;
+
+      Lit first = c.lits[0];
+      if (first != w.blocker && value(first) == kTrue) {
+        ws[j++] = {w.cref, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code()].push_back({w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+
+      // Clause is unit or conflicting.
+      ws[j++] = {w.cref, first};
+      if (value(first) == kFalse) {
+        conflict = w.cref;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        enqueue(first, w.cref);
+      }
+    }
+    ws.resize(j);
+    if (conflict != kNoCref) break;
+  }
+  return conflict;
+}
+
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  // Count distinct decision levels; small LBD correlates with usefulness.
+  thread_local std::vector<std::uint8_t> seen_level;
+  seen_level.assign(trail_lim_.size() + 2, 0);
+  std::uint32_t lbd = 0;
+  for (Lit l : lits) {
+    int lev = level_[l.var()];
+    if (lev >= 0 && static_cast<std::size_t>(lev) < seen_level.size() &&
+        !seen_level[lev]) {
+      seen_level[lev] = 1;
+      lbd++;
+    }
+  }
+  return lbd;
+}
+
+void Solver::analyze(CRef conflict, std::vector<Lit>& out_learnt,
+                     int& out_level) {
+  int path_count = 0;
+  Lit p = kUndefLit;
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+  std::size_t index = trail_.size();
+
+  CRef confl = conflict;
+  do {
+    assert(confl != kNoCref);
+    Clause& c = clauses_[confl];
+    if (c.learnt) clause_bump(c);
+    std::size_t start = (p == kUndefLit) ? 0 : 1;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      Lit q = c.lits[k];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        var_bump(q.var());
+        seen_[q.var()] = 1;
+        if (level_[q.var()] >= decision_level()) {
+          path_count++;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal on the trail to resolve on.
+    while (!seen_[trail_[index - 1].var()]) index--;
+    index--;
+    p = trail_[index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    path_count--;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict clause minimization (recursive).
+  analyze_clear_.assign(out_learnt.begin(), out_learnt.end());
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    abstract_levels |= 1u << (level_[out_learnt[i].var()] & 31);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    Lit l = out_learnt[i];
+    if (reason_[l.var()] == kNoCref || !literal_redundant(l, abstract_levels)) {
+      out_learnt[keep++] = l;
+    }
+  }
+  out_learnt.resize(keep);
+
+  // Find the backtrack level: the second-highest level in the clause.
+  if (out_learnt.size() == 1) {
+    out_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level_[out_learnt[i].var()] > level_[out_learnt[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_level = level_[out_learnt[1].var()];
+  }
+
+  for (Lit l : analyze_clear_) seen_[l.var()] = 0;
+}
+
+bool Solver::literal_redundant(Lit lit, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(lit);
+  std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    Lit l = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason_[l.var()] != kNoCref);
+    const Clause& c = clauses_[reason_[l.var()]];
+    for (std::size_t k = 1; k < c.lits.size(); ++k) {
+      Lit q = c.lits[k];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        bool in_levels =
+            (abstract_levels & (1u << (level_[q.var()] & 31))) != 0;
+        if (reason_[q.var()] != kNoCref && in_levels) {
+          seen_[q.var()] = 1;
+          analyze_stack_.push_back(q);
+          analyze_clear_.push_back(q);
+        } else {
+          for (std::size_t j = top; j < analyze_clear_.size(); ++j) {
+            seen_[analyze_clear_[j].var()] = 0;
+          }
+          analyze_clear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p) {
+  // p is a failed assumption. Collect the subset of assumptions that forced
+  // ~p, walking the implication graph back from the end of the trail.
+  conflict_core_.clear();
+  conflict_core_.push_back(p);
+  if (decision_level() == 0) return;
+
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size(); i > static_cast<std::size_t>(trail_lim_[0]);) {
+    --i;
+    Var x = trail_[i].var();
+    if (!seen_[x]) continue;
+    if (reason_[x] == kNoCref) {
+      assert(level_[x] > 0);
+      conflict_core_.push_back(trail_[i]);  // an assumption literal
+    } else {
+      const Clause& c = clauses_[reason_[x]];
+      for (std::size_t k = 1; k < c.lits.size(); ++k) {
+        if (level_[c.lits[k].var()] > 0) seen_[c.lits[k].var()] = 1;
+      }
+    }
+    seen_[x] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  for (std::size_t i = trail_.size();
+       i > static_cast<std::size_t>(trail_lim_[level]);) {
+    --i;
+    Var v = trail_[i].var();
+    polarity_[v] = (assign_[v] == kTrue) ? 1 : 0;  // phase saving
+    assign_[v] = kUndef;
+    reason_[v] = kNoCref;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(trail_lim_[level]);
+  trail_lim_.resize(level);
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_empty()) {
+    Var v = heap_pop();
+    if (value(v) == kUndef) {
+      return Lit::make(v, /*negated=*/polarity_[v] == 0);
+    }
+  }
+  return kUndefLit;
+}
+
+// --- activity heap -------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::heap_update(Var v) {
+  if (heap_pos_[v] >= 0) heap_sift_up(heap_pos_[v]);
+}
+
+Var Solver::heap_pop() {
+  Var top = heap_[0];
+  heap_pos_[top] = -1;
+  Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[last] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(int pos) {
+  Var v = heap_[pos];
+  while (pos > 0) {
+    int parent = (pos - 1) >> 1;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos]] = pos;
+    pos = parent;
+  }
+  heap_[pos] = v;
+  heap_pos_[v] = pos;
+}
+
+void Solver::heap_sift_down(int pos) {
+  Var v = heap_[pos];
+  int size = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      child++;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[pos] = heap_[child];
+    heap_pos_[heap_[pos]] = pos;
+    pos = child;
+  }
+  heap_[pos] = v;
+  heap_pos_[v] = pos;
+}
+
+void Solver::var_bump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kActivityRescale) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  heap_update(v);
+}
+
+void Solver::var_decay() { var_inc_ /= kVarDecay; }
+
+void Solver::clause_bump(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (CRef cr : learnts_) {
+      if (!clauses_[cr].deleted) clauses_[cr].activity *= 1e-20;
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+// --- learned clause management -------------------------------------------
+
+void Solver::reduce_learned() {
+  // Keep clauses that are reasons, binary, or glue (LBD <= 2); delete the
+  // least active half of the rest.
+  std::vector<CRef> cands;
+  for (CRef cr : learnts_) {
+    Clause& c = clauses_[cr];
+    if (c.deleted) continue;
+    bool locked = !c.lits.empty() && reason_[c.lits[0].var()] == cr &&
+                  value(c.lits[0]) == kTrue;
+    if (locked || c.lits.size() <= 2 || c.lbd <= 2) continue;
+    cands.push_back(cr);
+  }
+  std::sort(cands.begin(), cands.end(), [this](CRef a, CRef b) {
+    const Clause& ca = clauses_[a];
+    const Clause& cb = clauses_[b];
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    return ca.activity < cb.activity;
+  });
+  std::size_t to_delete = cands.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    remove_clause(cands[i]);
+    stats_.learned_deleted++;
+  }
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                [this](CRef cr) {
+                                  return clauses_[cr].deleted;
+                                }),
+                 learnts_.end());
+}
+
+void Solver::simplify_level0() {
+  assert(decision_level() == 0);
+  // Level-0 assignments are facts; their reasons are never inspected again.
+  for (Lit l : trail_) reason_[l.var()] = kNoCref;
+  for (CRef cr = 0; cr < static_cast<CRef>(clauses_.size()); ++cr) {
+    Clause& c = clauses_[cr];
+    if (c.deleted || c.lits.empty()) continue;
+    if (clause_satisfied(c)) remove_clause(cr);
+  }
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                [this](CRef cr) {
+                                  return clauses_[cr].deleted;
+                                }),
+                 learnts_.end());
+}
+
+// --- top-level search -----------------------------------------------------
+
+SolveResult Solver::solve(std::initializer_list<Lit> assumptions) {
+  return solve(std::span<const Lit>(assumptions.begin(), assumptions.size()));
+}
+
+SolveResult Solver::solve(std::span<const Lit> assumptions) {
+  stats_.solves++;
+  conflict_core_.clear();
+  if (!ok_) return SolveResult::Unsat;
+  // Respect an already-expired deadline even for trivial queries that
+  // would never reach the in-search budget checks.
+  if (deadline_ != nullptr && deadline_->expired()) {
+    return SolveResult::Undecided;
+  }
+
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  conflicts_at_solve_start_ = stats_.conflicts;
+
+  max_learnts_ = std::max<std::size_t>(num_problem_clauses_ / 3, 2000);
+
+  SolveResult result = SolveResult::Undecided;
+  int restart_count = 0;
+  while (result == SolveResult::Undecided) {
+    double budget = luby(2.0, restart_count++) * kRestartBase;
+    result = search(static_cast<std::int64_t>(budget));
+    if (result == SolveResult::Undecided) {
+      // Check budgets between restarts as well.
+      if (deadline_ != nullptr && deadline_->expired()) break;
+      if (conflict_budget_ > 0 &&
+          stats_.conflicts - conflicts_at_solve_start_ >= conflict_budget_) {
+        break;
+      }
+    }
+  }
+
+  if (result == SolveResult::Sat) {
+    model_ = assign_;
+  }
+  cancel_until(0);
+  return result;
+}
+
+SolveResult Solver::search(std::int64_t conflicts_before_restart) {
+  std::int64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    CRef conflict = propagate();
+    if (conflict != kNoCref) {
+      stats_.conflicts++;
+      conflicts_here++;
+      if (decision_level() == 0) return SolveResult::Unsat;
+
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoCref);
+      } else {
+        CRef cr = alloc_clause(learnt, /*learnt=*/true);
+        Clause& c = clauses_[cr];
+        c.lbd = compute_lbd(learnt);
+        attach_clause(cr);
+        learnts_.push_back(cr);
+        clause_bump(c);
+        enqueue(learnt[0], cr);
+      }
+      var_decay();
+      cla_inc_ /= kClauseDecay;
+
+      if ((stats_.conflicts & 1023) == 0) {
+        if (deadline_ != nullptr && deadline_->expired()) {
+          cancel_until(0);
+          return SolveResult::Undecided;
+        }
+      }
+      if (conflict_budget_ > 0 &&
+          stats_.conflicts - conflicts_at_solve_start_ >= conflict_budget_) {
+        cancel_until(0);
+        return SolveResult::Undecided;
+      }
+    } else {
+      if (conflicts_here >= conflicts_before_restart) {
+        stats_.restarts++;
+        cancel_until(0);
+        return SolveResult::Undecided;
+      }
+      if (decision_level() == 0) simplify_level0();
+      if (learnts_.size() >= max_learnts_ + trail_.size()) {
+        reduce_learned();
+        max_learnts_ = max_learnts_ + max_learnts_ / 10;
+      }
+
+      Lit next = kUndefLit;
+      while (decision_level() < static_cast<int>(assumptions_.size())) {
+        Lit a = assumptions_[decision_level()];
+        if (value(a) == kTrue) {
+          trail_lim_.push_back(static_cast<int>(trail_.size()));
+        } else if (value(a) == kFalse) {
+          analyze_final(a);
+          return SolveResult::Unsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == kUndefLit) {
+        stats_.decisions++;
+        next = pick_branch_lit();
+        if (next == kUndefLit) return SolveResult::Sat;  // all assigned
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(next, kNoCref);
+    }
+  }
+}
+
+}  // namespace javer::sat

@@ -1,0 +1,173 @@
+// A from-scratch CDCL SAT solver in the MiniSat lineage.
+//
+// Features: two-watched-literal propagation with blockers, EVSIDS decision
+// heuristic, phase saving, Luby restarts, first-UIP conflict analysis with
+// recursive clause minimization, LBD-based learned-clause reduction,
+// incremental solving under assumptions, and final-conflict (assumption
+// core) extraction. This is the backend for BMC and IC3; IC3 additionally
+// relies on assumption cores for inductive generalization and state lifting.
+#ifndef JAVER_SAT_SOLVER_H
+#define JAVER_SAT_SOLVER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/timer.h"
+#include "sat/types.h"
+
+namespace javer::sat {
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_deleted = 0;
+  std::uint64_t solves = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  // Creates a fresh variable and returns it. Variables are dense ints.
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  // Adds a clause over existing variables. Returns false if the formula
+  // became trivially unsatisfiable (empty clause at level 0).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits);
+  bool add_unit(Lit l) { return add_clause({l}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  // Solves under the given assumptions. Undecided is returned only when a
+  // budget (deadline or conflict limit) expires.
+  SolveResult solve(std::span<const Lit> assumptions = {});
+  SolveResult solve(std::initializer_list<Lit> assumptions);
+
+  // After Sat: value of a variable / literal in the model.
+  Value model_value(Var v) const { return model_[v]; }
+  Value model_value(Lit l) const {
+    Value v = model_[l.var()];
+    return l.sign() ? static_cast<Value>(-v) : v;
+  }
+
+  // After Unsat under assumptions: a subset of the assumptions that is
+  // already inconsistent with the clauses (the "final conflict" core).
+  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+
+  // True while the clause set is still possibly satisfiable at level 0.
+  bool ok() const { return ok_; }
+
+  // Resource budgets. A null deadline / zero conflict budget disables the
+  // respective limit.
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+  void set_conflict_budget(std::uint64_t max_conflicts) {
+    conflict_budget_ = max_conflicts;
+  }
+
+  // Prefer this polarity when branching on v (phase saving overrides later).
+  void set_polarity(Var v, bool positive) { polarity_[v] = positive ? 1 : 0; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  // Number of problem (non-learned) clauses currently alive.
+  std::size_t num_problem_clauses() const { return num_problem_clauses_; }
+
+ private:
+  using CRef = std::int32_t;
+  static constexpr CRef kNoCref = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    std::uint32_t lbd = 0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // --- clause management ---
+  CRef alloc_clause(std::span<const Lit> lits, bool learnt);
+  void attach_clause(CRef cr);
+  void detach_clause(CRef cr);
+  void remove_clause(CRef cr);
+  bool clause_satisfied(const Clause& c) const;
+  void reduce_learned();
+  void simplify_level0();
+
+  // --- search ---
+  SolveResult search(std::int64_t conflicts_before_restart);
+  CRef propagate();
+  void analyze(CRef conflict, std::vector<Lit>& out_learnt, int& out_level);
+  bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  void analyze_final(Lit p);
+  Lit pick_branch_lit();
+  void enqueue(Lit l, CRef reason);
+  void cancel_until(int level);
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+
+  Value value(Lit l) const {
+    Value v = assign_[l.var()];
+    return l.sign() ? static_cast<Value>(-v) : v;
+  }
+  Value value(Var v) const { return assign_[v]; }
+
+  // --- heuristics ---
+  void var_bump(Var v);
+  void var_decay();
+  void clause_bump(Clause& c);
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(int pos);
+  void heap_sift_down(int pos);
+
+  // --- data ---
+  std::vector<Clause> clauses_;          // slab; CRef indexes into it
+  std::vector<CRef> free_list_;          // recycled slots
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
+  std::vector<CRef> learnts_;
+
+  std::vector<Value> assign_;
+  std::vector<int> level_;
+  std::vector<CRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  std::vector<int> heap_pos_;  // -1 when not in heap
+  std::vector<Var> heap_;
+  std::vector<std::uint8_t> polarity_;
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_core_;
+  std::vector<Value> model_;
+
+  bool ok_ = true;
+  std::size_t num_problem_clauses_ = 0;
+  std::size_t max_learnts_ = 4000;
+  const Deadline* deadline_ = nullptr;
+  std::uint64_t conflict_budget_ = 0;
+  std::uint64_t conflicts_at_solve_start_ = 0;
+  SolverStats stats_;
+};
+
+}  // namespace javer::sat
+
+#endif  // JAVER_SAT_SOLVER_H

@@ -1,0 +1,63 @@
+// Basic SAT types: variables, literals, clause references.
+#ifndef JAVER_SAT_TYPES_H
+#define JAVER_SAT_TYPES_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace javer::sat {
+
+using Var = std::int32_t;
+constexpr Var kNoVar = -1;
+
+// A literal is a variable with a sign, packed as 2*var+sign.
+// sign()==true means the literal is the negation of the variable.
+class Lit {
+ public:
+  constexpr Lit() : code_(-2) {}
+
+  static constexpr Lit make(Var v, bool negated = false) {
+    return Lit(2 * v + (negated ? 1 : 0));
+  }
+  static constexpr Lit from_code(std::int32_t code) { return Lit(code); }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool sign() const { return (code_ & 1) != 0; }
+  constexpr std::int32_t code() const { return code_; }
+
+  constexpr Lit operator~() const { return Lit(code_ ^ 1); }
+  // Flip the literal when `flip` is true.
+  constexpr Lit operator^(bool flip) const {
+    return Lit(code_ ^ (flip ? 1 : 0));
+  }
+
+  constexpr bool operator==(const Lit& o) const { return code_ == o.code_; }
+  constexpr bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  constexpr bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  explicit constexpr Lit(std::int32_t code) : code_(code) {}
+  std::int32_t code_;
+};
+
+constexpr Lit kUndefLit{};
+
+// Three-valued assignment: +1 true, -1 false, 0 unassigned.
+using Value = std::int8_t;
+constexpr Value kTrue = 1;
+constexpr Value kFalse = -1;
+constexpr Value kUndef = 0;
+
+enum class SolveResult : std::uint8_t { Sat, Unsat, Undecided };
+
+}  // namespace javer::sat
+
+template <>
+struct std::hash<javer::sat::Lit> {
+  std::size_t operator()(const javer::sat::Lit& l) const noexcept {
+    return std::hash<std::int32_t>()(l.code());
+  }
+};
+
+#endif  // JAVER_SAT_TYPES_H

@@ -1,0 +1,65 @@
+#include "ts/trace.h"
+
+#include "aig/sim.h"
+
+namespace javer::ts {
+
+TraceAnalysis analyze_trace(const TransitionSystem& ts, const Trace& trace) {
+  TraceAnalysis result;
+  result.first_failure.assign(ts.num_properties(), -1);
+  if (trace.steps.empty()) return result;
+
+  const aig::Aig& aig = ts.aig();
+  result.starts_initial = aig::is_initial_state(aig, trace.steps[0].state);
+  result.transitions_valid = true;
+  result.constraints_ok = true;
+
+  aig::Simulator sim(aig);
+  for (std::size_t t = 0; t < trace.steps.size(); ++t) {
+    const Step& step = trace.steps[t];
+    sim.eval(step.state, step.inputs);
+    for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+      if (result.first_failure[p] < 0 && !sim.value(ts.property_lit(p))) {
+        result.first_failure[p] = static_cast<int>(t);
+      }
+    }
+    for (aig::Lit c : ts.design_constraints()) {
+      if (!sim.value(c)) result.constraints_ok = false;
+    }
+    if (t + 1 < trace.steps.size()) {
+      if (sim.next_state() != trace.steps[t + 1].state) {
+        result.transitions_valid = false;
+      }
+    }
+  }
+  return result;
+}
+
+bool is_global_cex(const TransitionSystem& ts, const Trace& trace,
+                   std::size_t prop) {
+  if (trace.steps.empty()) return false;
+  TraceAnalysis a = analyze_trace(ts, trace);
+  int final_step = static_cast<int>(trace.steps.size()) - 1;
+  return a.starts_initial && a.transitions_valid && a.constraints_ok &&
+         a.first_failure[prop] == final_step;
+}
+
+bool is_local_cex(const TransitionSystem& ts, const Trace& trace,
+                  std::size_t prop, const std::vector<std::size_t>& assumed) {
+  if (trace.steps.empty()) return false;
+  TraceAnalysis a = analyze_trace(ts, trace);
+  int final_step = static_cast<int>(trace.steps.size()) - 1;
+  if (!(a.starts_initial && a.transitions_valid && a.constraints_ok &&
+        a.first_failure[prop] == final_step)) {
+    return false;
+  }
+  // No assumed property may fail strictly before the final step.
+  for (std::size_t j : assumed) {
+    if (j == prop) continue;
+    int f = a.first_failure[j];
+    if (f >= 0 && f < final_step) return false;
+  }
+  return true;
+}
+
+}  // namespace javer::ts

@@ -1,0 +1,53 @@
+// Traces (initialized sequences of states with inputs) and counterexample
+// validation, including the paper's "fails first" analysis used to decide
+// whether a CEX is a valid *local* counterexample (Sections 3, 4, 7-A).
+#ifndef JAVER_TS_TRACE_H
+#define JAVER_TS_TRACE_H
+
+#include <vector>
+
+#include "ts/transition_system.h"
+
+namespace javer::ts {
+
+// steps[t] holds the state at time t and the input applied at time t.
+// The final step's input matters because properties may depend on inputs.
+struct Step {
+  std::vector<bool> state;
+  std::vector<bool> inputs;
+};
+
+struct Trace {
+  std::vector<Step> steps;
+
+  std::size_t length() const { return steps.empty() ? 0 : steps.size() - 1; }
+};
+
+struct TraceAnalysis {
+  bool starts_initial = false;
+  bool transitions_valid = false;
+  bool constraints_ok = false;  // design constraints hold at every step
+  // first_failure[i]: first time frame where property i evaluates false,
+  // or -1 if it holds on the whole trace.
+  std::vector<int> first_failure;
+};
+
+// Simulates the trace and reports validity plus per-property first-failure
+// frames.
+TraceAnalysis analyze_trace(const TransitionSystem& ts, const Trace& trace);
+
+// True if the trace is a *global* CEX for property `prop`: initialized,
+// transition-valid, design constraints hold, property fails at the final
+// step and (per the paper's CEX definition) at no earlier step.
+bool is_global_cex(const TransitionSystem& ts, const Trace& trace,
+                   std::size_t prop);
+
+// True if the trace is a *local* CEX for `prop` under the assumption set
+// `assumed` (indices of properties assumed to hold): additionally, no
+// assumed property fails strictly before the final step.
+bool is_local_cex(const TransitionSystem& ts, const Trace& trace,
+                  std::size_t prop, const std::vector<std::size_t>& assumed);
+
+}  // namespace javer::ts
+
+#endif  // JAVER_TS_TRACE_H

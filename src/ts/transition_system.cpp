@@ -1,0 +1,62 @@
+#include "ts/transition_system.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "aig/sim.h"
+
+namespace javer::ts {
+
+void sort_cube(Cube& c) { std::sort(c.begin(), c.end()); }
+
+bool cube_subsumes(const Cube& a, const Cube& b) {
+  // Both sorted. a ⊆ b as literal sets.
+  if (a.size() > b.size()) return false;
+  std::size_t j = 0;
+  for (const StateLit& la : a) {
+    while (j < b.size() && b[j].latch < la.latch) j++;
+    if (j >= b.size() || b[j].latch != la.latch || b[j].value != la.value) {
+      return false;
+    }
+    j++;
+  }
+  return true;
+}
+
+bool cube_contains_state(const Cube& c, const std::vector<bool>& state) {
+  for (const StateLit& l : c) {
+    if (state[l.latch] != l.value) return false;
+  }
+  return true;
+}
+
+std::string cube_to_string(const Cube& c) {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << (c[i].value ? "" : "!") << 'l' << c[i].latch;
+  }
+  out << '}';
+  return out.str();
+}
+
+TransitionSystem::TransitionSystem(const aig::Aig& aig) : aig_(&aig) {
+  aig.check_well_formed();
+}
+
+bool TransitionSystem::cube_disjoint_from_init(const Cube& c) const {
+  for (const StateLit& l : c) {
+    Ternary reset = aig_->latches()[l.latch].reset;
+    if (reset == Ternary::X) continue;
+    bool reset_value = (reset == Ternary::True);
+    if (l.value != reset_value) return true;  // literal contradicts init
+  }
+  return false;
+}
+
+std::vector<bool> TransitionSystem::initial_state() const {
+  return aig::initial_state(*aig_, /*x_fill=*/false);
+}
+
+}  // namespace javer::ts

@@ -1,0 +1,81 @@
+// TransitionSystem: the (I, T) view of an AIG design with k safety
+// properties, following the paper's formulation. Also defines the Cube
+// type over latches shared by IC3 and the multi-property layer.
+#ifndef JAVER_TS_TRANSITION_SYSTEM_H
+#define JAVER_TS_TRANSITION_SYSTEM_H
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace javer::ts {
+
+// One literal over the state (latch) vector: latch index and its value.
+struct StateLit {
+  int latch = 0;
+  bool value = false;
+
+  bool operator==(const StateLit&) const = default;
+  // Order by latch index so cubes have a canonical form.
+  bool operator<(const StateLit& o) const {
+    return latch != o.latch ? latch < o.latch : value < o.value;
+  }
+};
+
+// A conjunction of state literals (kept sorted by latch index).
+using Cube = std::vector<StateLit>;
+
+void sort_cube(Cube& c);
+// True if `a`'s literals are a subset of `b`'s (a subsumes b as a cube
+// constraint set: every state in b is in a ... note: fewer literals =
+// larger cube; subsumption for blocking uses: a subsumes b iff a ⊆ b).
+bool cube_subsumes(const Cube& a, const Cube& b);
+bool cube_contains_state(const Cube& c, const std::vector<bool>& state);
+std::string cube_to_string(const Cube& c);
+
+class TransitionSystem {
+ public:
+  // Holds a reference; the Aig must outlive the TransitionSystem. The
+  // rvalue overload is deleted to reject temporaries at compile time.
+  explicit TransitionSystem(const aig::Aig& aig);
+  explicit TransitionSystem(aig::Aig&&) = delete;
+
+  const aig::Aig& aig() const { return *aig_; }
+
+  std::size_t num_latches() const { return aig_->num_latches(); }
+  std::size_t num_inputs() const { return aig_->num_inputs(); }
+  std::size_t num_properties() const { return aig_->num_properties(); }
+
+  // The AIG literal that is true when property i holds in a step.
+  aig::Lit property_lit(std::size_t i) const {
+    return aig_->properties()[i].lit;
+  }
+  const std::string& property_name(std::size_t i) const {
+    return aig_->properties()[i].name;
+  }
+  bool expected_to_fail(std::size_t i) const {
+    return aig_->properties()[i].expected_to_fail;
+  }
+
+  // Design-level invariant constraints (AIGER C section). These must hold
+  // on every step of any trace, including the final one.
+  const std::vector<aig::Lit>& design_constraints() const {
+    return aig_->constraints();
+  }
+
+  // True if the cube excludes the initial states for syntactic reasons:
+  // some literal contradicts a latch reset value. (Latches with X reset
+  // can never provide the contradiction.)
+  bool cube_disjoint_from_init(const Cube& c) const;
+
+  // The canonical initial state (X resets filled with 0).
+  std::vector<bool> initial_state() const;
+
+ private:
+  const aig::Aig* aig_;
+};
+
+}  // namespace javer::ts
+
+#endif  // JAVER_TS_TRANSITION_SYSTEM_H

@@ -1,0 +1,80 @@
+#include "ts/witness.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "aig/sim.h"
+
+namespace javer::ts {
+
+void write_witness(std::ostream& out, const TransitionSystem& ts,
+                   const Trace& trace, std::size_t prop) {
+  (void)ts;  // part of the interface for symmetry with read_witness
+  out << "1\n";
+  out << 'b' << prop << '\n';
+  if (trace.steps.empty()) {
+    out << ".\n";
+    return;
+  }
+  for (bool bit : trace.steps[0].state) out << (bit ? '1' : '0');
+  out << '\n';
+  for (const Step& step : trace.steps) {
+    for (bool bit : step.inputs) out << (bit ? '1' : '0');
+    out << '\n';
+  }
+  out << ".\n";
+}
+
+std::string witness_to_string(const TransitionSystem& ts, const Trace& trace,
+                              std::size_t prop) {
+  std::ostringstream out;
+  write_witness(out, ts, trace, prop);
+  return out.str();
+}
+
+Trace read_witness(std::istream& in, const TransitionSystem& ts,
+                   std::size_t* prop_out) {
+  std::string line;
+  if (!std::getline(in, line) || line != "1") {
+    throw std::runtime_error("witness: expected '1' status line");
+  }
+  if (!std::getline(in, line) || line.empty() || line[0] != 'b') {
+    throw std::runtime_error("witness: expected property line 'b<i>'");
+  }
+  std::size_t prop = std::stoul(line.substr(1));
+  if (prop >= ts.num_properties()) {
+    throw std::runtime_error("witness: property index out of range");
+  }
+  if (prop_out != nullptr) *prop_out = prop;
+
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("witness: missing initial state");
+  }
+  Trace trace;
+  if (line == ".") return trace;  // length-0 trace with no steps
+  if (line.size() != ts.num_latches()) {
+    throw std::runtime_error("witness: initial state width mismatch");
+  }
+  std::vector<bool> state(ts.num_latches());
+  for (std::size_t i = 0; i < state.size(); ++i) state[i] = (line[i] == '1');
+
+  aig::Simulator sim(ts.aig());
+  while (std::getline(in, line)) {
+    if (line == ".") break;
+    if (line.size() != ts.num_inputs()) {
+      throw std::runtime_error("witness: input vector width mismatch");
+    }
+    std::vector<bool> inputs(ts.num_inputs());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      inputs[i] = (line[i] == '1');
+    }
+    trace.steps.push_back(Step{state, inputs});
+    sim.eval(state, inputs);
+    state = sim.next_state();
+  }
+  return trace;
+}
+
+}  // namespace javer::ts

@@ -1,0 +1,32 @@
+// HWMCC/AIGER witness format output for counterexample traces, so that
+// counterexamples can be checked with external tools (aigsim-style):
+//   line 1: "1"              (SAT / property violated)
+//   line 2: "b<i>"           (index of the violated bad property)
+//   line 3: initial latch values (one char per latch: 0/1)
+//   then one line of input values per step, terminated by ".".
+#ifndef JAVER_TS_WITNESS_H
+#define JAVER_TS_WITNESS_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ts/trace.h"
+
+namespace javer::ts {
+
+// Writes the trace as an AIGER witness for property `prop`.
+void write_witness(std::ostream& out, const TransitionSystem& ts,
+                   const Trace& trace, std::size_t prop);
+
+std::string witness_to_string(const TransitionSystem& ts, const Trace& trace,
+                              std::size_t prop);
+
+// Parses a witness back into a trace (states reconstructed by simulation).
+// Throws std::runtime_error on malformed input or when the witness does
+// not fit the design.
+Trace read_witness(std::istream& in, const TransitionSystem& ts,
+                   std::size_t* prop_out = nullptr);
+
+}  // namespace javer::ts
+
+#endif  // JAVER_TS_WITNESS_H

@@ -1,0 +1,146 @@
+// AIG structure tests: literals, strashing, constant folding, cones,
+// well-formedness checks.
+#include <gtest/gtest.h>
+
+#include "aig/aig.h"
+
+namespace javer::aig {
+namespace {
+
+TEST(AigLit, Encoding) {
+  Lit t = Lit::true_lit();
+  Lit f = Lit::false_lit();
+  EXPECT_EQ(~t, f);
+  EXPECT_EQ(t.var(), 0u);
+  EXPECT_TRUE(t.is_constant());
+  Lit a = Lit::make(5, true);
+  EXPECT_EQ(a.var(), 5u);
+  EXPECT_TRUE(a.complemented());
+  EXPECT_EQ((~a).code(), a.code() ^ 1u);
+  EXPECT_EQ(a ^ true, ~a);
+  EXPECT_EQ(a ^ false, a);
+}
+
+TEST(Aig, EmptyHasConstantOnly) {
+  Aig aig;
+  EXPECT_EQ(aig.num_nodes(), 1u);
+  EXPECT_EQ(aig.num_inputs(), 0u);
+  EXPECT_EQ(aig.num_latches(), 0u);
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, AddInputAndLatch) {
+  Aig aig;
+  Lit in = aig.add_input("clk_en");
+  Lit l = aig.add_latch(Ternary::True, "state");
+  EXPECT_TRUE(aig.is_input(in.var()));
+  EXPECT_TRUE(aig.is_latch(l.var()));
+  EXPECT_EQ(aig.input_index(in.var()), 0);
+  EXPECT_EQ(aig.latch_index(l.var()), 0);
+  EXPECT_EQ(aig.input_index(l.var()), -1);
+  EXPECT_EQ(aig.latch_index(in.var()), -1);
+  EXPECT_EQ(aig.name_of(in.var()), "clk_en");
+  EXPECT_EQ(aig.latches()[0].reset, Ternary::True);
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig aig;
+  Lit a = aig.add_input();
+  EXPECT_EQ(aig.add_and(a, Lit::false_lit()), Lit::false_lit());
+  EXPECT_EQ(aig.add_and(Lit::false_lit(), a), Lit::false_lit());
+  EXPECT_EQ(aig.add_and(a, Lit::true_lit()), a);
+  EXPECT_EQ(aig.add_and(Lit::true_lit(), a), a);
+  EXPECT_EQ(aig.add_and(a, a), a);
+  EXPECT_EQ(aig.add_and(a, ~a), Lit::false_lit());
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig aig;
+  Lit a = aig.add_input();
+  Lit b = aig.add_input();
+  Lit g1 = aig.add_and(a, b);
+  Lit g2 = aig.add_and(b, a);  // commuted: same node
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(aig.num_ands(), 1u);
+  Lit g3 = aig.add_and(~a, b);  // different polarity: new node
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(aig.num_ands(), 2u);
+}
+
+TEST(Aig, LatchNextAndProperties) {
+  Aig aig;
+  Lit in = aig.add_input();
+  Lit l = aig.add_latch();
+  Lit g = aig.add_and(in, l);
+  aig.set_latch_next(l, ~g);
+  EXPECT_EQ(aig.latches()[0].next, ~g);
+  std::size_t p = aig.add_property(~g, "safe", /*expected_to_fail=*/true);
+  EXPECT_EQ(p, 0u);
+  EXPECT_EQ(aig.properties()[0].name, "safe");
+  EXPECT_TRUE(aig.properties()[0].expected_to_fail);
+  aig.add_constraint(in);
+  aig.add_output(g, "out");
+  EXPECT_EQ(aig.constraints().size(), 1u);
+  EXPECT_EQ(aig.outputs().size(), 1u);
+  EXPECT_NO_THROW(aig.check_well_formed());
+}
+
+TEST(Aig, SetNextRejectsNonLatch) {
+  Aig aig;
+  Lit in = aig.add_input();
+  EXPECT_THROW(aig.set_latch_next(in, in), std::invalid_argument);
+  Lit l = aig.add_latch();
+  EXPECT_THROW(aig.set_latch_next(~l, in), std::invalid_argument);
+}
+
+TEST(Aig, ConeOfInfluenceCombinational) {
+  Aig aig;
+  Lit a = aig.add_input();
+  Lit b = aig.add_input();
+  Lit c = aig.add_input();
+  Lit ab = aig.add_and(a, b);
+  Lit abc = aig.add_and(ab, c);
+  (void)abc;
+  auto cone = aig.cone_of_influence({ab}, /*through_latches=*/false);
+  EXPECT_TRUE(cone[a.var()]);
+  EXPECT_TRUE(cone[b.var()]);
+  EXPECT_FALSE(cone[c.var()]);
+}
+
+TEST(Aig, ConeOfInfluenceThroughLatches) {
+  Aig aig;
+  Lit in = aig.add_input();
+  Lit l1 = aig.add_latch();
+  Lit l2 = aig.add_latch();
+  aig.set_latch_next(l1, l2);
+  aig.set_latch_next(l2, in);
+  auto cone = aig.cone_of_influence({l1}, /*through_latches=*/true);
+  EXPECT_TRUE(cone[l1.var()]);
+  EXPECT_TRUE(cone[l2.var()]);
+  EXPECT_TRUE(cone[in.var()]);
+  auto shallow = aig.cone_of_influence({l1}, /*through_latches=*/false);
+  EXPECT_TRUE(shallow[l1.var()]);
+  EXPECT_FALSE(shallow[l2.var()]);
+}
+
+TEST(Aig, CopyIsIndependent) {
+  Aig aig;
+  Lit a = aig.add_input();
+  Lit l = aig.add_latch();
+  aig.set_latch_next(l, a);
+  aig.add_property(l, "p");
+  Aig copy = aig;
+  copy.add_property(a, "q");
+  EXPECT_EQ(aig.num_properties(), 1u);
+  EXPECT_EQ(copy.num_properties(), 2u);
+  // Strash maps must be independent: adding to the copy does not disturb
+  // the original.
+  Lit g = copy.add_and(a, l);
+  EXPECT_EQ(copy.num_ands(), 1u);
+  EXPECT_EQ(aig.num_ands(), 0u);
+  (void)g;
+}
+
+}  // namespace
+}  // namespace javer::aig

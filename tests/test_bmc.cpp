@@ -1,0 +1,212 @@
+// BMC engine tests: CEX depths and traces cross-checked against the
+// explicit-state reference, global and local ("just assume") modes.
+#include <gtest/gtest.h>
+
+#include "aig/builder.h"
+#include "bmc/bmc.h"
+#include "gen/counter.h"
+#include "gen/random_design.h"
+#include "ref/explicit_checker.h"
+
+namespace javer::bmc {
+namespace {
+
+TEST(Bmc, ToggleFailsAtDepthOne) {
+  aig::Aig aig;
+  aig::Lit l = aig.add_latch(Ternary::False);
+  aig.set_latch_next(l, ~l);
+  aig.add_property(~l, "never_one");
+  ts::TransitionSystem ts(aig);
+  Bmc bmc(ts);
+  BmcResult r = bmc.run({0});
+  ASSERT_EQ(r.status, CheckStatus::Fails);
+  EXPECT_EQ(r.depth, 1);
+  EXPECT_TRUE(ts::is_global_cex(ts, r.cex, 0));
+}
+
+TEST(Bmc, DepthZeroViolation) {
+  aig::Aig aig;
+  aig::Lit in = aig.add_input();
+  aig::Lit l = aig.add_latch(Ternary::True);
+  aig.set_latch_next(l, l);
+  aig.add_property(~l, "latch_is_zero");  // fails at reset
+  aig.add_property(in, "input_one");      // fails with input 0
+  ts::TransitionSystem ts(aig);
+  {
+    Bmc bmc(ts);
+    BmcResult r = bmc.run({0});
+    ASSERT_EQ(r.status, CheckStatus::Fails);
+    EXPECT_EQ(r.depth, 0);
+    EXPECT_TRUE(ts::is_global_cex(ts, r.cex, 0));
+  }
+  {
+    Bmc bmc(ts);
+    BmcResult r = bmc.run({1});
+    ASSERT_EQ(r.status, CheckStatus::Fails);
+    EXPECT_EQ(r.depth, 0);
+    EXPECT_TRUE(ts::is_global_cex(ts, r.cex, 1));
+  }
+}
+
+TEST(Bmc, TruePropertyHitsMaxDepth) {
+  aig::Aig aig;
+  aig::Lit l = aig.add_latch(Ternary::False);
+  aig.set_latch_next(l, l);
+  aig.add_property(~l, "stays_zero");
+  ts::TransitionSystem ts(aig);
+  Bmc bmc(ts);
+  BmcOptions opts;
+  opts.max_depth = 20;
+  BmcResult r = bmc.run({0}, opts);
+  EXPECT_EQ(r.status, CheckStatus::Unknown);
+  EXPECT_EQ(r.frames_explored, 21);
+}
+
+TEST(Bmc, CounterGlobalCexDepthMatchesPaper) {
+  // Table I: BMC needs 2^(n-1) time frames for P1 of the buggy counter.
+  aig::Aig aig = gen::make_counter({.bits = 5, .buggy = true});
+  ts::TransitionSystem ts(aig);
+  Bmc bmc(ts);
+  BmcResult r = bmc.run({1});
+  ASSERT_EQ(r.status, CheckStatus::Fails);
+  EXPECT_EQ(r.depth, (1 << 4) + 1);
+  EXPECT_TRUE(ts::is_global_cex(ts, r.cex, 1));
+}
+
+TEST(Bmc, LocalModeRespectsAssumptions) {
+  // Buggy counter: P1 under assumption P0 (req==1) has no CEX — the
+  // counter always resets. Global mode finds one.
+  aig::Aig aig = gen::make_counter({.bits = 4, .buggy = true});
+  ts::TransitionSystem ts(aig);
+  {
+    Bmc bmc(ts);
+    BmcOptions opts;
+    opts.max_depth = 40;
+    opts.assumed = {0};
+    BmcResult r = bmc.run({1}, opts);
+    EXPECT_EQ(r.status, CheckStatus::Unknown) << "local cex should not exist";
+  }
+  {
+    Bmc bmc(ts);
+    BmcOptions opts;
+    opts.max_depth = 40;
+    BmcResult r = bmc.run({1}, opts);
+    EXPECT_EQ(r.status, CheckStatus::Fails);
+  }
+}
+
+TEST(Bmc, MultiTargetReportsFailingSubset) {
+  aig::Aig aig;
+  aig::Builder b(aig);
+  aig::Word cnt = b.latch_word(3);
+  b.set_next(cnt, b.inc_word(cnt, aig::Lit::true_lit()));
+  aig.add_property(~b.eq_const(cnt, 2), "p0");
+  aig.add_property(~b.eq_const(cnt, 2), "p1");  // same failure point
+  aig.add_property(~b.eq_const(cnt, 5), "p2");
+  ts::TransitionSystem ts(aig);
+  Bmc bmc(ts);
+  BmcResult r = bmc.run({0, 1, 2});
+  ASSERT_EQ(r.status, CheckStatus::Fails);
+  EXPECT_EQ(r.depth, 2);
+  EXPECT_EQ(r.failed_targets, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Bmc, DesignConstraintsRespected) {
+  // Constraint forbids the only failing input, so no CEX exists.
+  aig::Aig aig;
+  aig::Lit in = aig.add_input();
+  aig::Lit l = aig.add_latch();
+  aig.set_latch_next(l, in);
+  aig.add_property(~l, "never");
+  aig.add_constraint(~in);
+  ts::TransitionSystem ts(aig);
+  Bmc bmc(ts);
+  BmcOptions opts;
+  opts.max_depth = 10;
+  BmcResult r = bmc.run({0}, opts);
+  EXPECT_EQ(r.status, CheckStatus::Unknown);
+}
+
+TEST(Bmc, XResetLatchesAreFree)  {
+  aig::Aig aig;
+  aig::Lit l = aig.add_latch(Ternary::X);
+  aig.set_latch_next(l, l);
+  aig.add_property(~l, "zero");
+  ts::TransitionSystem ts(aig);
+  Bmc bmc(ts);
+  BmcResult r = bmc.run({0});
+  ASSERT_EQ(r.status, CheckStatus::Fails);
+  EXPECT_EQ(r.depth, 0);
+  EXPECT_TRUE(ts::is_global_cex(ts, r.cex, 0));
+}
+
+class BmcRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BmcRandomTest, DepthsMatchExplicitReference) {
+  gen::RandomDesignSpec spec;
+  spec.seed = GetParam();
+  spec.num_latches = 5;
+  spec.num_inputs = 3;
+  spec.num_ands = 25;
+  spec.num_properties = 3;
+  aig::Aig aig = gen::make_random_design(spec);
+  ts::TransitionSystem ts(aig);
+  ref::ExplicitResult expected = ref::explicit_check(ts);
+
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    Bmc bmc(ts);
+    BmcOptions opts;
+    opts.max_depth = 70;  // > diameter of 2^5 states
+    BmcResult r = bmc.run({p}, opts);
+    if (expected.fails_globally(p)) {
+      ASSERT_EQ(r.status, CheckStatus::Fails)
+          << "seed " << GetParam() << " prop " << p;
+      EXPECT_EQ(r.depth, expected.global_fail_depth[p])
+          << "BMC must find the shallowest CEX";
+      EXPECT_TRUE(ts::is_global_cex(ts, r.cex, p));
+    } else {
+      EXPECT_EQ(r.status, CheckStatus::Unknown)
+          << "seed " << GetParam() << " prop " << p;
+    }
+  }
+}
+
+TEST_P(BmcRandomTest, LocalDepthsMatchExplicitReference) {
+  gen::RandomDesignSpec spec;
+  spec.seed = GetParam() + 500;
+  spec.num_latches = 4;
+  spec.num_inputs = 2;
+  spec.num_ands = 20;
+  spec.num_properties = 3;
+  aig::Aig aig = gen::make_random_design(spec);
+  ts::TransitionSystem ts(aig);
+  ref::ExplicitResult expected = ref::explicit_check(ts);
+
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    std::vector<std::size_t> assumed;
+    for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+      if (j != p) assumed.push_back(j);
+    }
+    Bmc bmc(ts);
+    BmcOptions opts;
+    opts.max_depth = 40;
+    opts.assumed = assumed;
+    BmcResult r = bmc.run({p}, opts);
+    if (expected.fails_locally(p)) {
+      ASSERT_EQ(r.status, CheckStatus::Fails)
+          << "seed " << GetParam() + 500 << " prop " << p;
+      EXPECT_EQ(r.depth, expected.local_fail_depth[p]);
+      EXPECT_TRUE(ts::is_local_cex(ts, r.cex, p, assumed))
+          << "local CEX must not break assumed properties early";
+    } else {
+      EXPECT_EQ(r.status, CheckStatus::Unknown)
+          << "seed " << GetParam() + 500 << " prop " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BmcRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace javer::bmc

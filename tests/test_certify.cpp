@@ -1,0 +1,121 @@
+// Certificate checker tests: genuine IC3 proofs certify; tampered or
+// wrong invariants are rejected with the specific failing condition.
+#include <gtest/gtest.h>
+
+#include "aig/builder.h"
+#include "gen/counter.h"
+#include "gen/random_design.h"
+#include "ic3/certify.h"
+#include "ic3/ic3.h"
+#include "mp/ja_verifier.h"
+#include "ref/explicit_checker.h"
+
+namespace javer::ic3 {
+namespace {
+
+// Saturating-counter fixture with a known-good strengthening.
+struct Fixture {
+  Fixture() {
+    aig::Builder b(aig);
+    aig::Word scnt = b.latch_word(4);
+    b.set_next(scnt, b.mux_word(scnt.back(), scnt,
+                                b.inc_word(scnt, aig::Lit::true_lit())));
+    aig.add_property(~b.eq_const(scnt, 11), "p");
+    ts = std::make_unique<ts::TransitionSystem>(aig);
+    Ic3 engine(*ts, 0);
+    result = engine.run();
+  }
+  aig::Aig aig;
+  std::unique_ptr<ts::TransitionSystem> ts;
+  Ic3Result result;
+};
+
+TEST(Certify, GenuineProofCertifies) {
+  Fixture fx;
+  ASSERT_EQ(fx.result.status, CheckStatus::Holds);
+  CertificateCheck check =
+      certify_strengthening(*fx.ts, 0, {}, fx.result.invariant);
+  EXPECT_TRUE(check.ok()) << check.failure;
+  EXPECT_TRUE(check.initiation);
+  EXPECT_TRUE(check.consecution);
+  EXPECT_TRUE(check.safety);
+}
+
+TEST(Certify, EmptyInvariantFailsSafetyForNonTrivialProperty) {
+  Fixture fx;
+  // An empty strengthening claims "true is inductive and implies P":
+  // consecution trivially holds, safety must fail (bad states exist).
+  CertificateCheck check = certify_strengthening(*fx.ts, 0, {}, {});
+  EXPECT_TRUE(check.initiation);
+  EXPECT_TRUE(check.consecution);
+  EXPECT_FALSE(check.safety);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.failure.empty());
+}
+
+TEST(Certify, InitIntersectingCubeRejected) {
+  Fixture fx;
+  auto tampered = fx.result.invariant;
+  // A cube matching the all-zero reset state violates initiation.
+  tampered.push_back(ts::Cube{{0, false}, {1, false}, {2, false}, {3, false}});
+  CertificateCheck check = certify_strengthening(*fx.ts, 0, {}, tampered);
+  EXPECT_FALSE(check.initiation);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(Certify, NonInductiveClauseRejected) {
+  Fixture fx;
+  auto tampered = fx.result.invariant;
+  // Blocking a reachable state breaks consecution (or initiation if it
+  // were initial; scnt==1 is reachable and not initial).
+  tampered.push_back(
+      ts::Cube{{0, true}, {1, false}, {2, false}, {3, false}});
+  CertificateCheck check = certify_strengthening(*fx.ts, 0, {}, tampered);
+  EXPECT_TRUE(check.initiation);
+  EXPECT_FALSE(check.consecution);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(Certify, LocalProofCertifiesOnlyWithItsAssumptions) {
+  // Example 1: P1's local strengthening needs the P0 assumption; without
+  // it the certificate must be rejected.
+  aig::Aig aig = gen::make_counter({.bits = 6, .buggy = true});
+  ts::TransitionSystem ts(aig);
+  Ic3Options opts;
+  opts.assumed = {0};
+  Ic3 engine(ts, 1, opts);
+  Ic3Result r = engine.run();
+  ASSERT_EQ(r.status, CheckStatus::Holds);
+
+  EXPECT_TRUE(certify_strengthening(ts, 1, {0}, r.invariant).ok());
+  CertificateCheck without = certify_strengthening(ts, 1, {}, r.invariant);
+  EXPECT_FALSE(without.ok())
+      << "the wrong-assumption proof must not certify globally";
+}
+
+TEST(Certify, EveryJaProofOfRandomDesignsCertifies) {
+  for (std::uint64_t seed = 800; seed < 815; ++seed) {
+    gen::RandomDesignSpec spec;
+    spec.seed = seed;
+    spec.num_properties = 3;
+    aig::Aig aig = gen::make_random_design(spec);
+    ts::TransitionSystem ts(aig);
+    mp::JaVerifier ja(ts);
+    mp::MultiResult result = ja.run();
+    for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+      const mp::PropertyResult& pr = result.per_property[p];
+      if (pr.verdict != mp::PropertyVerdict::HoldsLocally) continue;
+      std::vector<std::size_t> assumed;
+      for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+        if (j != p) assumed.push_back(j);
+      }
+      CertificateCheck check =
+          certify_strengthening(ts, p, assumed, pr.invariant);
+      EXPECT_TRUE(check.ok())
+          << "seed " << seed << " prop " << p << ": " << check.failure;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace javer::ic3

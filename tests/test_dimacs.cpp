@@ -1,0 +1,70 @@
+// DIMACS I/O tests: parsing, error handling, round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+
+namespace javer::sat {
+namespace {
+
+TEST(Dimacs, ParseSimple) {
+  std::istringstream in("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  DimacsCnf cnf = read_dimacs(in);
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  ASSERT_EQ(cnf.clauses[0].size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0], Lit::make(0));
+  EXPECT_EQ(cnf.clauses[0][1], Lit::make(1, true));
+}
+
+TEST(Dimacs, ParseMultipleClausesPerLine) {
+  std::istringstream in("p cnf 2 2\n1 0 -1 2 0\n");
+  DimacsCnf cnf = read_dimacs(in);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[1].size(), 2u);
+}
+
+TEST(Dimacs, MissingHeaderThrows) {
+  std::istringstream in("1 2 0\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, LiteralOutOfRangeThrows) {
+  std::istringstream in("p cnf 1 1\n2 0\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, UnterminatedClauseThrows) {
+  std::istringstream in("p cnf 2 1\n1 2\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RoundTrip) {
+  DimacsCnf cnf;
+  cnf.num_vars = 4;
+  cnf.clauses = {{Lit::make(0), Lit::make(3, true)},
+                 {Lit::make(1, true)},
+                 {Lit::make(2), Lit::make(1), Lit::make(0, true)}};
+  std::ostringstream out;
+  write_dimacs(out, cnf);
+  std::istringstream in(out.str());
+  DimacsCnf back = read_dimacs(in);
+  EXPECT_EQ(back.num_vars, cnf.num_vars);
+  EXPECT_EQ(back.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, SolveParsedFormula) {
+  std::istringstream in("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n");
+  DimacsCnf cnf = read_dimacs(in);
+  Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const auto& c : cnf.clauses) s.add_clause(c);
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_EQ(s.model_value(Var{0}), kTrue);
+  EXPECT_EQ(s.model_value(Var{1}), kTrue);
+}
+
+}  // namespace
+}  // namespace javer::sat

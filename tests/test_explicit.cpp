@@ -1,0 +1,192 @@
+// Tests for the explicit-state reference checker on designs with known
+// semantics, most importantly the paper's counter (Example 1), whose
+// global/local behaviour the paper states explicitly.
+#include <gtest/gtest.h>
+
+#include "aig/builder.h"
+#include "gen/counter.h"
+#include "gen/synthetic.h"
+#include "ref/explicit_checker.h"
+
+namespace javer::ref {
+namespace {
+
+TEST(Explicit, BuggyCounterMatchesPaperExample1) {
+  // Paper: P0 (req==1) fails globally and locally; P1 (val<=rval) fails
+  // globally (deep CEX) but holds locally — the debugging set is {P0}.
+  aig::Aig aig = gen::make_counter({.bits = 5, .buggy = true});
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+
+  EXPECT_TRUE(r.fails_globally(0));
+  EXPECT_EQ(r.global_fail_depth[0], 0);  // req can be 0 immediately
+  EXPECT_TRUE(r.fails_locally(0));
+  EXPECT_EQ(r.local_fail_depth[0], 0);
+
+  EXPECT_TRUE(r.fails_globally(1));
+  // val must climb to rval+1 = 2^(bits-1)+1: one step per increment.
+  EXPECT_EQ(r.global_fail_depth[1], (1 << 4) + 1);
+  EXPECT_FALSE(r.fails_locally(1));
+
+  EXPECT_EQ(r.debugging_set(), std::vector<std::size_t>{0});
+}
+
+TEST(Explicit, FixedCounterOnlyP0Fails) {
+  aig::Aig aig = gen::make_counter({.bits = 5, .buggy = false});
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_TRUE(r.fails_globally(0));
+  EXPECT_FALSE(r.fails_globally(1));  // fix makes P1 true
+  EXPECT_FALSE(r.fails_locally(1));
+  EXPECT_EQ(r.debugging_set(), std::vector<std::size_t>{0});
+}
+
+TEST(Explicit, LocalReachableSubsetOfGlobal) {
+  aig::Aig aig = gen::make_counter({.bits = 4, .buggy = true});
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_LE(r.locally_reachable_states, r.reachable_states);
+}
+
+TEST(Explicit, TogglePropertyDepths) {
+  // Latch toggles 0,1,0,1...; property "latch == 0" fails at depth 1.
+  aig::Aig aig;
+  aig::Lit l = aig.add_latch(Ternary::False);
+  aig.set_latch_next(l, ~l);
+  aig.add_property(~l, "never_one");
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_EQ(r.global_fail_depth[0], 1);
+  EXPECT_EQ(r.local_fail_depth[0], 1);
+  EXPECT_EQ(r.reachable_states, 2u);
+}
+
+TEST(Explicit, MaskedFailureHoldsLocally) {
+  // Two properties on a 3-bit counter: P0 fails at depth 1, P1 at depth 3.
+  // Deterministic transitions mean P0 always fails first, so P1 holds
+  // locally (the 6s207 phenomenon).
+  aig::Aig aig;
+  aig::Builder b(aig);
+  aig::Word cnt = b.latch_word(3);
+  b.set_next(cnt, b.inc_word(cnt, aig::Lit::true_lit()));
+  aig.add_property(~b.eq_const(cnt, 1), "p0");
+  aig.add_property(~b.eq_const(cnt, 3), "p1");
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_EQ(r.global_fail_depth[0], 1);
+  EXPECT_EQ(r.global_fail_depth[1], 3);
+  EXPECT_EQ(r.local_fail_depth[0], 1);
+  EXPECT_EQ(r.local_fail_depth[1], -1);  // masked by p0
+  EXPECT_EQ(r.debugging_set(), std::vector<std::size_t>{0});
+}
+
+TEST(Explicit, InputGatedFailuresAllLocal) {
+  // Failures gated by distinct inputs do not mask each other.
+  aig::Aig aig;
+  aig::Builder b(aig);
+  aig::Word cnt = b.latch_word(3);
+  b.set_next(cnt, b.inc_word(cnt, aig::Lit::true_lit()));
+  aig::Lit t0 = aig.add_input("t0");
+  aig::Lit t1 = aig.add_input("t1");
+  aig.add_property(~b.land(b.eq_const(cnt, 1), t0), "g0");
+  aig.add_property(~b.land(b.eq_const(cnt, 2), t1), "g1");
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_EQ(r.local_fail_depth[0], 1);
+  EXPECT_EQ(r.local_fail_depth[1], 2);
+  EXPECT_EQ(r.debugging_set(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Explicit, DesignConstraintsExcludeSteps) {
+  // Property fails only when input=1, but a constraint forbids input=1:
+  // the property holds.
+  aig::Aig aig;
+  aig::Lit in = aig.add_input();
+  aig::Lit l = aig.add_latch();
+  aig.set_latch_next(l, in);
+  aig.add_property(~l, "never");
+  aig.add_constraint(~in);
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_FALSE(r.fails_globally(0));
+  EXPECT_FALSE(r.fails_locally(0));
+}
+
+TEST(Explicit, XResetEnumeratesInitialStates) {
+  // An X-reset latch that holds its value; property "latch==0" fails at
+  // depth 0 via the initial state with value 1.
+  aig::Aig aig;
+  aig::Lit l = aig.add_latch(Ternary::X);
+  aig.set_latch_next(l, l);
+  aig.add_property(~l, "zero");
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  EXPECT_EQ(r.global_fail_depth[0], 0);
+  EXPECT_EQ(r.local_fail_depth[0], 0);
+}
+
+TEST(Explicit, EtfPropertiesDoNotGate) {
+  // P0 fails at depth 1 deterministically but is marked expected-to-fail:
+  // it must not mask P1's failure at depth 3.
+  aig::Aig aig;
+  aig::Builder b(aig);
+  aig::Word cnt = b.latch_word(3);
+  b.set_next(cnt, b.inc_word(cnt, aig::Lit::true_lit()));
+  aig.add_property(~b.eq_const(cnt, 1), "etf", /*expected_to_fail=*/true);
+  aig.add_property(~b.eq_const(cnt, 3), "eth");
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);  // assumes only ETH properties
+  EXPECT_EQ(r.local_fail_depth[0], 1);
+  EXPECT_EQ(r.local_fail_depth[1], 3);  // not masked: ETF doesn't gate
+}
+
+TEST(Explicit, LimitsEnforced) {
+  aig::Aig aig;
+  aig::Builder b(aig);
+  aig::Word cnt = b.latch_word(8);
+  b.set_next(cnt, b.inc_word(cnt, aig::Lit::true_lit()));
+  aig.add_property(~b.eq_const(cnt, 255), "deep");
+  ts::TransitionSystem ts(aig);
+  ExplicitLimits limits;
+  limits.max_states = 10;
+  EXPECT_THROW(explicit_check(ts, limits), std::runtime_error);
+}
+
+TEST(Explicit, SyntheticDesignClassesAreCorrect) {
+  gen::SyntheticSpec spec;
+  spec.seed = 3;
+  spec.wrap_counter_bits = 4;
+  spec.sat_counter_bits = 4;
+  spec.rings = 1;
+  spec.ring_size = 4;
+  spec.ring_props = 4;
+  spec.pair_props = 2;
+  spec.unreachable_props = 2;
+  spec.det_fail_props = 1;
+  spec.input_fail_props = 2;
+  spec.masked_fail_props = 1;
+  spec.fail_window_log2 = 2;
+  aig::Aig aig = gen::make_synthetic(spec);
+  ts::TransitionSystem ts(aig);
+  ExplicitResult r = explicit_check(ts);
+  auto classes = gen::synthetic_expected_classes(aig);
+  for (std::size_t p = 0; p < classes.size(); ++p) {
+    switch (classes[p]) {
+      case 0:  // true
+        EXPECT_FALSE(r.fails_globally(p)) << "prop " << p;
+        EXPECT_FALSE(r.fails_locally(p)) << "prop " << p;
+        break;
+      case 1:  // debugging set
+        EXPECT_TRUE(r.fails_globally(p)) << "prop " << p;
+        EXPECT_TRUE(r.fails_locally(p)) << "prop " << p;
+        break;
+      case 2:  // masked
+        EXPECT_TRUE(r.fails_globally(p)) << "prop " << p;
+        EXPECT_FALSE(r.fails_locally(p)) << "prop " << p;
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace javer::ref

@@ -1,0 +1,104 @@
+// Ordering heuristic tests (§9 footnote 1 / §9-C): cone metrics,
+// determinism, permutation validity, and verdict invariance under
+// reordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/synthetic.h"
+#include "mp/ja_verifier.h"
+#include "mp/ordering.h"
+#include "ref/explicit_checker.h"
+
+namespace javer::mp {
+namespace {
+
+bool is_permutation_of_all(const std::vector<std::size_t>& order,
+                           std::size_t k) {
+  if (order.size() != k) return false;
+  std::vector<bool> seen(k, false);
+  for (std::size_t p : order) {
+    if (p >= k || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+gen::SyntheticSpec mixed_spec() {
+  gen::SyntheticSpec spec;
+  spec.seed = 33;
+  spec.rings = 2;
+  spec.ring_size = 6;
+  spec.ring_props = 12;
+  spec.pair_props = 3;
+  spec.unreachable_props = 4;
+  spec.det_fail_props = 1;
+  spec.input_fail_props = 1;
+  spec.masked_fail_props = 1;
+  return spec;
+}
+
+TEST(Ordering, DesignOrderIsIdentity) {
+  aig::Aig aig = gen::make_synthetic(mixed_spec());
+  ts::TransitionSystem ts(aig);
+  auto order = design_order(ts);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Ordering, ConeSizeMetric) {
+  aig::Aig aig = gen::make_ring(8);
+  ts::TransitionSystem ts(aig);
+  // Every ring property's sequential cone is the whole ring (rotation),
+  // independent of the shared counters (which its cone does not touch).
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    EXPECT_EQ(property_cone_latches(ts, p), 8u);
+  }
+}
+
+TEST(Ordering, ConeOrderIsAscendingPermutation) {
+  aig::Aig aig = gen::make_synthetic(mixed_spec());
+  ts::TransitionSystem ts(aig);
+  auto order = order_by_cone_size(ts);
+  ASSERT_TRUE(is_permutation_of_all(order, ts.num_properties()));
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LE(property_cone_latches(ts, order[i]),
+              property_cone_latches(ts, order[i + 1]));
+  }
+}
+
+TEST(Ordering, ShuffleIsDeterministicPermutation) {
+  aig::Aig aig = gen::make_synthetic(mixed_spec());
+  ts::TransitionSystem ts(aig);
+  auto a = shuffled_order(ts, 5);
+  auto b = shuffled_order(ts, 5);
+  auto c = shuffled_order(ts, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(is_permutation_of_all(a, ts.num_properties()));
+  EXPECT_TRUE(is_permutation_of_all(c, ts.num_properties()));
+}
+
+TEST(Ordering, VerdictsInvariantUnderOrdering) {
+  gen::SyntheticSpec spec = mixed_spec();
+  spec.wrap_counter_bits = 5;  // small enough for quick local proofs
+  aig::Aig aig = gen::make_synthetic(spec);
+  ts::TransitionSystem ts(aig);
+
+  std::vector<std::vector<std::size_t>> orders{
+      design_order(ts), order_by_cone_size(ts), shuffled_order(ts, 17)};
+  std::vector<std::size_t> reference_debug;
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    JaOptions opts;
+    opts.order = orders[i];
+    MultiResult result = JaVerifier(ts, opts).run();
+    EXPECT_EQ(result.num_unsolved(), 0u) << "order " << i;
+    if (i == 0) {
+      reference_debug = result.debugging_set();
+    } else {
+      EXPECT_EQ(result.debugging_set(), reference_debug) << "order " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace javer::mp

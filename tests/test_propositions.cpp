@@ -1,0 +1,147 @@
+// Semantic validation of the paper's Propositions 1-6 on random designs,
+// using the exact explicit-state checker (and engines where stated).
+// These are the paper's core theory claims; each test names the
+// proposition it checks.
+#include <gtest/gtest.h>
+
+#include "aig/builder.h"
+#include "aig/sim.h"
+#include "gen/random_design.h"
+#include "ic3/ic3.h"
+#include "mp/joint_verifier.h"
+#include "ref/explicit_checker.h"
+#include "ts/trace.h"
+
+namespace javer {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed, std::size_t props = 3) {
+    gen::RandomDesignSpec spec;
+    spec.seed = seed;
+    spec.num_latches = 4;
+    spec.num_inputs = 2;
+    spec.num_ands = 18;
+    spec.num_properties = props;
+    aig = gen::make_random_design(spec);
+    ts = std::make_unique<ts::TransitionSystem>(aig);
+    result = ref::explicit_check(*ts);
+  }
+  aig::Aig aig;
+  std::unique_ptr<ts::TransitionSystem> ts;
+  ref::ExplicitResult result;
+};
+
+class PropositionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Proposition 2A: if Q holds w.r.t. T (globally), it holds w.r.t. T_P
+// (locally). Equivalently: fails locally => fails globally.
+TEST_P(PropositionTest, Prop2A_LocalFailureImpliesGlobalFailure) {
+  Fixture fx(GetParam());
+  for (std::size_t p = 0; p < fx.ts->num_properties(); ++p) {
+    if (fx.result.fails_locally(p)) {
+      EXPECT_TRUE(fx.result.fails_globally(p))
+          << "seed " << GetParam() << " prop " << p;
+      // The shallowest local failure cannot be shallower than the
+      // shallowest global one (every T_P trace is a T trace).
+      EXPECT_LE(fx.result.global_fail_depth[p],
+                fx.result.local_fail_depth[p]);
+    }
+  }
+}
+
+// Proposition 2B: if Q holds locally but fails globally, every global CEX
+// falsifies the aggregate property strictly before its final step.
+// (Checked on the shallowest CEX found by IC3.)
+TEST_P(PropositionTest, Prop2B_MaskedFailureBreaksAggregateEarlier) {
+  Fixture fx(GetParam() + 3000);
+  for (std::size_t p = 0; p < fx.ts->num_properties(); ++p) {
+    if (!fx.result.fails_globally(p) || fx.result.fails_locally(p)) continue;
+    ic3::Ic3 engine(*fx.ts, p);
+    ic3::Ic3Result r = engine.run();
+    ASSERT_EQ(r.status, CheckStatus::Fails);
+    ts::TraceAnalysis a = ts::analyze_trace(*fx.ts, r.cex);
+    int final_step = static_cast<int>(r.cex.steps.size()) - 1;
+    bool another_fails_strictly_before = false;
+    for (std::size_t j = 0; j < fx.ts->num_properties(); ++j) {
+      if (j == p) continue;
+      if (a.first_failure[j] >= 0 && a.first_failure[j] < final_step) {
+        another_fails_strictly_before = true;
+      }
+    }
+    EXPECT_TRUE(another_fails_strictly_before)
+        << "seed " << GetParam() + 3000 << " prop " << p
+        << ": a masked property's CEX must break another property first";
+  }
+}
+
+// Propositions 3-5: the aggregate property holds w.r.t. T iff every Pi
+// holds w.r.t. T_P (all-local-holds <=> all-global-holds).
+TEST_P(PropositionTest, Prop5_AllLocalIffAllGlobal) {
+  Fixture fx(GetParam() + 6000);
+  bool any_local_fail = false;
+  bool any_global_fail = false;
+  for (std::size_t p = 0; p < fx.ts->num_properties(); ++p) {
+    any_local_fail |= fx.result.fails_locally(p);
+    any_global_fail |= fx.result.fails_globally(p);
+  }
+  EXPECT_EQ(any_local_fail, any_global_fail) << "seed " << GetParam() + 6000;
+}
+
+// Proposition 6: for every CEX of the aggregate property, the final state
+// falsifies at least one member of the debugging set. Checked with the
+// aggregate CEX produced by IC3.
+TEST_P(PropositionTest, Prop6_DebuggingSetExplainsAggregateCex) {
+  Fixture fx(GetParam() + 9000);
+  std::vector<std::size_t> all;
+  for (std::size_t p = 0; p < fx.ts->num_properties(); ++p) all.push_back(p);
+  auto debug_set = fx.result.debugging_set();
+  if (debug_set.empty()) return;  // aggregate holds; nothing to check
+
+  auto [agg_aig, agg_index] = mp::make_aggregate(fx.aig, all);
+  ts::TransitionSystem agg_ts(agg_aig);
+  ic3::Ic3 engine(agg_ts, agg_index);
+  ic3::Ic3Result r = engine.run();
+  ASSERT_EQ(r.status, CheckStatus::Fails) << "seed " << GetParam() + 9000;
+
+  // Evaluate which original properties the final step falsifies.
+  aig::Simulator sim(fx.aig);
+  const ts::Step& last = r.cex.steps.back();
+  sim.eval(last.state, last.inputs);
+  bool hits_debug_set = false;
+  for (std::size_t d : debug_set) {
+    if (!sim.value(fx.ts->property_lit(d))) hits_debug_set = true;
+  }
+  EXPECT_TRUE(hits_debug_set)
+      << "seed " << GetParam() + 9000
+      << ": aggregate CEX final state must falsify a debugging-set member";
+}
+
+// Proposition 1 (engine-level): if the aggregate property is inductive,
+// every weaker property is provable locally with no counterexample — here
+// instantiated with designs where the aggregate holds.
+TEST_P(PropositionTest, Prop1_WeakerPropertiesInductiveUnderProjection) {
+  Fixture fx(GetParam() + 12000);
+  bool all_hold = true;
+  for (std::size_t p = 0; p < fx.ts->num_properties(); ++p) {
+    all_hold &= !fx.result.fails_globally(p);
+  }
+  if (!all_hold) return;
+  for (std::size_t p = 0; p < fx.ts->num_properties(); ++p) {
+    std::vector<std::size_t> assumed;
+    for (std::size_t j = 0; j < fx.ts->num_properties(); ++j) {
+      if (j != p) assumed.push_back(j);
+    }
+    ic3::Ic3Options opts;
+    opts.assumed = assumed;
+    ic3::Ic3 engine(*fx.ts, p, opts);
+    EXPECT_EQ(engine.run().status, CheckStatus::Holds)
+        << "seed " << GetParam() + 12000 << " prop " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropositionTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace javer

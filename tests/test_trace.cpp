@@ -1,0 +1,128 @@
+// Trace analysis tests: transition validity, first-failure computation,
+// global/local CEX recognition.
+#include <gtest/gtest.h>
+
+#include "aig/builder.h"
+#include "ts/trace.h"
+
+namespace javer::ts {
+namespace {
+
+// 2-bit counter fixture with properties failing at different depths.
+struct CounterFixture {
+  CounterFixture() {
+    aig::Builder b(aig);
+    aig::Word cnt = b.latch_word(2);
+    b.set_next(cnt, b.inc_word(cnt, aig::Lit::true_lit()));
+    aig.add_property(~b.eq_const(cnt, 1), "ne1");
+    aig.add_property(~b.eq_const(cnt, 2), "ne2");
+    ts = std::make_unique<TransitionSystem>(aig);
+  }
+  // States counted 0,1,2,... regardless of input.
+  Trace trace(int len) const {
+    Trace t;
+    for (int i = 0; i <= len; ++i) {
+      t.steps.push_back(Step{{(i & 1) != 0, (i & 2) != 0}, {}});
+    }
+    return t;
+  }
+  aig::Aig aig;
+  std::unique_ptr<TransitionSystem> ts;
+};
+
+TEST(TraceAnalysis, EmptyTrace) {
+  CounterFixture fx;
+  TraceAnalysis a = analyze_trace(*fx.ts, Trace{});
+  EXPECT_FALSE(a.starts_initial);
+  EXPECT_FALSE(a.transitions_valid);
+}
+
+TEST(TraceAnalysis, ValidTraceFirstFailures) {
+  CounterFixture fx;
+  TraceAnalysis a = analyze_trace(*fx.ts, fx.trace(3));
+  EXPECT_TRUE(a.starts_initial);
+  EXPECT_TRUE(a.transitions_valid);
+  EXPECT_TRUE(a.constraints_ok);
+  EXPECT_EQ(a.first_failure[0], 1);
+  EXPECT_EQ(a.first_failure[1], 2);
+}
+
+TEST(TraceAnalysis, BrokenTransitionDetected) {
+  CounterFixture fx;
+  Trace t = fx.trace(2);
+  t.steps[1].state = {true, true};  // 0 -> 3 is not a counter step
+  TraceAnalysis a = analyze_trace(*fx.ts, t);
+  EXPECT_FALSE(a.transitions_valid);
+}
+
+TEST(TraceAnalysis, NonInitialStartDetected) {
+  CounterFixture fx;
+  Trace t = fx.trace(1);
+  t.steps[0].state = {true, false};
+  TraceAnalysis a = analyze_trace(*fx.ts, t);
+  EXPECT_FALSE(a.starts_initial);
+}
+
+TEST(Cex, GlobalRecognition) {
+  CounterFixture fx;
+  // Length-1 trace ends at state 1 where property 0 first fails.
+  EXPECT_TRUE(is_global_cex(*fx.ts, fx.trace(1), 0));
+  // Property 1 does not fail at step 1.
+  EXPECT_FALSE(is_global_cex(*fx.ts, fx.trace(1), 1));
+  // Length-2 trace: property 1 fails exactly at the end.
+  EXPECT_TRUE(is_global_cex(*fx.ts, fx.trace(2), 1));
+  // Property 0 fails at step 1, not at the end: trace is not a CEX for it
+  // (the paper requires the property to hold on all earlier steps).
+  EXPECT_FALSE(is_global_cex(*fx.ts, fx.trace(2), 0));
+}
+
+TEST(Cex, LocalRecognition) {
+  CounterFixture fx;
+  // For property 1 with property 0 assumed: the counter passes 1 first,
+  // so the length-2 trace is NOT a local CEX (P0 broke at step 1).
+  EXPECT_FALSE(is_local_cex(*fx.ts, fx.trace(2), 1, {0}));
+  // With nothing assumed it is.
+  EXPECT_TRUE(is_local_cex(*fx.ts, fx.trace(2), 1, {}));
+  // For property 0 with property 1 assumed, the length-1 trace is local:
+  // P1 has not failed before the final step.
+  EXPECT_TRUE(is_local_cex(*fx.ts, fx.trace(1), 0, {1}));
+  // Simultaneous failure at the final step is allowed.
+  aig::Aig aig2;
+  aig::Builder b2(aig2);
+  aig::Word cnt = b2.latch_word(2);
+  b2.set_next(cnt, b2.inc_word(cnt, aig::Lit::true_lit()));
+  aig2.add_property(~b2.eq_const(cnt, 1), "a");
+  aig2.add_property(~b2.eq_const(cnt, 1), "b");
+  TransitionSystem ts2(aig2);
+  Trace t;
+  t.steps.push_back(Step{{false, false}, {}});
+  t.steps.push_back(Step{{true, false}, {}});
+  EXPECT_TRUE(is_local_cex(ts2, t, 0, {1}));
+  EXPECT_TRUE(is_local_cex(ts2, t, 1, {0}));
+}
+
+TEST(Cex, ConstraintViolationInvalidates) {
+  aig::Aig aig;
+  aig::Lit in = aig.add_input();
+  aig::Lit l = aig.add_latch();
+  aig.set_latch_next(l, in);
+  aig.add_property(~l, "p");
+  aig.add_constraint(~in);
+  TransitionSystem ts(aig);
+  Trace t;
+  t.steps.push_back(Step{{false}, {true}});  // violates constraint
+  t.steps.push_back(Step{{true}, {false}});
+  EXPECT_FALSE(is_global_cex(ts, t, 0));
+}
+
+TEST(Trace, LengthAccessor) {
+  Trace t;
+  EXPECT_EQ(t.length(), 0u);
+  t.steps.resize(1);
+  EXPECT_EQ(t.length(), 0u);
+  t.steps.resize(4);
+  EXPECT_EQ(t.length(), 3u);
+}
+
+}  // namespace
+}  // namespace javer::ts

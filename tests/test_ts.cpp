@@ -1,0 +1,75 @@
+// TransitionSystem and Cube utility tests.
+#include <gtest/gtest.h>
+
+#include "gen/counter.h"
+#include "ts/transition_system.h"
+
+namespace javer::ts {
+namespace {
+
+TEST(Cube, SortAndSubsume) {
+  Cube a{{3, true}, {1, false}};
+  sort_cube(a);
+  EXPECT_EQ(a[0].latch, 1);
+  EXPECT_EQ(a[1].latch, 3);
+
+  Cube small{{1, false}};
+  Cube big{{1, false}, {3, true}};
+  Cube other{{1, true}, {3, true}};
+  EXPECT_TRUE(cube_subsumes(small, big));   // fewer literals = larger cube
+  EXPECT_FALSE(cube_subsumes(big, small));
+  EXPECT_FALSE(cube_subsumes(small, other));  // opposite value
+  EXPECT_TRUE(cube_subsumes(big, big));
+  EXPECT_TRUE(cube_subsumes(Cube{}, big));  // empty cube contains all states
+}
+
+TEST(Cube, ContainsState) {
+  Cube c{{0, true}, {2, false}};
+  EXPECT_TRUE(cube_contains_state(c, {true, true, false}));
+  EXPECT_TRUE(cube_contains_state(c, {true, false, false}));
+  EXPECT_FALSE(cube_contains_state(c, {false, true, false}));
+  EXPECT_FALSE(cube_contains_state(c, {true, true, true}));
+}
+
+TEST(Cube, ToString) {
+  Cube c{{0, true}, {2, false}};
+  EXPECT_EQ(cube_to_string(c), "{l0 !l2}");
+  EXPECT_EQ(cube_to_string({}), "{}");
+}
+
+TEST(TransitionSystem, BasicAccessors) {
+  aig::Aig aig = gen::make_counter({.bits = 4, .buggy = true});
+  TransitionSystem ts(aig);
+  EXPECT_EQ(ts.num_latches(), 4u);
+  EXPECT_EQ(ts.num_inputs(), 2u);
+  EXPECT_EQ(ts.num_properties(), 2u);
+  EXPECT_EQ(ts.property_name(0), "P0: req == 1");
+  EXPECT_FALSE(ts.expected_to_fail(0));
+  EXPECT_TRUE(ts.design_constraints().empty());
+  EXPECT_EQ(ts.initial_state(), std::vector<bool>(4, false));
+}
+
+TEST(TransitionSystem, CubeDisjointFromInit) {
+  aig::Aig aig;
+  aig.add_latch(Ternary::False);
+  aig.add_latch(Ternary::True);
+  aig.add_latch(Ternary::X);
+  for (const auto& l : aig.latches()) {
+    aig.set_latch_next(aig::Lit::make(l.var), aig::Lit::make(l.var));
+  }
+  TransitionSystem ts(aig);
+  // {l0=1} contradicts reset 0: disjoint.
+  EXPECT_TRUE(ts.cube_disjoint_from_init({{0, true}}));
+  // {l0=0, l1=1} matches both resets: intersects.
+  EXPECT_FALSE(ts.cube_disjoint_from_init({{0, false}, {1, true}}));
+  // {l2=1} on an X-reset latch can never contradict init.
+  EXPECT_FALSE(ts.cube_disjoint_from_init({{2, true}}));
+  EXPECT_FALSE(ts.cube_disjoint_from_init({{2, false}}));
+  // Mixed: any single contradicting literal suffices.
+  EXPECT_TRUE(ts.cube_disjoint_from_init({{1, false}, {2, true}}));
+  // Empty cube covers all states, including init.
+  EXPECT_FALSE(ts.cube_disjoint_from_init({}));
+}
+
+}  // namespace
+}  // namespace javer::ts

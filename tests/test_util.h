@@ -1,0 +1,25 @@
+// Shared helpers for engine tests.
+#ifndef JAVER_TESTS_TEST_UTIL_H
+#define JAVER_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "ic3/certify.h"
+#include "ts/transition_system.h"
+
+namespace javer::testutil {
+
+// Asserts that the exported strengthening is independently valid
+// (initiation, consecution, safety) via ic3::certify_strengthening.
+inline void expect_valid_invariant(const ts::TransitionSystem& ts,
+                                   std::size_t prop,
+                                   const std::vector<std::size_t>& assumed,
+                                   const std::vector<ts::Cube>& invariant) {
+  ic3::CertificateCheck check =
+      ic3::certify_strengthening(ts, prop, assumed, invariant);
+  EXPECT_TRUE(check.ok()) << check.failure;
+}
+
+}  // namespace javer::testutil
+
+#endif  // JAVER_TESTS_TEST_UTIL_H

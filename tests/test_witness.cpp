@@ -1,0 +1,98 @@
+// AIGER witness format tests: writing, parsing, round-trips through
+// engine-produced counterexamples.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/builder.h"
+#include "bmc/bmc.h"
+#include "gen/counter.h"
+#include "gen/random_design.h"
+#include "ic3/ic3.h"
+#include "ref/explicit_checker.h"
+#include "ts/witness.h"
+
+namespace javer::ts {
+namespace {
+
+TEST(Witness, FormatOfSimpleTrace) {
+  aig::Aig aig;
+  aig::Lit in = aig.add_input();
+  aig::Lit l = aig.add_latch(Ternary::False);
+  aig.set_latch_next(l, in);
+  aig.add_property(~l, "p");
+  TransitionSystem ts(aig);
+
+  Trace trace;
+  trace.steps.push_back(Step{{false}, {true}});
+  trace.steps.push_back(Step{{true}, {false}});
+  std::string w = witness_to_string(ts, trace, 0);
+  EXPECT_EQ(w, "1\nb0\n0\n1\n0\n.\n");
+}
+
+TEST(Witness, RoundTripReconstructsStates) {
+  aig::Aig aig = gen::make_counter({.bits = 4, .buggy = true});
+  TransitionSystem ts(aig);
+  bmc::Bmc engine(ts);
+  bmc::BmcResult r = engine.run({1});
+  ASSERT_EQ(r.status, CheckStatus::Fails);
+
+  std::string w = witness_to_string(ts, r.cex, 1);
+  std::istringstream in(w);
+  std::size_t prop = 99;
+  Trace back = read_witness(in, ts, &prop);
+  EXPECT_EQ(prop, 1u);
+  ASSERT_EQ(back.steps.size(), r.cex.steps.size());
+  for (std::size_t t = 0; t < back.steps.size(); ++t) {
+    EXPECT_EQ(back.steps[t].state, r.cex.steps[t].state) << "step " << t;
+    EXPECT_EQ(back.steps[t].inputs, r.cex.steps[t].inputs) << "step " << t;
+  }
+  EXPECT_TRUE(is_global_cex(ts, back, 1));
+}
+
+TEST(Witness, EngineCexWitnessesAreValidOnRandomDesigns) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::RandomDesignSpec spec;
+    spec.seed = seed;
+    aig::Aig aig = gen::make_random_design(spec);
+    TransitionSystem ts(aig);
+    ref::ExplicitResult expected = ref::explicit_check(ts);
+    for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+      if (!expected.fails_globally(p)) continue;
+      ic3::Ic3 engine(ts, p);
+      ic3::Ic3Result r = engine.run();
+      ASSERT_EQ(r.status, CheckStatus::Fails);
+      std::istringstream in(witness_to_string(ts, r.cex, p));
+      Trace back = read_witness(in, ts);
+      EXPECT_TRUE(is_global_cex(ts, back, p))
+          << "seed " << seed << " prop " << p;
+    }
+  }
+}
+
+TEST(Witness, MalformedInputsRejected) {
+  aig::Aig aig;
+  aig::Lit l = aig.add_latch();
+  aig.set_latch_next(l, l);
+  aig.add_property(~l, "p");
+  TransitionSystem ts(aig);
+  {
+    std::istringstream in("0\n");
+    EXPECT_THROW(read_witness(in, ts), std::runtime_error);
+  }
+  {
+    std::istringstream in("1\nx0\n");
+    EXPECT_THROW(read_witness(in, ts), std::runtime_error);
+  }
+  {
+    std::istringstream in("1\nb7\n0\n.\n");  // property out of range
+    EXPECT_THROW(read_witness(in, ts), std::runtime_error);
+  }
+  {
+    std::istringstream in("1\nb0\n0011\n.\n");  // wrong state width
+    EXPECT_THROW(read_witness(in, ts), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace javer::ts
