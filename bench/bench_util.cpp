@@ -42,6 +42,9 @@ Summary summarize(const mp::MultiResult& result) {
   Summary s;
   s.seconds = result.total_seconds;
   for (const auto& pr : result.per_property) {
+    s.sat_propagations += pr.engine_stats.sat_propagations;
+    s.sat_conflicts += pr.engine_stats.sat_conflicts;
+    s.simp_vars_eliminated += pr.engine_stats.simp_vars_eliminated;
     switch (pr.verdict) {
       case mp::PropertyVerdict::FailsLocally:
         s.debug_set_size++;

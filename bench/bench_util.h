@@ -6,6 +6,7 @@
 #ifndef JAVER_BENCH_BENCH_UTIL_H
 #define JAVER_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,10 @@ struct Summary {
   std::size_t debug_set_size = 0;
   double seconds = 0.0;
   int max_frames = 0;
+  // Aggregated SAT-backend work across all properties.
+  std::uint64_t sat_propagations = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t simp_vars_eliminated = 0;
 };
 
 Summary summarize(const mp::MultiResult& result);

@@ -7,6 +7,8 @@
 //     --order design|cone|shuffle                          (default: design)
 //     --no-reuse           disable strengthening-clause re-use
 //     --strict-lifting     lifting respects property constraints (§7-A)
+//     --simplify           preprocess every SAT context's CNF (subsumption
+//                          + bounded variable elimination, sat/simp/)
 //     --etf <i>            mark property i Expected-To-Fail (repeatable)
 //     --witness            print AIGER witnesses for failed properties
 //     --certify            re-check every proof with independent SAT
@@ -46,6 +48,7 @@ struct CliOptions {
   double time_limit = 60.0;
   bool reuse = true;
   bool strict_lifting = false;
+  bool simplify = false;
   bool witness = false;
   bool certify = false;
   bool quiet = false;
@@ -58,7 +61,8 @@ void usage() {
                "clustered]\n"
                "                 [--time-limit SEC] [--order design|cone|"
                "shuffle]\n"
-               "                 [--no-reuse] [--strict-lifting] [--etf I]*\n"
+               "                 [--no-reuse] [--strict-lifting] [--simplify]"
+               " [--etf I]*\n"
                "                 [--witness] [--clause-db FILE] [--quiet]\n"
                "                 design.aig\n");
 }
@@ -97,6 +101,8 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.reuse = false;
     } else if (arg == "--strict-lifting") {
       opts.strict_lifting = true;
+    } else if (arg == "--simplify") {
+      opts.simplify = true;
     } else if (arg == "--witness") {
       opts.witness = true;
     } else if (arg == "--certify") {
@@ -182,28 +188,33 @@ int main(int argc, char** argv) {
     opts.time_limit_per_property = cli.time_limit;
     opts.clause_reuse = cli.reuse;
     opts.lifting_respects_constraints = cli.strict_lifting;
+    opts.simplify = cli.simplify;
     opts.order = order;
     result = mp::JaVerifier(ts, opts).run(db);
   } else if (cli.mode == "separate-global") {
     mp::SeparateOptions opts;
     opts.local_proofs = false;
     opts.clause_reuse = cli.reuse;
+    opts.simplify = cli.simplify;
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
     result = mp::SeparateVerifier(ts, opts).run(db);
   } else if (cli.mode == "joint") {
     mp::JointOptions opts;
     opts.total_time_limit = cli.time_limit;
+    opts.simplify = cli.simplify;
     result = mp::JointVerifier(ts, opts).run();
   } else if (cli.mode == "parallel") {
     mp::ParallelJaOptions opts;
     opts.time_limit_per_property = cli.time_limit;
     opts.clause_reuse = cli.reuse;
     opts.lifting_respects_constraints = cli.strict_lifting;
+    opts.simplify = cli.simplify;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
   } else if (cli.mode == "clustered") {
     mp::ClusteredJointOptions opts;
     opts.total_time_limit = cli.time_limit;
+    opts.simplify = cli.simplify;
     result = mp::ClusteredJointVerifier(ts, opts).run();
   } else {
     std::fprintf(stderr, "javer_cli: unknown mode '%s'\n", cli.mode.c_str());

@@ -6,7 +6,8 @@
 
 namespace javer::bmc {
 
-Bmc::Bmc(const ts::TransitionSystem& ts) : ts_(ts), encoder_(ts.aig(), solver_) {
+Bmc::Bmc(const ts::TransitionSystem& ts)
+    : ts_(ts), pre_(solver_), encoder_(ts.aig(), pre_) {
   // Frame 0: latches bound to their reset values; X-reset latches get
   // fresh variables (any initial value).
   cnf::Encoder::Frame f0 = encoder_.make_frame();
@@ -24,6 +25,30 @@ Bmc::Bmc(const ts::TransitionSystem& ts) : ts_(ts), encoder_(ts.aig(), solver_) 
     }
   }
   frames_.push_back(std::move(f0));
+}
+
+void Bmc::complete_frame(cnf::Encoder::Frame& frame) {
+  const aig::Aig& aig = ts_.aig();
+  std::vector<sat::Lit> roots;
+  roots.push_back(encoder_.true_lit());
+  for (const aig::Latch& l : aig.latches()) {
+    roots.push_back(encoder_.lit(frame, aig::Lit::make(l.var)));
+    roots.push_back(encoder_.lit(frame, l.next));
+  }
+  for (aig::Var v : aig.inputs()) {
+    roots.push_back(encoder_.lit(frame, aig::Lit::make(v)));
+  }
+  // Every property cone, not just this run's targets/assumed: a later
+  // run() over different targets reuses the frame's memoized literals, so
+  // all roots a future query could ask for must survive simplification.
+  for (std::size_t p = 0; p < ts_.num_properties(); ++p) {
+    roots.push_back(encoder_.lit(frame, ts_.property_lit(p)));
+  }
+  for (aig::Lit c : aig.constraints()) {
+    roots.push_back(encoder_.lit(frame, c));
+  }
+  for (sat::Lit l : roots) pre_.freeze(l);
+  pre_.flush();
 }
 
 void Bmc::make_next_frame() {
@@ -66,11 +91,13 @@ BmcResult Bmc::run(const std::vector<std::size_t>& targets,
   Deadline deadline(opts.time_limit_seconds);
   solver_.set_deadline(opts.time_limit_seconds > 0 ? &deadline : nullptr);
   solver_.set_conflict_budget(opts.conflict_budget);
+  pre_.set_enabled(opts.simplify);
 
   BmcResult result;
   for (int depth = 0; depth <= opts.max_depth; ++depth) {
     while (static_cast<int>(frames_.size()) <= depth) make_next_frame();
     cnf::Encoder::Frame& f = frames_[depth];
+    if (opts.simplify) complete_frame(f);
 
     // Design constraints hold at every step, including the final one.
     // (Encoded as units the first time the frame becomes a query target.)

@@ -14,6 +14,7 @@
 #include "base/status.h"
 #include "base/timer.h"
 #include "cnf/tseitin.h"
+#include "sat/simp/preprocessor.h"
 #include "sat/solver.h"
 #include "ts/trace.h"
 #include "ts/transition_system.h"
@@ -27,6 +28,11 @@ struct BmcOptions {
   // Property indices asserted to hold on all non-final steps (the "just
   // assume" constraints). Must not overlap `targets`.
   std::vector<std::size_t> assumed;
+  // Preprocess each unrolling frame's CNF (subsumption + bounded variable
+  // elimination over the Tseitin auxiliaries, sat/simp/) before it enters
+  // the incremental solver. Interface literals (latches, inputs,
+  // next-state functions, properties, constraints) are frozen.
+  bool simplify = false;
 };
 
 struct BmcResult {
@@ -47,13 +53,21 @@ class Bmc {
                 const BmcOptions& opts = {});
 
   const sat::SolverStats& solver_stats() const { return solver_.stats(); }
+  const sat::simp::SimpStats& simp_stats() const { return pre_.stats(); }
 
  private:
   void make_next_frame();
+  // Simplify mode: encodes every cone of `frame` (next-state functions,
+  // all properties, constraints) into the pending batch, freezes the cone
+  // roots plus the frame's latch/input literals, and flushes the batch
+  // through the preprocessor. After this no cone of the frame is ever
+  // encoded again, so eliminating its Tseitin internals is sound.
+  void complete_frame(cnf::Encoder::Frame& frame);
   ts::Trace extract_trace(std::size_t depth);
 
   const ts::TransitionSystem& ts_;
   sat::Solver solver_;
+  sat::simp::Preprocessor pre_;  // sits between the encoder and the solver
   cnf::Encoder encoder_;
   std::vector<cnf::Encoder::Frame> frames_;
 };

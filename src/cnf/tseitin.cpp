@@ -2,11 +2,11 @@
 
 namespace javer::cnf {
 
-Encoder::Encoder(const aig::Aig& aig, sat::Solver& solver)
-    : aig_(aig), solver_(solver) {
-  sat::Var t = solver_.new_var();
+Encoder::Encoder(const aig::Aig& aig, sat::ClauseSink& sink)
+    : aig_(aig), sink_(sink) {
+  sat::Var t = sink_.new_var();
   true_lit_ = sat::Lit::make(t);
-  solver_.add_unit(true_lit_);
+  sink_.add_unit(true_lit_);
 }
 
 sat::Lit Encoder::lit(Frame& frame, aig::Lit l) {
@@ -25,7 +25,7 @@ sat::Lit Encoder::encode_var(Frame& frame, aig::Var v) {
       break;
     case aig::NodeType::Input:
     case aig::NodeType::Latch:
-      result = sat::Lit::make(solver_.new_var());
+      result = sat::Lit::make(sink_.new_var());
       break;
     case aig::NodeType::And: {
       // Iterative DFS: encode fanin cone without native recursion (AIG
@@ -55,13 +55,13 @@ sat::Lit Encoder::encode_var(Frame& frame, aig::Var v) {
           ready = false;
         }
         if (!ready) continue;
-        sat::Lit g = sat::Lit::make(solver_.new_var());
+        sat::Lit g = sat::Lit::make(sink_.new_var());
         sat::Lit a = frame.at(v0) ^ un.fanin0.complemented();
         sat::Lit b = frame.at(v1) ^ un.fanin1.complemented();
         // g <-> a & b
-        solver_.add_binary(~g, a);
-        solver_.add_binary(~g, b);
-        solver_.add_ternary(g, ~a, ~b);
+        sink_.add_binary(~g, a);
+        sink_.add_binary(~g, b);
+        sink_.add_ternary(g, ~a, ~b);
         frame.set(u, g);
         stack.pop_back();
       }

@@ -5,13 +5,17 @@
 // mapping, which BMC uses to chain step t+1 state to step t next-state
 // functions); and-gates are encoded on demand with the standard three
 // clauses per gate.
+//
+// The encoder writes into a sat::ClauseSink, so the same encoding serves a
+// Solver directly or a simp::Preprocessor that simplifies batches before
+// they reach the solver.
 #ifndef JAVER_CNF_TSEITIN_H
 #define JAVER_CNF_TSEITIN_H
 
 #include <vector>
 
 #include "aig/aig.h"
-#include "sat/solver.h"
+#include "sat/clause_sink.h"
 
 namespace javer::cnf {
 
@@ -31,7 +35,7 @@ class Encoder {
     std::vector<sat::Lit> map_;
   };
 
-  Encoder(const aig::Aig& aig, sat::Solver& solver);
+  Encoder(const aig::Aig& aig, sat::ClauseSink& sink);
 
   Frame make_frame() const { return Frame(aig_.num_nodes()); }
 
@@ -43,16 +47,16 @@ class Encoder {
   void bind(Frame& frame, aig::Var v, sat::Lit l) { frame.set(v, l); }
 
   const aig::Aig& aig() const { return aig_; }
-  sat::Solver& solver() { return solver_; }
+  sat::ClauseSink& sink() { return sink_; }
 
-  // A SAT literal that is constant true in the solver.
+  // A SAT literal that is constant true in the sink.
   sat::Lit true_lit() const { return true_lit_; }
 
  private:
   sat::Lit encode_var(Frame& frame, aig::Var v);
 
   const aig::Aig& aig_;
-  sat::Solver& solver_;
+  sat::ClauseSink& sink_;
   sat::Lit true_lit_;
 };
 

@@ -6,10 +6,12 @@
 namespace javer::ic3 {
 
 FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
-    : ts_(ts), encoder_(ts.aig(), solver_), frame_(encoder_.make_frame()) {
+    : ts_(ts), pre_(solver_, config.simplify),
+      encoder_(ts.aig(), pre_), frame_(encoder_.make_frame()) {
   const aig::Aig& aig = ts.aig();
   solver_.set_deadline(config.deadline);
   solver_.set_conflict_budget(config.conflict_budget);
+  pre_.set_cache(config.simp_cache);
 
   // Present-state and input variables first, so their solver variables are
   // dense and easy to map back from assumption cores.
@@ -32,8 +34,24 @@ FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
     assumed_lits_.push_back(encoder_.lit(frame_, ts.property_lit(j)));
   }
   for (aig::Lit c : ts.design_constraints()) {
-    sat::Lit cl = encoder_.lit(frame_, c);
-    constraint_lits_.push_back(cl);
+    constraint_lits_.push_back(encoder_.lit(frame_, c));
+  }
+
+  // With preprocessing on, the whole one-step encoding above is one batch:
+  // freeze every literal the IC3 loop references afterwards, simplify the
+  // batch, and commit it. Everything below goes to the solver directly.
+  if (config.simplify) {
+    pre_.freeze(encoder_.true_lit());
+    for (sat::Lit l : latch_lits_) pre_.freeze(l);
+    for (sat::Lit l : input_lits_) pre_.freeze(l);
+    for (sat::Lit l : next_lits_) pre_.freeze(l);
+    pre_.freeze(prop_lit_);
+    for (sat::Lit l : assumed_lits_) pre_.freeze(l);
+    for (sat::Lit l : constraint_lits_) pre_.freeze(l);
+  }
+  pre_.flush();
+
+  for (sat::Lit cl : constraint_lits_) {
     solver_.add_unit(cl);  // design constraints hold unconditionally
   }
 

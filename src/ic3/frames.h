@@ -19,6 +19,7 @@
 
 #include "base/timer.h"
 #include "cnf/tseitin.h"
+#include "sat/simp/preprocessor.h"
 #include "sat/solver.h"
 #include "ts/transition_system.h"
 
@@ -30,6 +31,14 @@ class FrameSolver {
     std::size_t target_prop = 0;
     std::vector<std::size_t> assumed;  // property indices assumed to hold
     bool init_units = false;           // assert initial state (frame 0)
+    // Preprocess the transition-relation CNF (subsumption + bounded
+    // variable elimination over the Tseitin auxiliaries) before solving.
+    // Interface literals (latches, inputs, next-state functions,
+    // properties, constraints) are frozen, so incremental use is unchanged.
+    bool simplify = false;
+    // Optional memoization shared by contexts that encode the same
+    // transition relation (IC3 passes one cache for all its frames).
+    sat::simp::BatchCache* simp_cache = nullptr;
     const Deadline* deadline = nullptr;
     std::uint64_t conflict_budget = 0;
   };
@@ -69,6 +78,7 @@ class FrameSolver {
   // Number of retired activation literals; high counts warrant a rebuild.
   int retired_activations() const { return retired_activations_; }
   const sat::SolverStats& stats() const { return solver_.stats(); }
+  const sat::simp::SimpStats& simp_stats() const { return pre_.stats(); }
 
  private:
   sat::Lit state_assumption(const ts::StateLit& l) const;
@@ -79,6 +89,7 @@ class FrameSolver {
 
   const ts::TransitionSystem& ts_;
   sat::Solver solver_;
+  sat::simp::Preprocessor pre_;  // sits between the encoder and the solver
   cnf::Encoder encoder_;
   cnf::Encoder::Frame frame_;
 

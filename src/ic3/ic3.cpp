@@ -37,9 +37,31 @@ std::unique_ptr<FrameSolver> Ic3::make_solver(int k) const {
   config.target_prop = target_prop_;
   config.assumed = opts_.assumed;
   config.init_units = (k == 0);
+  config.simplify = opts_.simplify;
+  config.simp_cache = opts_.simplify ? &simp_cache_ : nullptr;
   config.deadline = opts_.time_limit_seconds > 0 ? &deadline_ : nullptr;
   config.conflict_budget = opts_.conflict_budget_per_query;
   return std::make_unique<FrameSolver>(ts_, config);
+}
+
+void Ic3::absorb_stats(const FrameSolver& fs) {
+  const sat::SolverStats& s = fs.stats();
+  stats_.sat_propagations += s.propagations;
+  stats_.sat_conflicts += s.conflicts;
+  stats_.sat_decisions += s.decisions;
+  const sat::simp::SimpStats& p = fs.simp_stats();
+  stats_.simp_vars_eliminated += p.vars_eliminated;
+  stats_.simp_clauses_in += p.clauses_in;
+  stats_.simp_clauses_out += p.clauses_out;
+}
+
+Ic3Stats Ic3::finalize_stats() {
+  // Called once, on the way out of run(): fold the still-live contexts'
+  // counters into the retired totals.
+  for (const auto& fs : solvers_) absorb_stats(*fs);
+  if (lift_solver_) absorb_stats(*lift_solver_);
+  if (inf_solver_) absorb_stats(*inf_solver_);
+  return stats_;
 }
 
 FrameSolver& Ic3::ctx(int k) {
@@ -50,6 +72,7 @@ FrameSolver& Ic3::ctx(int k) {
   // Too many dead activation literals: rebuild this frame's solver from
   // the transition system plus the cubes blocked at levels >= k.
   stats_.solver_rebuilds++;
+  absorb_stats(*solvers_[k]);
   solvers_[k] = make_solver(k);
   if (k > 0) {
     for (const ts::Cube& c : inf_cubes_) solvers_[k]->add_blocking_clause(c);
@@ -65,7 +88,10 @@ FrameSolver& Ic3::ctx(int k) {
 FrameSolver& Ic3::lift_ctx() {
   if (!lift_solver_ ||
       lift_solver_->retired_activations() > opts_.rebuild_threshold) {
-    if (lift_solver_) stats_.solver_rebuilds++;
+    if (lift_solver_) {
+      stats_.solver_rebuilds++;
+      absorb_stats(*lift_solver_);
+    }
     lift_solver_ = make_solver(-1);  // no init units, no frame clauses
   }
   return *lift_solver_;
@@ -74,7 +100,10 @@ FrameSolver& Ic3::lift_ctx() {
 FrameSolver& Ic3::inf_ctx() {
   if (!inf_solver_ ||
       inf_solver_->retired_activations() > opts_.rebuild_threshold) {
-    if (inf_solver_) stats_.solver_rebuilds++;
+    if (inf_solver_) {
+      stats_.solver_rebuilds++;
+      absorb_stats(*inf_solver_);
+    }
     inf_solver_ = make_solver(-1);
     for (const ts::Cube& c : inf_cubes_) inf_solver_->add_blocking_clause(c);
   }
@@ -140,6 +169,8 @@ void Ic3::validate_seed_clauses() {
     FrameSolver::Config config;
     config.target_prop = target_prop_;
     config.assumed = opts_.assumed;
+    config.simplify = opts_.simplify;
+    config.simp_cache = opts_.simplify ? &simp_cache_ : nullptr;
     config.deadline = opts_.time_limit_seconds > 0 ? &deadline_ : nullptr;
     config.conflict_budget = opts_.conflict_budget_per_query;
     FrameSolver checker(ts_, config);
@@ -158,6 +189,7 @@ void Ic3::validate_seed_clauses() {
         stats_.seed_clauses_dropped++;
       }
     }
+    absorb_stats(checker);
     if (survivors.size() == candidates.size()) break;  // fixpoint
     candidates = std::move(survivors);
   }
@@ -429,7 +461,7 @@ Ic3Result Ic3::run() {
       result.status = CheckStatus::Fails;
       result.frames = 0;
       result.cex = std::move(cex_);
-      result.stats = stats_;
+      result.stats = finalize_stats();
       return result;
     }
 
@@ -446,7 +478,7 @@ Ic3Result Ic3::run() {
           result.status = CheckStatus::Fails;
           result.frames = top_frame_;
           result.cex = std::move(cex_);
-          result.stats = stats_;
+          result.stats = finalize_stats();
           return result;
         }
       }
@@ -467,7 +499,7 @@ Ic3Result Ic3::run() {
             result.invariant.push_back(c);
           }
         }
-        result.stats = stats_;
+        result.stats = finalize_stats();
         return result;
       }
       JAVER_LOG(Debug) << "ic3: frame " << top_frame_ << ", clauses "
@@ -476,7 +508,7 @@ Ic3Result Ic3::run() {
   } catch (const Timeout&) {
     result.status = CheckStatus::Unknown;
     result.frames = top_frame_;
-    result.stats = stats_;
+    result.stats = finalize_stats();
     return result;
   }
 }

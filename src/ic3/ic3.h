@@ -35,6 +35,9 @@ struct Ic3Options {
   // Candidate invariant clauses from earlier runs, as cubes (clause =
   // negation of cube). Re-validated before use.
   std::vector<ts::Cube> seed_clauses;
+  // Preprocess each solver context's transition-relation CNF (subsumption
+  // + bounded variable elimination, sat/simp/) before solving.
+  bool simplify = false;
 
   double time_limit_seconds = 0.0;
   std::uint64_t conflict_budget_per_query = 0;
@@ -52,6 +55,15 @@ struct Ic3Stats {
   std::uint64_t seed_clauses_dropped = 0;
   std::uint64_t solver_rebuilds = 0;
   std::uint64_t mined_invariants = 0;
+  // Aggregated over every SAT context this run created (including retired
+  // and rebuilt ones).
+  std::uint64_t sat_propagations = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_decisions = 0;
+  // Preprocessing totals (zero unless Ic3Options::simplify).
+  std::uint64_t simp_vars_eliminated = 0;
+  std::uint64_t simp_clauses_in = 0;
+  std::uint64_t simp_clauses_out = 0;
 };
 
 struct Ic3Result {
@@ -137,10 +149,19 @@ class Ic3 {
   void propagate_and_check_fixpoint();
   sat::SolveResult checked(sat::SolveResult r) const;
 
+  // --- statistics ---
+  // Folds a retiring solver context's SAT/simp counters into stats_.
+  void absorb_stats(const FrameSolver& fs);
+  // stats_ plus the counters of the still-live solver contexts.
+  Ic3Stats finalize_stats();
+
   const ts::TransitionSystem& ts_;
   std::size_t target_prop_;
   Ic3Options opts_;
   Deadline deadline_;
+  // One simplification of the transition relation serves every frame
+  // context this run creates (they encode identically).
+  mutable sat::simp::BatchCache simp_cache_;
 
   std::vector<std::unique_ptr<FrameSolver>> solvers_;
   std::unique_ptr<FrameSolver> lift_solver_;

@@ -111,6 +111,7 @@ MultiResult ClusteredJointVerifier::run() {
     ts::TransitionSystem sub_ts(sub);
     JointOptions jopts;
     jopts.total_time_limit = cluster_limit;
+    jopts.simplify = opts_.simplify;
     MultiResult sub_result = JointVerifier(sub_ts, jopts).run();
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       result.per_property[cluster[i]] = sub_result.per_property[i];

@@ -31,6 +31,8 @@ struct ClusteredJointOptions {
   ClusterOptions clustering;
   double total_time_limit = 0.0;
   double time_limit_per_cluster = 0.0;
+  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
+  bool simplify = false;
 };
 
 // The grouping baseline: joint verification per cluster (each cluster's

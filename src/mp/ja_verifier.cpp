@@ -7,6 +7,7 @@ JaVerifier::JaVerifier(const ts::TransitionSystem& ts, JaOptions opts)
   sep_opts_.local_proofs = true;
   sep_opts_.clause_reuse = opts.clause_reuse;
   sep_opts_.lifting_respects_constraints = opts.lifting_respects_constraints;
+  sep_opts_.simplify = opts.simplify;
   sep_opts_.time_limit_per_property = opts.time_limit_per_property;
   sep_opts_.total_time_limit = opts.total_time_limit;
   sep_opts_.order = std::move(opts.order);

@@ -18,6 +18,8 @@ struct JaOptions {
   // Lifting ignores property constraints by default (§7-A found this
   // usually faster); spurious CEXs trigger an automatic strict retry.
   bool lifting_respects_constraints = false;
+  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
+  bool simplify = false;
   std::vector<std::size_t> order;
 };
 

@@ -51,6 +51,7 @@ MultiResult JointVerifier::run() {
     engine_opts.conflict_budget_per_query = opts_.conflict_budget_per_query;
     engine_opts.lifting_respects_constraints =
         opts_.lifting_respects_constraints;
+    engine_opts.simplify = opts_.simplify;
 
     Timer iteration;
     ic3::Ic3 engine(agg_ts, agg_index, engine_opts);
@@ -64,6 +65,9 @@ MultiResult JointVerifier::run() {
         pr.seconds = spent;
         pr.frames = er.frames;
       }
+      // The iteration's engine stats go to one property only, so summing
+      // engine_stats over per_property counts each IC3 run once.
+      result.per_property[unsolved.front()].engine_stats = er.stats;
       unsolved.clear();
       break;
     }
@@ -91,6 +95,7 @@ MultiResult JointVerifier::run() {
       pr.frames = er.frames;
       pr.cex = er.cex;
     }
+    result.per_property[refuted.front()].engine_stats = er.stats;
     std::vector<std::size_t> next;
     for (std::size_t p : unsolved) {
       if (std::find(refuted.begin(), refuted.end(), p) == refuted.end()) {

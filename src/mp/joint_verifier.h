@@ -21,6 +21,8 @@ struct JointOptions {
   std::uint64_t conflict_budget_per_query = 0;
   bool lifting_respects_constraints = false; // joint runs have no assumed
                                              // props, so this rarely matters
+  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
+  bool simplify = false;
 };
 
 class JointVerifier {

@@ -33,6 +33,7 @@ MultiResult ParallelJaVerifier::run(ClauseDb& db) {
   sep_opts.local_proofs = true;
   sep_opts.clause_reuse = opts_.clause_reuse;
   sep_opts.lifting_respects_constraints = opts_.lifting_respects_constraints;
+  sep_opts.simplify = opts_.simplify;
   sep_opts.time_limit_per_property = opts_.time_limit_per_property;
 
   std::atomic<std::size_t> next_prop{0};

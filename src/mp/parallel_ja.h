@@ -19,6 +19,8 @@ struct ParallelJaOptions {
   double time_limit_per_property = 0.0;
   bool clause_reuse = true;
   bool lifting_respects_constraints = false;
+  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
+  bool simplify = false;
 };
 
 class ParallelJaVerifier {

@@ -48,6 +48,7 @@ EngineOutcome check_property(const ts::TransitionSystem& ts,
   engine_opts.assumed = assumed;
   engine_opts.lifting_respects_constraints =
       opts.lifting_respects_constraints;
+  engine_opts.simplify = opts.simplify;
   engine_opts.seed_clauses = seeds;
   engine_opts.time_limit_seconds = opts.time_limit_per_property;
   engine_opts.conflict_budget_per_query = opts.conflict_budget_per_query;

@@ -27,6 +27,8 @@ struct SeparateOptions {
   bool local_proofs = true;        // local (JA) vs global separate
   bool clause_reuse = true;        // accumulate/seed via ClauseDb
   bool lifting_respects_constraints = false;  // §7-A; only affects local
+  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
+  bool simplify = false;
   double time_limit_per_property = 0.0;       // seconds; 0 = unlimited
   double total_time_limit = 0.0;              // seconds; 0 = unlimited
   std::uint64_t conflict_budget_per_query = 0;

@@ -1,0 +1,147 @@
+// Arena clause allocator in the MiniSat lineage: every clause lives inline
+// in one contiguous std::vector<std::uint32_t> slab and is referred to by a
+// 32-bit word offset (CRef). Propagation touches a clause's header and
+// literals in one cache streak instead of chasing a std::vector pointer per
+// clause, and freeing is O(1) (mark + account waste) with compacting
+// garbage collection when the wasted fraction grows.
+//
+// Layout per clause (word offsets from its CRef):
+//   [0] header: size << 3 | learnt << 2 | reloced << 1 | deleted
+//   [1] lbd            (learned clauses; scratch otherwise)
+//   [2] activity       (float bits; learned clauses)
+//   [3..3+size)        literals
+//
+// During garbage collection a live clause is copied once; the old copy is
+// marked `reloced` and its lbd word holds the forwarding CRef.
+#ifndef JAVER_SAT_CLAUSE_ARENA_H
+#define JAVER_SAT_CLAUSE_ARENA_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace javer::sat {
+
+using CRef = std::uint32_t;
+constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+class Clause {
+ public:
+  std::uint32_t size() const { return header_ >> 3; }
+  bool learnt() const { return (header_ & 4u) != 0; }
+  bool reloced() const { return (header_ & 2u) != 0; }
+  bool deleted() const { return (header_ & 1u) != 0; }
+
+  void set_deleted() { header_ |= 1u; }
+
+  std::uint32_t lbd() const { return lbd_; }
+  void set_lbd(std::uint32_t lbd) { lbd_ = lbd; }
+
+  float activity() const { return std::bit_cast<float>(act_); }
+  void set_activity(float a) { act_ = std::bit_cast<std::uint32_t>(a); }
+
+  Lit& operator[](std::size_t i) { return lits()[i]; }
+  Lit operator[](std::size_t i) const { return lits()[i]; }
+
+  Lit* begin() { return lits(); }
+  Lit* end() { return lits() + size(); }
+  const Lit* begin() const { return lits(); }
+  const Lit* end() const { return lits() + size(); }
+
+  std::span<const Lit> span() const { return {lits(), size()}; }
+
+ private:
+  friend class ClauseArena;
+
+  static constexpr std::uint32_t kHeaderWords = 3;
+
+  Lit* lits() { return reinterpret_cast<Lit*>(this + 1); }
+  const Lit* lits() const { return reinterpret_cast<const Lit*>(this + 1); }
+
+  void set_reloced(CRef fwd) {
+    header_ |= 2u;
+    lbd_ = fwd;
+  }
+  CRef forward() const { return lbd_; }
+
+  std::uint32_t header_;
+  std::uint32_t lbd_;
+  std::uint32_t act_;
+  // literals follow inline
+};
+
+static_assert(sizeof(Clause) == 3 * sizeof(std::uint32_t));
+static_assert(sizeof(Lit) == sizeof(std::uint32_t));
+
+class ClauseArena {
+ public:
+  CRef alloc(std::span<const Lit> lits, bool learnt) {
+    assert(!lits.empty());
+    if (mem_.size() + Clause::kHeaderWords + lits.size() >= kCRefUndef) {
+      throw std::length_error("ClauseArena: 32-bit CRef space exhausted");
+    }
+    CRef cr = static_cast<CRef>(mem_.size());
+    mem_.resize(mem_.size() + Clause::kHeaderWords + lits.size());
+    Clause& c = (*this)[cr];
+    c.header_ = (static_cast<std::uint32_t>(lits.size()) << 3) |
+                (learnt ? 4u : 0u);
+    c.lbd_ = 0;
+    c.set_activity(0.0f);
+    std::memcpy(c.lits(), lits.data(), lits.size() * sizeof(Lit));
+    return cr;
+  }
+
+  Clause& operator[](CRef cr) {
+    assert(cr + Clause::kHeaderWords <= mem_.size());
+    return *reinterpret_cast<Clause*>(mem_.data() + cr);
+  }
+  const Clause& operator[](CRef cr) const {
+    assert(cr + Clause::kHeaderWords <= mem_.size());
+    return *reinterpret_cast<const Clause*>(mem_.data() + cr);
+  }
+
+  // Marks the clause dead and accounts its words as waste. The memory is
+  // reclaimed by the next garbage collection.
+  void free_clause(CRef cr) {
+    Clause& c = (*this)[cr];
+    assert(!c.deleted());
+    c.set_deleted();
+    wasted_ += Clause::kHeaderWords + c.size();
+  }
+
+  // Copies the clause behind `cr` into `to` (once; further calls follow the
+  // forwarding pointer) and rewrites `cr` in place.
+  void reloc(CRef& cr, ClauseArena& to) {
+    Clause& c = (*this)[cr];
+    if (c.reloced()) {
+      cr = c.forward();
+      return;
+    }
+    assert(!c.deleted());
+    CRef fwd = to.alloc({c.begin(), c.size()}, c.learnt());
+    Clause& nc = to[fwd];
+    nc.lbd_ = c.lbd_;
+    nc.act_ = c.act_;
+    c.set_reloced(fwd);
+    cr = fwd;
+  }
+
+  void reserve(std::size_t words) { mem_.reserve(words); }
+
+  std::size_t size() const { return mem_.size(); }
+  std::size_t wasted() const { return wasted_; }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace javer::sat
+
+#endif  // JAVER_SAT_CLAUSE_ARENA_H

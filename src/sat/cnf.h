@@ -1,0 +1,39 @@
+// A plain CNF formula as data: a variable count plus a clause list.
+//
+// This is the interchange format between the DIMACS reader/writer, the
+// simplification subsystem (sat/simp/), and anything that wants to build a
+// formula before committing it to a solver.
+#ifndef JAVER_SAT_CNF_H
+#define JAVER_SAT_CNF_H
+
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace javer::sat {
+
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  Var new_var() { return num_vars++; }
+
+  void add_clause(std::span<const Lit> lits) {
+    clauses.emplace_back(lits.begin(), lits.end());
+  }
+  void add_clause(std::initializer_list<Lit> lits) {
+    clauses.emplace_back(lits.begin(), lits.end());
+  }
+
+  std::size_t num_clauses() const { return clauses.size(); }
+  std::size_t num_literals() const {
+    std::size_t n = 0;
+    for (const auto& c : clauses) n += c.size();
+    return n;
+  }
+};
+
+}  // namespace javer::sat
+
+#endif  // JAVER_SAT_CNF_H

@@ -6,14 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "sat/cnf.h"
 #include "sat/types.h"
 
 namespace javer::sat {
 
-struct DimacsCnf {
-  int num_vars = 0;
-  std::vector<std::vector<Lit>> clauses;
-};
+// DIMACS files parse into the shared CNF interchange struct.
+using DimacsCnf = Cnf;
 
 // Parses DIMACS CNF. Throws std::runtime_error on malformed input.
 DimacsCnf read_dimacs(std::istream& in);

@@ -1,0 +1,42 @@
+// Literal → clause-index occurrence lists for the simplification
+// subsystem. Entries are removed lazily: deleting or strengthening a
+// clause leaves stale indices behind, and consumers re-validate each entry
+// against the clause database (cheap, since clauses are sorted and small)
+// instead of paying for eager removal on every mutation.
+#ifndef JAVER_SAT_SIMP_OCC_LISTS_H
+#define JAVER_SAT_SIMP_OCC_LISTS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace javer::sat::simp {
+
+class OccLists {
+ public:
+  void init(int num_vars) {
+    occ_.assign(static_cast<std::size_t>(num_vars) * 2, {});
+  }
+
+  void add(Lit l, std::size_t clause_index) {
+    occ_[l.code()].push_back(clause_index);
+  }
+
+  std::vector<std::size_t>& operator[](Lit l) { return occ_[l.code()]; }
+  const std::vector<std::size_t>& operator[](Lit l) const {
+    return occ_[l.code()];
+  }
+
+  void clear_lit(Lit l) {
+    occ_[l.code()].clear();
+    occ_[l.code()].shrink_to_fit();
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> occ_;  // indexed by Lit::code()
+};
+
+}  // namespace javer::sat::simp
+
+#endif  // JAVER_SAT_SIMP_OCC_LISTS_H

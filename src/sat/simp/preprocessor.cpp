@@ -1,0 +1,103 @@
+#include "sat/simp/preprocessor.h"
+
+namespace javer::sat::simp {
+
+Preprocessor::Preprocessor(Solver& solver, bool enabled, SimplifyConfig cfg)
+    : solver_(solver), enabled_(enabled), cfg_(cfg),
+      batch_floor_(solver.num_vars()) {}
+
+void Preprocessor::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  if (enabled_) batch_floor_ = solver_.num_vars();
+}
+
+void Preprocessor::freeze(Var v) {
+  if (static_cast<std::size_t>(v) >= frozen_.size()) {
+    frozen_.resize(v + 1, 0);
+  }
+  frozen_[v] = 1;
+}
+
+bool Preprocessor::add_clause(std::span<const Lit> lits) {
+  if (!enabled_) return solver_.add_clause(lits);
+  buffer_.emplace_back(lits.begin(), lits.end());
+  return solver_.ok();
+}
+
+std::uint64_t Preprocessor::batch_key() const {
+  // FNV-1a over everything that determines the simplification result.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h = (h ^ x) * 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(solver_.num_vars()));
+  mix(static_cast<std::uint64_t>(batch_floor_));
+  for (Var v = 0; v < static_cast<Var>(frozen_.size()); ++v) {
+    if (frozen_[v]) mix(static_cast<std::uint64_t>(v) | (1ULL << 40));
+  }
+  for (const auto& clause : buffer_) {
+    mix(clause.size() | (1ULL << 41));
+    for (Lit l : clause) mix(static_cast<std::uint64_t>(l.code()));
+  }
+  return h;
+}
+
+bool Preprocessor::flush() {
+  if (!enabled_ || buffer_.empty()) {
+    batch_floor_ = solver_.num_vars();
+    return solver_.ok();
+  }
+
+  if (cache_ != nullptr) {
+    std::uint64_t key = batch_key();
+    if (cache_->valid && cache_->key == key) {
+      buffer_.clear();
+      for (const auto& clause : cache_->clauses) {
+        if (!solver_.add_clause(clause)) break;
+      }
+      for (Var v : cache_->eliminated) solver_.set_decision_var(v, false);
+      stats_.accumulate(cache_->stats);
+      batch_floor_ = solver_.num_vars();
+      return solver_.ok();
+    }
+    cache_->valid = false;
+    cache_->key = key;
+  }
+
+  Cnf batch;
+  batch.num_vars = solver_.num_vars();
+  batch.clauses = std::move(buffer_);
+  buffer_.clear();
+
+  Simplifier simp(cfg_);
+  for (Var v = 0; v < static_cast<Var>(frozen_.size()); ++v) {
+    if (frozen_[v]) simp.freeze(v);
+  }
+  simp.set_eliminable_floor(batch_floor_);
+
+  if (!simp.simplify(batch)) {
+    // The batch alone is unsatisfiable; poison the solver.
+    solver_.add_clause(std::span<const Lit>{});
+    batch_floor_ = solver_.num_vars();
+    return false;
+  }
+  for (const auto& clause : batch.clauses) {
+    if (!solver_.add_clause(clause)) break;
+  }
+  // Eliminated variables have no clauses left; branching on them would be
+  // pure waste.
+  for (Var v : simp.eliminated_vars()) {
+    solver_.set_decision_var(v, false);
+  }
+  stats_.accumulate(simp.stats());
+  if (cache_ != nullptr) {
+    cache_->clauses = batch.clauses;
+    cache_->eliminated = simp.eliminated_vars();
+    cache_->stats = simp.stats();
+    cache_->valid = true;
+  }
+  batch_floor_ = solver_.num_vars();
+  return solver_.ok();
+}
+
+}  // namespace javer::sat::simp

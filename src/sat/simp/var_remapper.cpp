@@ -1,0 +1,37 @@
+#include "sat/simp/var_remapper.h"
+
+#include <cassert>
+
+namespace javer::sat::simp {
+
+VarRemapper VarRemapper::compact(Cnf& cnf) {
+  VarRemapper m;
+  m.old_to_new_.assign(cnf.num_vars, kNoVar);
+  for (const auto& clause : cnf.clauses) {
+    for (Lit l : clause) {
+      assert(l.var() >= 0 && l.var() < cnf.num_vars);
+      m.old_to_new_[l.var()] = 0;  // mark used
+    }
+  }
+  for (Var v = 0; v < cnf.num_vars; ++v) {
+    if (m.old_to_new_[v] == kNoVar) continue;
+    m.old_to_new_[v] = static_cast<Var>(m.new_to_old_.size());
+    m.new_to_old_.push_back(v);
+  }
+  for (auto& clause : cnf.clauses) {
+    for (Lit& l : clause) l = m.map(l);
+  }
+  cnf.num_vars = m.num_new_vars();
+  return m;
+}
+
+std::vector<Value> VarRemapper::lift_model(
+    const std::vector<Value>& compact) const {
+  std::vector<Value> model(old_to_new_.size(), kUndef);
+  for (std::size_t nv = 0; nv < new_to_old_.size(); ++nv) {
+    if (nv < compact.size()) model[new_to_old_[nv]] = compact[nv];
+  }
+  return model;
+}
+
+}  // namespace javer::sat::simp

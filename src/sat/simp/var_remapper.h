@@ -1,0 +1,50 @@
+// VarRemapper: compacts a simplified CNF onto a dense variable range.
+// After elimination most Tseitin auxiliaries are gone; renumbering the
+// survivors shrinks the solver's per-variable state (watches, activity,
+// assignment) to what is actually used. The mapping is invertible, and
+// lift_model() carries a model of the compacted formula back to the
+// original variable space (dropped variables come back as kUndef, to be
+// filled in by Simplifier::extend_model).
+#ifndef JAVER_SAT_SIMP_VAR_REMAPPER_H
+#define JAVER_SAT_SIMP_VAR_REMAPPER_H
+
+#include <vector>
+
+#include "sat/cnf.h"
+#include "sat/types.h"
+
+namespace javer::sat::simp {
+
+class VarRemapper {
+ public:
+  // Builds the compaction for `cnf` and rewrites its clauses (and
+  // num_vars) in place. Variables that occur in no clause are dropped.
+  static VarRemapper compact(Cnf& cnf);
+
+  int num_old_vars() const { return static_cast<int>(old_to_new_.size()); }
+  int num_new_vars() const { return static_cast<int>(new_to_old_.size()); }
+
+  // kNoVar when the variable was dropped.
+  Var old_to_new(Var v) const { return old_to_new_[v]; }
+  Var new_to_old(Var v) const { return new_to_old_[v]; }
+
+  // Maps a literal into the compacted space; its variable must survive.
+  Lit map(Lit l) const {
+    return Lit::make(old_to_new_[l.var()], l.sign());
+  }
+  Lit unmap(Lit l) const {
+    return Lit::make(new_to_old_[l.var()], l.sign());
+  }
+
+  // Lifts a model over the compacted variables (indexed by new var) back
+  // to the original space; dropped variables are kUndef.
+  std::vector<Value> lift_model(const std::vector<Value>& compact) const;
+
+ private:
+  std::vector<Var> old_to_new_;
+  std::vector<Var> new_to_old_;
+};
+
+}  // namespace javer::sat::simp
+
+#endif  // JAVER_SAT_SIMP_VAR_REMAPPER_H

@@ -13,6 +13,12 @@ constexpr double kClauseDecay = 0.999;
 constexpr double kActivityRescale = 1e100;
 constexpr int kRestartBase = 100;
 
+// Learned-clause cap: start at this fraction of the problem clauses (with a
+// floor for tiny formulas) and grow geometrically at every reduction.
+constexpr double kLearntSizeFactor = 1.0 / 3.0;
+constexpr double kLearntSizeInc = 1.1;
+constexpr double kMinLearnts = 2000.0;
+
 // The Luby sequence (1,1,2,1,1,2,4,...) scaled by kRestartBase controls
 // restart intervals, as in MiniSat.
 double luby(double y, int x) {
@@ -38,20 +44,17 @@ Var Solver::new_var() {
   Var v = static_cast<Var>(assign_.size());
   assign_.push_back(kUndef);
   level_.push_back(0);
-  reason_.push_back(kNoCref);
+  reason_.push_back(kCRefUndef);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   polarity_.push_back(0);
+  decision_.push_back(1);
   seen_.push_back(0);
   model_.push_back(kUndef);
   watches_.emplace_back();
   watches_.emplace_back();
   heap_insert(v);
   return v;
-}
-
-bool Solver::add_clause(std::initializer_list<Lit> lits) {
-  return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
@@ -78,45 +81,32 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    enqueue(out[0], kNoCref);
-    ok_ = (propagate() == kNoCref);
+    enqueue(out[0], kCRefUndef);
+    ok_ = (propagate() == kCRefUndef);
     return ok_;
   }
   CRef cr = alloc_clause(out, /*learnt=*/false);
   attach_clause(cr);
+  clauses_.push_back(cr);
   num_problem_clauses_++;
   return true;
 }
 
-Solver::CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
-  CRef cr;
-  if (!free_list_.empty()) {
-    cr = free_list_.back();
-    free_list_.pop_back();
-  } else {
-    cr = static_cast<CRef>(clauses_.size());
-    clauses_.emplace_back();
-  }
-  Clause& c = clauses_[cr];
-  c.lits.assign(lits.begin(), lits.end());
-  c.activity = 0.0;
-  c.lbd = 0;
-  c.learnt = learnt;
-  c.deleted = false;
-  return cr;
+CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
+  return ca_.alloc(lits, learnt);
 }
 
 void Solver::attach_clause(CRef cr) {
-  const Clause& c = clauses_[cr];
-  assert(c.lits.size() >= 2);
-  watches_[(~c.lits[0]).code()].push_back({cr, c.lits[1]});
-  watches_[(~c.lits[1]).code()].push_back({cr, c.lits[0]});
+  const Clause& c = ca_[cr];
+  assert(c.size() >= 2);
+  watches_[(~c[0]).code()].push_back({cr, c[1]});
+  watches_[(~c[1]).code()].push_back({cr, c[0]});
 }
 
 void Solver::detach_clause(CRef cr) {
-  const Clause& c = clauses_[cr];
+  const Clause& c = ca_[cr];
   for (int i = 0; i < 2; ++i) {
-    auto& ws = watches_[(~c.lits[i]).code()];
+    auto& ws = watches_[(~c[i]).code()];
     for (std::size_t j = 0; j < ws.size(); ++j) {
       if (ws[j].cref == cr) {
         ws[j] = ws.back();
@@ -128,17 +118,14 @@ void Solver::detach_clause(CRef cr) {
 }
 
 void Solver::remove_clause(CRef cr) {
-  Clause& c = clauses_[cr];
+  Clause& c = ca_[cr];
   detach_clause(cr);
-  if (!c.learnt) num_problem_clauses_--;
-  c.deleted = true;
-  c.lits.clear();
-  c.lits.shrink_to_fit();
-  free_list_.push_back(cr);
+  if (!c.learnt()) num_problem_clauses_--;
+  ca_.free_clause(cr);
 }
 
 bool Solver::clause_satisfied(const Clause& c) const {
-  for (Lit l : c.lits) {
+  for (Lit l : c) {
     if (value(l) == kTrue) return true;
   }
   return false;
@@ -153,8 +140,8 @@ void Solver::enqueue(Lit l, CRef reason) {
   trail_.push_back(l);
 }
 
-Solver::CRef Solver::propagate() {
-  CRef conflict = kNoCref;
+CRef Solver::propagate() {
+  CRef conflict = kCRefUndef;
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];
     stats_.propagations++;
@@ -167,24 +154,24 @@ Solver::CRef Solver::propagate() {
         ws[j++] = ws[i++];
         continue;
       }
-      Clause& c = clauses_[w.cref];
+      Clause& c = ca_[w.cref];
       // Make sure the false watched literal (~p) is at position 1.
       Lit false_lit = ~p;
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c.lits[1] == false_lit);
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      assert(c[1] == false_lit);
       i++;
 
-      Lit first = c.lits[0];
+      Lit first = c[0];
       if (first != w.blocker && value(first) == kTrue) {
         ws[j++] = {w.cref, first};
         continue;
       }
       // Look for a new literal to watch.
       bool found = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != kFalse) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c.lits[1]).code()].push_back({w.cref, first});
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code()].push_back({w.cref, first});
           found = true;
           break;
         }
@@ -202,7 +189,7 @@ Solver::CRef Solver::propagate() {
       }
     }
     ws.resize(j);
-    if (conflict != kNoCref) break;
+    if (conflict != kCRefUndef) break;
   }
   return conflict;
 }
@@ -233,12 +220,12 @@ void Solver::analyze(CRef conflict, std::vector<Lit>& out_learnt,
 
   CRef confl = conflict;
   do {
-    assert(confl != kNoCref);
-    Clause& c = clauses_[confl];
-    if (c.learnt) clause_bump(c);
+    assert(confl != kCRefUndef);
+    Clause& c = ca_[confl];
+    if (c.learnt()) clause_bump(c);
     std::size_t start = (p == kUndefLit) ? 0 : 1;
-    for (std::size_t k = start; k < c.lits.size(); ++k) {
-      Lit q = c.lits[k];
+    for (std::size_t k = start; k < c.size(); ++k) {
+      Lit q = c[k];
       if (!seen_[q.var()] && level_[q.var()] > 0) {
         var_bump(q.var());
         seen_[q.var()] = 1;
@@ -268,7 +255,8 @@ void Solver::analyze(CRef conflict, std::vector<Lit>& out_learnt,
   std::size_t keep = 1;
   for (std::size_t i = 1; i < out_learnt.size(); ++i) {
     Lit l = out_learnt[i];
-    if (reason_[l.var()] == kNoCref || !literal_redundant(l, abstract_levels)) {
+    if (reason_[l.var()] == kCRefUndef ||
+        !literal_redundant(l, abstract_levels)) {
       out_learnt[keep++] = l;
     }
   }
@@ -298,14 +286,14 @@ bool Solver::literal_redundant(Lit lit, std::uint32_t abstract_levels) {
   while (!analyze_stack_.empty()) {
     Lit l = analyze_stack_.back();
     analyze_stack_.pop_back();
-    assert(reason_[l.var()] != kNoCref);
-    const Clause& c = clauses_[reason_[l.var()]];
-    for (std::size_t k = 1; k < c.lits.size(); ++k) {
-      Lit q = c.lits[k];
+    assert(reason_[l.var()] != kCRefUndef);
+    const Clause& c = ca_[reason_[l.var()]];
+    for (std::size_t k = 1; k < c.size(); ++k) {
+      Lit q = c[k];
       if (!seen_[q.var()] && level_[q.var()] > 0) {
         bool in_levels =
             (abstract_levels & (1u << (level_[q.var()] & 31))) != 0;
-        if (reason_[q.var()] != kNoCref && in_levels) {
+        if (reason_[q.var()] != kCRefUndef && in_levels) {
           seen_[q.var()] = 1;
           analyze_stack_.push_back(q);
           analyze_clear_.push_back(q);
@@ -330,17 +318,18 @@ void Solver::analyze_final(Lit p) {
   if (decision_level() == 0) return;
 
   seen_[p.var()] = 1;
-  for (std::size_t i = trail_.size(); i > static_cast<std::size_t>(trail_lim_[0]);) {
+  for (std::size_t i = trail_.size();
+       i > static_cast<std::size_t>(trail_lim_[0]);) {
     --i;
     Var x = trail_[i].var();
     if (!seen_[x]) continue;
-    if (reason_[x] == kNoCref) {
+    if (reason_[x] == kCRefUndef) {
       assert(level_[x] > 0);
       conflict_core_.push_back(trail_[i]);  // an assumption literal
     } else {
-      const Clause& c = clauses_[reason_[x]];
-      for (std::size_t k = 1; k < c.lits.size(); ++k) {
-        if (level_[c.lits[k].var()] > 0) seen_[c.lits[k].var()] = 1;
+      const Clause& c = ca_[reason_[x]];
+      for (std::size_t k = 1; k < c.size(); ++k) {
+        if (level_[c[k].var()] > 0) seen_[c[k].var()] = 1;
       }
     }
     seen_[x] = 0;
@@ -356,7 +345,7 @@ void Solver::cancel_until(int level) {
     Var v = trail_[i].var();
     polarity_[v] = (assign_[v] == kTrue) ? 1 : 0;  // phase saving
     assign_[v] = kUndef;
-    reason_[v] = kNoCref;
+    reason_[v] = kCRefUndef;
     if (heap_pos_[v] < 0) heap_insert(v);
   }
   trail_.resize(trail_lim_[level]);
@@ -367,7 +356,7 @@ void Solver::cancel_until(int level) {
 Lit Solver::pick_branch_lit() {
   while (!heap_empty()) {
     Var v = heap_pop();
-    if (value(v) == kUndef) {
+    if (value(v) == kUndef && decision_[v]) {
       return Lit::make(v, /*negated=*/polarity_[v] == 0);
     }
   }
@@ -443,10 +432,11 @@ void Solver::var_bump(Var v) {
 void Solver::var_decay() { var_inc_ /= kVarDecay; }
 
 void Solver::clause_bump(Clause& c) {
-  c.activity += cla_inc_;
-  if (c.activity > 1e20) {
+  c.set_activity(c.activity() + static_cast<float>(cla_inc_));
+  if (c.activity() > 1e20f) {
     for (CRef cr : learnts_) {
-      if (!clauses_[cr].deleted) clauses_[cr].activity *= 1e-20;
+      Clause& lc = ca_[cr];
+      if (!lc.deleted()) lc.set_activity(lc.activity() * 1e-20f);
     }
     cla_inc_ *= 1e-20;
   }
@@ -459,18 +449,17 @@ void Solver::reduce_learned() {
   // least active half of the rest.
   std::vector<CRef> cands;
   for (CRef cr : learnts_) {
-    Clause& c = clauses_[cr];
-    if (c.deleted) continue;
-    bool locked = !c.lits.empty() && reason_[c.lits[0].var()] == cr &&
-                  value(c.lits[0]) == kTrue;
-    if (locked || c.lits.size() <= 2 || c.lbd <= 2) continue;
+    Clause& c = ca_[cr];
+    if (c.deleted()) continue;
+    bool locked = reason_[c[0].var()] == cr && value(c[0]) == kTrue;
+    if (locked || c.size() <= 2 || c.lbd() <= 2) continue;
     cands.push_back(cr);
   }
   std::sort(cands.begin(), cands.end(), [this](CRef a, CRef b) {
-    const Clause& ca = clauses_[a];
-    const Clause& cb = clauses_[b];
-    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
-    return ca.activity < cb.activity;
+    const Clause& ca = ca_[a];
+    const Clause& cb = ca_[b];
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
   });
   std::size_t to_delete = cands.size() / 2;
   for (std::size_t i = 0; i < to_delete; ++i) {
@@ -478,26 +467,55 @@ void Solver::reduce_learned() {
     stats_.learned_deleted++;
   }
   learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
-                                [this](CRef cr) {
-                                  return clauses_[cr].deleted;
-                                }),
+                                [this](CRef cr) { return ca_[cr].deleted(); }),
                  learnts_.end());
+  check_garbage();
 }
 
 void Solver::simplify_level0() {
   assert(decision_level() == 0);
   // Level-0 assignments are facts; their reasons are never inspected again.
-  for (Lit l : trail_) reason_[l.var()] = kNoCref;
-  for (CRef cr = 0; cr < static_cast<CRef>(clauses_.size()); ++cr) {
-    Clause& c = clauses_[cr];
-    if (c.deleted || c.lits.empty()) continue;
-    if (clause_satisfied(c)) remove_clause(cr);
+  for (Lit l : trail_) reason_[l.var()] = kCRefUndef;
+  auto sweep = [this](std::vector<CRef>& list) {
+    std::size_t j = 0;
+    for (CRef cr : list) {
+      if (ca_[cr].deleted()) continue;
+      if (clause_satisfied(ca_[cr])) {
+        remove_clause(cr);
+      } else {
+        list[j++] = cr;
+      }
+    }
+    list.resize(j);
+  };
+  sweep(clauses_);
+  sweep(learnts_);
+  check_garbage();
+}
+
+// --- garbage collection ---------------------------------------------------
+
+void Solver::check_garbage() {
+  if (ca_.wasted() > ca_.size() / 5) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  // Copy every live clause into a fresh arena, chasing each reference once
+  // (reloc is idempotent through forwarding pointers): watchers, reasons of
+  // assigned variables, and the two clause lists.
+  ClauseArena to;
+  to.reserve(ca_.size() - ca_.wasted());
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) ca_.reloc(w.cref, to);
   }
-  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
-                                [this](CRef cr) {
-                                  return clauses_[cr].deleted;
-                                }),
-                 learnts_.end());
+  for (Lit l : trail_) {
+    Var v = l.var();
+    if (reason_[v] != kCRefUndef) ca_.reloc(reason_[v], to);
+  }
+  for (CRef& cr : clauses_) ca_.reloc(cr, to);
+  for (CRef& cr : learnts_) ca_.reloc(cr, to);
+  ca_ = std::move(to);
+  stats_.garbage_collections++;
 }
 
 // --- top-level search -----------------------------------------------------
@@ -519,7 +537,10 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflicts_at_solve_start_ = stats_.conflicts;
 
-  max_learnts_ = std::max<std::size_t>(num_problem_clauses_ / 3, 2000);
+  // Never shrink the cap across incremental solves; raise it when the
+  // problem grew. Geometric growth happens at each reduction.
+  max_learnts_ = std::max(
+      {max_learnts_, num_problem_clauses_ * kLearntSizeFactor, kMinLearnts});
 
   SolveResult result = SolveResult::Undecided;
   int restart_count = 0;
@@ -549,7 +570,7 @@ SolveResult Solver::search(std::int64_t conflicts_before_restart) {
 
   while (true) {
     CRef conflict = propagate();
-    if (conflict != kNoCref) {
+    if (conflict != kCRefUndef) {
       stats_.conflicts++;
       conflicts_here++;
       if (decision_level() == 0) return SolveResult::Unsat;
@@ -558,11 +579,11 @@ SolveResult Solver::search(std::int64_t conflicts_before_restart) {
       analyze(conflict, learnt, bt_level);
       cancel_until(bt_level);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], kNoCref);
+        enqueue(learnt[0], kCRefUndef);
       } else {
         CRef cr = alloc_clause(learnt, /*learnt=*/true);
-        Clause& c = clauses_[cr];
-        c.lbd = compute_lbd(learnt);
+        Clause& c = ca_[cr];
+        c.set_lbd(compute_lbd(learnt));
         attach_clause(cr);
         learnts_.push_back(cr);
         clause_bump(c);
@@ -591,7 +612,7 @@ SolveResult Solver::search(std::int64_t conflicts_before_restart) {
       if (decision_level() == 0) simplify_level0();
       if (learnts_.size() >= max_learnts_ + trail_.size()) {
         reduce_learned();
-        max_learnts_ = max_learnts_ + max_learnts_ / 10;
+        max_learnts_ *= kLearntSizeInc;
       }
 
       Lit next = kUndefLit;
@@ -613,7 +634,7 @@ SolveResult Solver::search(std::int64_t conflicts_before_restart) {
         if (next == kUndefLit) return SolveResult::Sat;  // all assigned
       }
       trail_lim_.push_back(static_cast<int>(trail_.size()));
-      enqueue(next, kNoCref);
+      enqueue(next, kCRefUndef);
     }
   }
 }

@@ -6,6 +6,10 @@
 // incremental solving under assumptions, and final-conflict (assumption
 // core) extraction. This is the backend for BMC and IC3; IC3 additionally
 // relies on assumption cores for inductive generalization and state lifting.
+//
+// Clauses live in a contiguous arena (clause_arena.h) and are addressed by
+// 32-bit offsets; dead clauses are compacted away by a copying garbage
+// collection when the wasted fraction exceeds ~20%.
 #ifndef JAVER_SAT_SOLVER_H
 #define JAVER_SAT_SOLVER_H
 
@@ -14,6 +18,8 @@
 #include <vector>
 
 #include "base/timer.h"
+#include "sat/clause_arena.h"
+#include "sat/clause_sink.h"
 #include "sat/types.h"
 
 namespace javer::sat {
@@ -25,23 +31,24 @@ struct SolverStats {
   std::uint64_t restarts = 0;
   std::uint64_t learned_deleted = 0;
   std::uint64_t solves = 0;
+  std::uint64_t garbage_collections = 0;
 };
 
-class Solver {
+class Solver : public ClauseSink {
  public:
   Solver();
 
   // Creates a fresh variable and returns it. Variables are dense ints.
-  Var new_var();
+  Var new_var() override;
   int num_vars() const { return static_cast<int>(assign_.size()); }
 
   // Adds a clause over existing variables. Returns false if the formula
   // became trivially unsatisfiable (empty clause at level 0).
-  bool add_clause(std::span<const Lit> lits);
-  bool add_clause(std::initializer_list<Lit> lits);
-  bool add_unit(Lit l) { return add_clause({l}); }
-  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
-  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+  bool add_clause(std::span<const Lit> lits) override;
+  using ClauseSink::add_binary;
+  using ClauseSink::add_clause;
+  using ClauseSink::add_ternary;
+  using ClauseSink::add_unit;
 
   // Solves under the given assumptions. Undecided is returned only when a
   // budget (deadline or conflict limit) expires.
@@ -72,23 +79,19 @@ class Solver {
   // Prefer this polarity when branching on v (phase saving overrides later).
   void set_polarity(Var v, bool positive) { polarity_[v] = positive ? 1 : 0; }
 
+  // Excludes v from branching (used for variables a preprocessor
+  // eliminated: they have no clauses left, so deciding them is waste).
+  // Non-decision variables stay kUndef in models.
+  void set_decision_var(Var v, bool decision) {
+    decision_[v] = decision ? 1 : 0;
+  }
+
   const SolverStats& stats() const { return stats_; }
 
   // Number of problem (non-learned) clauses currently alive.
   std::size_t num_problem_clauses() const { return num_problem_clauses_; }
 
  private:
-  using CRef = std::int32_t;
-  static constexpr CRef kNoCref = -1;
-
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    std::uint32_t lbd = 0;
-    bool learnt = false;
-    bool deleted = false;
-  };
-
   struct Watcher {
     CRef cref;
     Lit blocker;
@@ -102,6 +105,8 @@ class Solver {
   bool clause_satisfied(const Clause& c) const;
   void reduce_learned();
   void simplify_level0();
+  void check_garbage();
+  void garbage_collect();
 
   // --- search ---
   SolveResult search(std::int64_t conflicts_before_restart);
@@ -133,10 +138,10 @@ class Solver {
   void heap_sift_down(int pos);
 
   // --- data ---
-  std::vector<Clause> clauses_;          // slab; CRef indexes into it
-  std::vector<CRef> free_list_;          // recycled slots
+  ClauseArena ca_;                 // all clauses, inline
+  std::vector<CRef> clauses_;      // problem clauses
+  std::vector<CRef> learnts_;      // learned clauses
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
-  std::vector<CRef> learnts_;
 
   std::vector<Value> assign_;
   std::vector<int> level_;
@@ -151,6 +156,7 @@ class Solver {
   std::vector<int> heap_pos_;  // -1 when not in heap
   std::vector<Var> heap_;
   std::vector<std::uint8_t> polarity_;
+  std::vector<std::uint8_t> decision_;
   std::vector<std::uint8_t> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_clear_;
@@ -161,7 +167,10 @@ class Solver {
 
   bool ok_ = true;
   std::size_t num_problem_clauses_ = 0;
-  std::size_t max_learnts_ = 4000;
+  // Learned-clause cap: initialized to a fraction of the problem clauses on
+  // first use and grown geometrically at every reduction (MiniSat's
+  // learntsize factor/increment). Persists across incremental solves.
+  double max_learnts_ = 0.0;
   const Deadline* deadline_ = nullptr;
   std::uint64_t conflict_budget_ = 0;
   std::uint64_t conflicts_at_solve_start_ = 0;

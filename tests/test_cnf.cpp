@@ -6,6 +6,7 @@
 #include "aig/sim.h"
 #include "base/rng.h"
 #include "cnf/tseitin.h"
+#include "sat/solver.h"
 #include "gen/random_design.h"
 
 namespace javer::cnf {
