@@ -2,10 +2,92 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
 namespace javer::bench {
+
+namespace {
+
+BenchJson* g_active_json = nullptr;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(const std::string& table_id) : table_(table_id) {
+  g_active_json = this;
+}
+
+BenchJson::~BenchJson() {
+  if (g_active_json == this) g_active_json = nullptr;
+  const char* dir = std::getenv("JAVER_BENCH_JSON_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") + "/BENCH_" +
+                     table_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"table\": \"" << json_escape(table_) << "\",\n"
+      << "  \"scale\": " << scale() << ",\n"
+      << "  \"rows\": [" << rows_ << (rows_.empty() ? "" : "\n  ") << "],\n"
+      << "  \"shapes\": [" << shapes_ << (shapes_.empty() ? "" : "\n  ")
+      << "],\n"
+      << "  \"metrics\": {" << metrics_ << (metrics_.empty() ? "" : "\n  ")
+      << "}\n}\n";
+  std::printf("bench-json: wrote %s\n", path.c_str());
+}
+
+void BenchJson::row(const std::string& design, const std::string& config,
+                    const Summary& s) {
+  std::ostringstream ss;
+  ss << (rows_.empty() ? "" : ",") << "\n    {\"design\": \""
+     << json_escape(design) << "\", \"config\": \"" << json_escape(config)
+     << "\", \"num_false\": " << s.num_false
+     << ", \"num_true\": " << s.num_true
+     << ", \"num_unsolved\": " << s.num_unsolved
+     << ", \"debug_set\": " << s.debug_set_size
+     << ", \"seconds\": " << s.seconds
+     << ", \"max_frames\": " << s.max_frames
+     << ", \"sat_propagations\": " << s.sat_propagations
+     << ", \"sat_conflicts\": " << s.sat_conflicts
+     << ", \"simp_vars_eliminated\": " << s.simp_vars_eliminated << "}";
+  rows_ += ss.str();
+}
+
+void BenchJson::shape(const std::string& claim, bool ok) {
+  std::ostringstream ss;
+  ss << (shapes_.empty() ? "" : ",") << "\n    {\"claim\": \""
+     << json_escape(claim) << "\", \"reproduced\": " << (ok ? "true" : "false")
+     << "}";
+  shapes_ += ss.str();
+}
+
+void BenchJson::metric(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss << (metrics_.empty() ? "" : ",") << "\n    \"" << json_escape(key)
+     << "\": " << value;
+  metrics_ += ss.str();
+}
+
+void record_row(const std::string& design, const std::string& config,
+                const Summary& s) {
+  if (g_active_json != nullptr) g_active_json->row(design, config, s);
+}
+
+void record_metric(const std::string& key, double value) {
+  if (g_active_json != nullptr) g_active_json->metric(key, value);
+}
 
 double scale() {
   static double cached = [] {
@@ -30,6 +112,7 @@ void print_title(const std::string& table, const std::string& caption) {
 void print_shape(const std::string& claim, bool reproduced) {
   std::printf("paper-shape: %s: %s\n", claim.c_str(),
               reproduced ? "OK" : "NOT REPRODUCED");
+  if (g_active_json != nullptr) g_active_json->shape(claim, reproduced);
 }
 
 aig::Aig truncate_properties(const aig::Aig& aig, std::size_t k) {

@@ -26,7 +26,8 @@ double budget(double base_seconds);
 std::string fmt_time(double seconds);
 
 void print_title(const std::string& table, const std::string& caption);
-// Prints "paper-shape: <claim>: OK|NOT REPRODUCED".
+// Prints "paper-shape: <claim>: OK|NOT REPRODUCED" (and records the shape
+// into the active BenchJson, when one exists).
 void print_shape(const std::string& claim, bool reproduced);
 
 // A copy of `aig` keeping only the first k properties ("verify the first
@@ -47,6 +48,35 @@ struct Summary {
 };
 
 Summary summarize(const mp::MultiResult& result);
+
+// Machine-readable results: each bench constructs one BenchJson at the
+// top of main(); rows/shapes/metrics accumulate and the destructor writes
+// BENCH_<table_id>.json into JAVER_BENCH_JSON_DIR (default: the working
+// directory), so the perf trajectory of every table is tracked run over
+// run. The constructor registers the instance as the process-wide active
+// recorder: print_shape() and the record_*() helpers below feed it
+// without threading a pointer through shared helpers.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& table_id);
+  ~BenchJson();
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void row(const std::string& design, const std::string& config,
+           const Summary& s);
+  void shape(const std::string& claim, bool ok);
+  void metric(const std::string& key, double value);
+
+ private:
+  std::string table_;
+  std::string rows_, shapes_, metrics_;
+};
+
+// Forward to the active BenchJson; no-ops when none exists.
+void record_row(const std::string& design, const std::string& config,
+                const Summary& s);
+void record_metric(const std::string& key, double value);
 
 struct NamedDesign {
   std::string name;

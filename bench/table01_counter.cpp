@@ -30,6 +30,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  bench::BenchJson json("table01");
   bench::print_title(
       "Table I", "Example with a counter: solving globally (BMC, PDR) vs "
                  "locally (JA-verification). '*' = time limit exceeded.");
@@ -94,6 +95,12 @@ int main() {
                 bench::fmt_time(row.local_seconds).c_str());
   }
 
+  for (const Row& r : rows) {
+    bench::record_metric("bits" + std::to_string(r.bits) + "_local_seconds",
+                         r.local_seconds);
+    bench::record_metric("bits" + std::to_string(r.bits) + "_pdr_seconds",
+                         r.pdr_seconds);
+  }
   // Shape checks.
   const Row& first = rows.front();
   const Row& last = rows.back();

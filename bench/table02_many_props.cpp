@@ -14,6 +14,7 @@
 using namespace javer;
 
 int main() {
+  bench::BenchJson json("table02");
   bench::print_title(
       "Table II",
       "Designs with many properties: joint vs JA on the first k "
@@ -79,11 +80,13 @@ int main() {
       mp::JointOptions jopts;
       jopts.total_time_limit = joint_limit;
       bench::Summary joint = bench::summarize(mp::JointVerifier(ts, jopts).run());
+      bench::record_row(d.name, "joint-k" + std::to_string(k), joint);
 
       mp::JaOptions japts;
       japts.time_limit_per_property = ja_prop_limit;
       japts.total_time_limit = joint_limit * 2;
       bench::Summary ja = bench::summarize(mp::JaVerifier(ts, japts).run());
+      bench::record_row(d.name, "ja-k" + std::to_string(k), ja);
 
       std::printf("%9s %6zu | %14zu %9s | %14zu %9s\n", d.name, k,
                   joint.num_unsolved, bench::fmt_time(joint.seconds).c_str(),
@@ -123,6 +126,8 @@ int main() {
     };
     bench::Summary off = run_ja(false);
     bench::Summary on = run_ja(true);
+    bench::record_row(designs[0].name, "ja-simplify-off", off);
+    bench::record_row(designs[0].name, "ja-simplify-on", on);
 
     std::printf("%12s %14s %14s %12s %9s\n", "simplify", "propagations",
                 "conflicts", "vars-elim", "time");

@@ -14,6 +14,7 @@
 using namespace javer;
 
 int main() {
+  bench::BenchJson json("table04");
   bench::print_title(
       "Table IV",
       "All-true designs: joint vs JA (clause re-use) vs JA with a "
@@ -39,10 +40,12 @@ int main() {
     mp::JointOptions jopts;
     jopts.total_time_limit = joint_limit;
     bench::Summary joint = bench::summarize(mp::JointVerifier(ts, jopts).run());
+    bench::record_row(d.name, "joint", joint);
 
     mp::JaOptions japts;
     japts.time_limit_per_property = ja_prop_limit;
     bench::Summary ja = bench::summarize(mp::JaVerifier(ts, japts).run());
+    bench::record_row(d.name, "ja-design-order", ja);
 
     // Shuffled order (seeded by design) to show order sensitivity.
     mp::JaOptions shuffled = japts;
@@ -56,6 +59,7 @@ int main() {
       shuffled.order = order;
     }
     bench::Summary ord = bench::summarize(mp::JaVerifier(ts, shuffled).run());
+    bench::record_row(d.name, "ja-shuffled-order", ord);
 
     std::printf("%9s %5zu %5zu | %10s | %7zu %10s | %7zu %10s\n",
                 d.name.c_str(), design.num_latches(), design.num_properties(),

@@ -12,6 +12,7 @@
 using namespace javer;
 
 int main() {
+  bench::BenchJson json("table05");
   bench::print_title(
       "Table V",
       "Separate verification with global vs local proofs, designs with "
@@ -38,6 +39,7 @@ int main() {
     global_opts.time_limit_per_property = prop_limit;
     bench::Summary glob =
         bench::summarize(mp::SeparateVerifier(ts, global_opts).run());
+    bench::record_row(d.name, "separate-global", glob);
 
     mp::SeparateOptions local_opts;
     local_opts.local_proofs = true;
@@ -45,6 +47,7 @@ int main() {
     local_opts.time_limit_per_property = prop_limit;
     bench::Summary loc =
         bench::summarize(mp::SeparateVerifier(ts, local_opts).run());
+    bench::record_row(d.name, "separate-local", loc);
 
     std::printf("%9s %6zu | %10zu %10s | %10zu %10s\n", d.name.c_str(),
                 design.num_properties(), glob.num_unsolved,
@@ -62,6 +65,8 @@ int main() {
     local_total += loc.seconds;
   }
 
+  bench::record_metric("global_total_seconds", global_total);
+  bench::record_metric("local_total_seconds", local_total);
   std::printf("\ntotals: global %s, local %s\n",
               bench::fmt_time(global_total).c_str(),
               bench::fmt_time(local_total).c_str());

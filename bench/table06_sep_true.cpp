@@ -11,6 +11,7 @@
 using namespace javer;
 
 int main() {
+  bench::BenchJson json("table06");
   bench::print_title(
       "Table VI",
       "Separate verification with global vs local proofs, all-true "
@@ -36,6 +37,7 @@ int main() {
     global_opts.time_limit_per_property = prop_limit;
     bench::Summary glob =
         bench::summarize(mp::SeparateVerifier(ts, global_opts).run());
+    bench::record_row(d.name, "separate-global", glob);
 
     mp::SeparateOptions local_opts;
     local_opts.local_proofs = true;
@@ -43,6 +45,7 @@ int main() {
     local_opts.time_limit_per_property = prop_limit;
     bench::Summary loc =
         bench::summarize(mp::SeparateVerifier(ts, local_opts).run());
+    bench::record_row(d.name, "separate-local", loc);
 
     std::printf("%9s %6zu | %10zu %10s | %10zu %10s\n", d.name.c_str(),
                 design.num_properties(), glob.num_unsolved,

@@ -24,6 +24,7 @@ std::uint64_t total_queries(const mp::MultiResult& result) {
 }  // namespace
 
 int main() {
+  bench::BenchJson json("table07");
   bench::print_title(
       "Table VII",
       "Re-using strengthening clauses in JA-verification (all-true "
@@ -50,12 +51,14 @@ int main() {
     no_reuse.time_limit_per_property = prop_limit;
     mp::MultiResult r_without = mp::JaVerifier(ts, no_reuse).run();
     bench::Summary s_without = bench::summarize(r_without);
+    bench::record_row(d.name, "ja-no-reuse", s_without);
 
     mp::JaOptions reuse;
     reuse.clause_reuse = true;
     reuse.time_limit_per_property = prop_limit;
     mp::MultiResult r_with = mp::JaVerifier(ts, reuse).run();
     bench::Summary s_with = bench::summarize(r_with);
+    bench::record_row(d.name, "ja-reuse", s_with);
 
     std::printf("%9s %6zu | %8zu %10s %10llu | %8zu %10s %10llu\n",
                 d.name.c_str(), design.num_properties(),

@@ -11,6 +11,7 @@
 using namespace javer;
 
 int main() {
+  bench::BenchJson json("table08");
   bench::print_title(
       "Table VIII",
       "JA-verification with lifting respecting vs ignoring property "
@@ -35,12 +36,14 @@ int main() {
     respect.time_limit_per_property = prop_limit;
     mp::MultiResult r_respect = mp::JaVerifier(ts, respect).run();
     bench::Summary s_respect = bench::summarize(r_respect);
+    bench::record_row(d.name, "lifting-respect", s_respect);
 
     mp::JaOptions ignore;
     ignore.lifting_respects_constraints = false;
     ignore.time_limit_per_property = prop_limit;
     mp::MultiResult r_ignore = mp::JaVerifier(ts, ignore).run();
     bench::Summary s_ignore = bench::summarize(r_ignore);
+    bench::record_row(d.name, "lifting-ignore", s_ignore);
 
     int retries = 0;
     for (const auto& pr : r_ignore.per_property) {

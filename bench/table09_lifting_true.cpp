@@ -24,6 +24,7 @@ std::uint64_t total_obligations(const mp::MultiResult& result) {
 }  // namespace
 
 int main() {
+  bench::BenchJson json("table09");
   bench::print_title(
       "Table IX",
       "JA-verification with lifting respecting vs ignoring property "
@@ -50,12 +51,14 @@ int main() {
     respect.time_limit_per_property = prop_limit;
     mp::MultiResult r_respect = mp::JaVerifier(ts, respect).run();
     bench::Summary s_respect = bench::summarize(r_respect);
+    bench::record_row(d.name, "lifting-respect", s_respect);
 
     mp::JaOptions ignore;
     ignore.lifting_respects_constraints = false;
     ignore.time_limit_per_property = prop_limit;
     mp::MultiResult r_ignore = mp::JaVerifier(ts, ignore).run();
     bench::Summary s_ignore = bench::summarize(r_ignore);
+    bench::record_row(d.name, "lifting-ignore", s_ignore);
 
     std::printf("%9s %6zu | %8zu %10s %8llu | %8zu %10s %8llu\n",
                 d.name.c_str(), design.num_properties(),

@@ -18,6 +18,7 @@
 using namespace javer;
 
 int main() {
+  bench::BenchJson json("table10");
   bench::print_title(
       "Table X + Section 11",
       "Verification of single properties of a many-property one-hot-ring "
@@ -83,11 +84,17 @@ int main() {
     mp::MultiResult result = mp::ParallelJaVerifier(ts, opts).run();
     double elapsed = t.seconds();
     if (n == 1) seq_time = elapsed;
+    bench::Summary s = bench::summarize(result);
+    s.seconds = elapsed;
+    bench::record_row("ring", "parallel-ja-" + std::to_string(n) +
+                                  "-threads", s);
     std::printf("  %2u thread(s): %s (%zu proved, %zu unsolved)\n", n,
                 bench::fmt_time(elapsed).c_str(), result.num_proved(),
                 result.num_unsolved());
   }
 
+  bench::record_metric("max_global_seconds", max_global_time);
+  bench::record_metric("max_local_seconds", max_local_time);
   bench::print_shape("local proofs use exactly 1 time frame",
                      all_local_one_frame);
   bench::print_shape("global proofs need several time frames",

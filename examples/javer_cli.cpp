@@ -1,25 +1,12 @@
 // javer_cli: a command-line multi-property model checker over AIGER files
-// exposing every verification mode of the library.
-//
-//   javer_cli [options] <design.aig|aag>
-//     --mode ja|joint|separate-global|parallel|clustered   (default: ja)
-//     --time-limit <sec/property or total for joint>       (default: 60)
-//     --order design|cone|shuffle                          (default: design)
-//     --no-reuse           disable strengthening-clause re-use
-//     --strict-lifting     lifting respects property constraints (§7-A)
-//     --simplify           preprocess every SAT context's CNF (subsumption
-//                          + bounded variable elimination, sat/simp/)
-//     --etf <i>            mark property i Expected-To-Fail (repeatable)
-//     --witness            print AIGER witnesses for failed properties
-//     --certify            re-check every proof with independent SAT
-//                          queries (initiation/consecution/safety)
-//     --clause-db <file>   load/save the clause database (the paper's
-//                          external clauseDB)
-//     --quiet              summary only
+// exposing every verification mode of the library, including the
+// scheduler's hybrid BMC+IC3 policy. Run with --help for the full option
+// reference.
 //
 // Exit code: 0 all properties hold, 1 some property fails, 2 unsolved
-// properties remain, 3 usage/input error.
+// properties remain, 3 usage/input error or failed certification.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -35,36 +22,97 @@
 #include "mp/ordering.h"
 #include "mp/parallel_ja.h"
 #include "mp/report.h"
+#include "mp/sched/scheduler.h"
 #include "mp/separate_verifier.h"
 #include "ts/witness.h"
 
 namespace {
 
 struct CliOptions {
-  std::string mode = "ja";
+  std::string engine = "ja";
   std::string path;
   std::string order = "design";
   std::string clause_db_path;
   double time_limit = 60.0;
+  unsigned threads = 0;  // 0 = hardware concurrency (parallel/hybrid)
+  int bmc_depth = 64;    // hybrid: cap on the shared BMC unrolling
   bool reuse = true;
   bool strict_lifting = false;
   bool simplify = false;
   bool witness = false;
   bool certify = false;
   bool quiet = false;
+  bool help = false;
   std::vector<std::size_t> etf;
 };
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: javer_cli [--mode ja|joint|separate-global|parallel|"
-               "clustered]\n"
-               "                 [--time-limit SEC] [--order design|cone|"
-               "shuffle]\n"
-               "                 [--no-reuse] [--strict-lifting] [--simplify]"
-               " [--etf I]*\n"
-               "                 [--witness] [--clause-db FILE] [--quiet]\n"
-               "                 design.aig\n");
+void usage(std::FILE* out) {
+  std::fprintf(out,
+"usage: javer_cli [options] <design.aig|aag>\n"
+"\n"
+"A multi-property model checker implementing the paper's JA-verification\n"
+"(\"just assume\") framework: every mode is a policy preset of one\n"
+"property scheduler (src/mp/sched/).\n"
+"\n"
+"engine selection:\n"
+"  --engine NAME        separate | ja | joint | parallel | hybrid |\n"
+"                       clustered             (default: ja)\n"
+"                         separate  global proofs, one property at a time\n"
+"                         ja        local proofs + clause re-use (paper's\n"
+"                                   headline algorithm)\n"
+"                         joint     one IC3 run on the conjunction,\n"
+"                                   CEX-refine loop\n"
+"                         parallel  JA on a work-stealing worker pool\n"
+"                         hybrid    shared BMC falsification sweeps\n"
+"                                   interleaved with IC3 proof slices\n"
+"                         clustered cone-similarity clusters, verified\n"
+"                                   jointly per cluster\n"
+"  --mode NAME          deprecated alias for --engine (also accepts\n"
+"                       separate-global)\n"
+"\n"
+"resource limits:\n"
+"  --time-limit SEC     per property (separate/ja/parallel/hybrid) or\n"
+"                       total (joint/clustered)       (default: 60)\n"
+"  --threads N          worker threads for parallel/hybrid; 0 = all\n"
+"                       hardware threads              (default: 0)\n"
+"  --bmc-depth N        hybrid only: cap on the shared BMC unrolling\n"
+"                       depth                         (default: 64)\n"
+"\n"
+"strategy knobs:\n"
+"  --order KIND         design | cone | shuffle       (default: design)\n"
+"  --no-reuse           disable strengthening-clause re-use\n"
+"  --strict-lifting     lifting respects property constraints (paper 7-A)\n"
+"  --simplify           preprocess every SAT context's CNF (subsumption +\n"
+"                       bounded variable elimination, sat/simp/)\n"
+"  --etf I              mark property I Expected-To-Fail; repeatable\n"
+"                       (ETF properties are never assumed)\n"
+"\n"
+"input/output:\n"
+"  --clause-db FILE     load/save the clause database (the paper's\n"
+"                       external clauseDB)\n"
+"  --witness            print AIGER witnesses for failed properties on\n"
+"                       stdout (report moves to stderr)\n"
+"  --certify            re-check every proof with independent SAT queries\n"
+"                       (initiation/consecution/safety)\n"
+"  --quiet              summary only\n"
+"  --help, -h           this text\n"
+"\n"
+"exit code: 0 all properties hold, 1 some property fails, 2 unsolved\n"
+"properties remain, 3 usage/input error or failed certification.\n");
+}
+
+bool parse_number(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0' && out >= 0;
+}
+
+bool parse_number(const char* text, unsigned long& out) {
+  // strtoul silently wraps negative input ("-1" -> ULONG_MAX); reject it.
+  if (text[0] == '-') return false;
+  char* end = nullptr;
+  out = std::strtoul(text, &end, 10);
+  return end != text && *end == '\0';
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opts) {
@@ -77,22 +125,45 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       }
       return argv[++i];
     };
-    if (arg == "--mode") {
-      const char* v = next("--mode");
+    auto next_number = [&](const char* what, unsigned long& out) {
+      const char* v = next(what);
       if (v == nullptr) return false;
-      opts.mode = v;
+      if (!parse_number(v, out)) {
+        std::fprintf(stderr, "javer_cli: %s wants a number, got '%s'\n",
+                     what, v);
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--engine" || arg == "--mode") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opts.engine = v;
     } else if (arg == "--time-limit") {
       const char* v = next("--time-limit");
       if (v == nullptr) return false;
-      opts.time_limit = std::atof(v);
+      if (!parse_number(v, opts.time_limit)) {
+        std::fprintf(stderr,
+                     "javer_cli: --time-limit wants a non-negative number, "
+                     "got '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--threads") {
+      unsigned long n = 0;
+      if (!next_number("--threads", n)) return false;
+      opts.threads = static_cast<unsigned>(n);
+    } else if (arg == "--bmc-depth") {
+      unsigned long n = 0;
+      if (!next_number("--bmc-depth", n)) return false;
+      opts.bmc_depth = static_cast<int>(n);
     } else if (arg == "--order") {
       const char* v = next("--order");
       if (v == nullptr) return false;
       opts.order = v;
     } else if (arg == "--etf") {
-      const char* v = next("--etf");
-      if (v == nullptr) return false;
-      opts.etf.push_back(std::strtoul(v, nullptr, 10));
+      unsigned long n = 0;
+      if (!next_number("--etf", n)) return false;
+      opts.etf.push_back(n);
     } else if (arg == "--clause-db") {
       const char* v = next("--clause-db");
       if (v == nullptr) return false;
@@ -110,15 +181,24 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
-      return false;
+      opts.help = true;
+      return true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "javer_cli: unknown option %s\n", arg.c_str());
+      std::fprintf(stderr, "javer_cli: unknown option '%s'\n", arg.c_str());
+      return false;
+    } else if (!opts.path.empty()) {
+      std::fprintf(stderr, "javer_cli: unexpected extra argument '%s'\n",
+                   arg.c_str());
       return false;
     } else {
       opts.path = arg;
     }
   }
-  return !opts.path.empty();
+  if (opts.path.empty()) {
+    std::fprintf(stderr, "javer_cli: no design file given\n");
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -127,8 +207,12 @@ int main(int argc, char** argv) {
   using namespace javer;
   CliOptions cli;
   if (!parse_args(argc, argv, cli)) {
-    usage();
+    usage(stderr);
     return 3;
+  }
+  if (cli.help) {
+    usage(stdout);
+    return 0;
   }
 
   aig::Aig design;
@@ -183,7 +267,7 @@ int main(int argc, char** argv) {
 
   Timer timer;
   mp::MultiResult result;
-  if (cli.mode == "ja") {
+  if (cli.engine == "ja") {
     mp::JaOptions opts;
     opts.time_limit_per_property = cli.time_limit;
     opts.clause_reuse = cli.reuse;
@@ -191,7 +275,7 @@ int main(int argc, char** argv) {
     opts.simplify = cli.simplify;
     opts.order = order;
     result = mp::JaVerifier(ts, opts).run(db);
-  } else if (cli.mode == "separate-global") {
+  } else if (cli.engine == "separate" || cli.engine == "separate-global") {
     mp::SeparateOptions opts;
     opts.local_proofs = false;
     opts.clause_reuse = cli.reuse;
@@ -199,25 +283,39 @@ int main(int argc, char** argv) {
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
     result = mp::SeparateVerifier(ts, opts).run(db);
-  } else if (cli.mode == "joint") {
+  } else if (cli.engine == "joint") {
     mp::JointOptions opts;
     opts.total_time_limit = cli.time_limit;
     opts.simplify = cli.simplify;
     result = mp::JointVerifier(ts, opts).run();
-  } else if (cli.mode == "parallel") {
+  } else if (cli.engine == "parallel") {
     mp::ParallelJaOptions opts;
+    opts.num_threads = cli.threads;
     opts.time_limit_per_property = cli.time_limit;
     opts.clause_reuse = cli.reuse;
     opts.lifting_respects_constraints = cli.strict_lifting;
     opts.simplify = cli.simplify;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
-  } else if (cli.mode == "clustered") {
+  } else if (cli.engine == "hybrid") {
+    mp::sched::SchedulerOptions opts;
+    opts.proof_mode = mp::sched::ProofMode::Local;
+    opts.dispatch = mp::sched::DispatchPolicy::HybridBmcIc3;
+    opts.num_threads = cli.threads;
+    opts.bmc_max_depth = cli.bmc_depth;
+    opts.engine.time_limit_per_property = cli.time_limit;
+    opts.engine.clause_reuse = cli.reuse;
+    opts.engine.lifting_respects_constraints = cli.strict_lifting;
+    opts.engine.simplify = cli.simplify;
+    opts.engine.order = order;
+    result = mp::sched::Scheduler(ts, opts).run(db);
+  } else if (cli.engine == "clustered") {
     mp::ClusteredJointOptions opts;
     opts.total_time_limit = cli.time_limit;
     opts.simplify = cli.simplify;
     result = mp::ClusteredJointVerifier(ts, opts).run();
   } else {
-    std::fprintf(stderr, "javer_cli: unknown mode '%s'\n", cli.mode.c_str());
+    std::fprintf(stderr, "javer_cli: unknown engine '%s'\n",
+                 cli.engine.c_str());
     return 3;
   }
 
@@ -257,7 +355,7 @@ int main(int argc, char** argv) {
       }
       if (pr.invariant.empty() &&
           pr.verdict == mp::PropertyVerdict::HoldsGlobally &&
-          (cli.mode == "joint" || cli.mode == "clustered")) {
+          (cli.engine == "joint" || cli.engine == "clustered")) {
         continue;  // joint modes do not export per-property certificates
       }
       std::vector<std::size_t> assumed;

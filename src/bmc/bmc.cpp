@@ -94,7 +94,8 @@ BmcResult Bmc::run(const std::vector<std::size_t>& targets,
   pre_.set_enabled(opts.simplify);
 
   BmcResult result;
-  for (int depth = 0; depth <= opts.max_depth; ++depth) {
+  result.frames_explored = opts.start_depth;
+  for (int depth = opts.start_depth; depth <= opts.max_depth; ++depth) {
     while (static_cast<int>(frames_.size()) <= depth) make_next_frame();
     cnf::Encoder::Frame& f = frames_[depth];
     if (opts.simplify) complete_frame(f);

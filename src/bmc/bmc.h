@@ -23,10 +23,19 @@ namespace javer::bmc {
 
 struct BmcOptions {
   int max_depth = 100000;
+  // First bound to query. A later run() may continue a previous one's
+  // unrolling by passing the previous result's frames_explored here —
+  // sound as long as the assumed set never changes across the calls on
+  // one Bmc instance (the scheduler's interleaved sweeps rely on this).
+  int start_depth = 0;
   double time_limit_seconds = 0.0;     // 0 = unlimited
   std::uint64_t conflict_budget = 0;   // per solve; 0 = unlimited
   // Property indices asserted to hold on all non-final steps (the "just
-  // assume" constraints). Must not overlap `targets`.
+  // assume" constraints). A property may be both assumed and a target:
+  // the assumption binds only the trace prefix, so the first failure of
+  // the target at the final step is still found — this is exactly the
+  // debugging-set ("first to fail") semantics the scheduler's hybrid
+  // sweeps use.
   std::vector<std::size_t> assumed;
   // Preprocess each unrolling frame's CNF (subsumption + bounded variable
   // elimination over the Tseitin auxiliaries, sat/simp/) before it enters

@@ -39,29 +39,81 @@ std::unique_ptr<FrameSolver> Ic3::make_solver(int k) const {
   config.init_units = (k == 0);
   config.simplify = opts_.simplify;
   config.simp_cache = opts_.simplify ? &simp_cache_ : nullptr;
-  config.deadline = opts_.time_limit_seconds > 0 ? &deadline_ : nullptr;
+  // The slice deadline is the effective one (overall ∧ slice); a Deadline
+  // with budget 0 never expires, so unbudgeted runs are unaffected.
+  config.deadline = &slice_deadline_;
   config.conflict_budget = opts_.conflict_budget_per_query;
   return std::make_unique<FrameSolver>(ts_, config);
 }
 
-void Ic3::absorb_stats(const FrameSolver& fs) {
+namespace {
+
+// Folds one solver context's SAT/simp counters into `into` — shared by
+// retiring contexts (absorb_stats) and the per-slice cumulative report
+// (finalize_stats) so the two can never disagree field-for-field.
+void fold_solver_stats(Ic3Stats& into, const FrameSolver& fs) {
   const sat::SolverStats& s = fs.stats();
-  stats_.sat_propagations += s.propagations;
-  stats_.sat_conflicts += s.conflicts;
-  stats_.sat_decisions += s.decisions;
+  into.sat_propagations += s.propagations;
+  into.sat_conflicts += s.conflicts;
+  into.sat_decisions += s.decisions;
   const sat::simp::SimpStats& p = fs.simp_stats();
-  stats_.simp_vars_eliminated += p.vars_eliminated;
-  stats_.simp_clauses_in += p.clauses_in;
-  stats_.simp_clauses_out += p.clauses_out;
+  into.simp_vars_eliminated += p.vars_eliminated;
+  into.simp_clauses_in += p.clauses_in;
+  into.simp_clauses_out += p.clauses_out;
 }
 
-Ic3Stats Ic3::finalize_stats() {
-  // Called once, on the way out of run(): fold the still-live contexts'
-  // counters into the retired totals.
-  for (const auto& fs : solvers_) absorb_stats(*fs);
-  if (lift_solver_) absorb_stats(*lift_solver_);
-  if (inf_solver_) absorb_stats(*inf_solver_);
-  return stats_;
+}  // namespace
+
+void Ic3::absorb_stats(const FrameSolver& fs) {
+  fold_solver_stats(stats_, fs);
+}
+
+Ic3Stats Ic3::finalize_stats() const {
+  // Retired totals plus the still-live contexts' counters, computed
+  // without mutating stats_ so that every slice can report the cumulative
+  // numbers (live counters keep accumulating across slices).
+  Ic3Stats out = stats_;
+  for (const auto& fs : solvers_) fold_solver_stats(out, *fs);
+  if (lift_solver_) fold_solver_stats(out, *lift_solver_);
+  if (inf_solver_) fold_solver_stats(out, *inf_solver_);
+  return out;
+}
+
+std::uint64_t Ic3::total_conflicts() const {
+  std::uint64_t total = stats_.sat_conflicts;
+  for (const auto& fs : solvers_) total += fs->stats().conflicts;
+  if (lift_solver_) total += lift_solver_->stats().conflicts;
+  if (inf_solver_) total += inf_solver_->stats().conflicts;
+  return total;
+}
+
+void Ic3::begin_slice(const Ic3Budget& budget) {
+  slicing_ =
+      budget.time_slice_seconds > 0 || budget.conflict_slice > 0;
+  double effective = 0.0;
+  if (opts_.time_limit_seconds > 0) {
+    // Never 0 (= unlimited): an already-expired overall deadline must make
+    // the very next solver poll fail.
+    effective = std::max(deadline_.remaining(), 1e-9);
+  }
+  if (budget.time_slice_seconds > 0 &&
+      (effective <= 0 || budget.time_slice_seconds < effective)) {
+    effective = budget.time_slice_seconds;
+  }
+  slice_deadline_ = Deadline(effective);
+  slice_conflict_limit_ =
+      budget.conflict_slice > 0 ? total_conflicts() + budget.conflict_slice
+                                : 0;
+}
+
+void Ic3::poll_budget() const {
+  if (opts_.time_limit_seconds > 0 && deadline_.expired()) throw Timeout{};
+  if (!slicing_) return;
+  if (slice_deadline_.expired()) throw Suspend{};
+  if (slice_conflict_limit_ > 0 &&
+      total_conflicts() >= slice_conflict_limit_) {
+    throw Suspend{};
+  }
 }
 
 FrameSolver& Ic3::ctx(int k) {
@@ -144,8 +196,14 @@ void Ic3::ensure_frame(int k) {
 }
 
 sat::SolveResult Ic3::checked(sat::SolveResult r) const {
-  if (r == sat::SolveResult::Undecided) throw Timeout{};
-  return r;
+  if (r != sat::SolveResult::Undecided) return r;
+  // Undecided = a solver context hit the effective deadline or its
+  // per-query conflict budget. Attribute it: overall expiry and per-query
+  // budgets are hard stops; anything else under a slice is a suspension.
+  if (opts_.time_limit_seconds > 0 && deadline_.expired()) throw Timeout{};
+  if (slicing_ && slice_deadline_.expired()) throw Suspend{};
+  if (slicing_ && opts_.conflict_budget_per_query == 0) throw Suspend{};
+  throw Timeout{};
 }
 
 // --- seed clause validation (clause re-use, §6-B/§7-B) ---------------------
@@ -171,7 +229,7 @@ void Ic3::validate_seed_clauses() {
     config.assumed = opts_.assumed;
     config.simplify = opts_.simplify;
     config.simp_cache = opts_.simplify ? &simp_cache_ : nullptr;
-    config.deadline = opts_.time_limit_seconds > 0 ? &deadline_ : nullptr;
+    config.deadline = &slice_deadline_;
     config.conflict_budget = opts_.conflict_budget_per_query;
     FrameSolver checker(ts_, config);
     for (const ts::Cube& c : candidates) checker.add_blocking_clause(c);
@@ -348,7 +406,7 @@ bool Ic3::block_obligation(int root_index) {
       continue;
     }
 
-    if (deadline_.expired() && opts_.time_limit_seconds > 0) throw Timeout{};
+    poll_budget();
 
     // PDR's push-to-infinity, tried first on the untouched obligation
     // cube: if ¬cube is inductive relative to the path constraints alone,
@@ -423,18 +481,31 @@ bool Ic3::block_obligation(int root_index) {
 
 void Ic3::propagate_and_check_fixpoint() {
   for (int lvl = 1; lvl < top_frame_; ++lvl) {
+    poll_budget();
     std::vector<ts::Cube> keep;
     std::vector<ts::Cube> cubes = frame_cubes_[lvl];  // copy: list mutates
-    for (const ts::Cube& c : cubes) {
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
       // ¬c is already in F_lvl, so no extra negation is needed.
       stats_.consecution_queries++;
-      sat::SolveResult r = checked(
-          ctx(lvl).query_consecution(c, /*add_negation=*/false, nullptr));
+      sat::SolveResult r;
+      try {
+        r = checked(ctx(lvl).query_consecution(cubes[i],
+                                               /*add_negation=*/false,
+                                               nullptr));
+      } catch (...) {
+        // Budget expiry mid-level: commit the partition so far (already
+        // pushed cubes leave F_lvl, the unprocessed tail stays) instead
+        // of leaving pushed cubes duplicated at both levels for the next
+        // slice to re-push.
+        keep.insert(keep.end(), cubes.begin() + i, cubes.end());
+        frame_cubes_[lvl] = std::move(keep);
+        throw;
+      }
       if (r == sat::SolveResult::Unsat) {
-        frame_cubes_[lvl + 1].push_back(c);
-        solvers_[lvl + 1]->add_blocking_clause(c);
+        frame_cubes_[lvl + 1].push_back(cubes[i]);
+        solvers_[lvl + 1]->add_blocking_clause(cubes[i]);
       } else {
-        keep.push_back(c);
+        keep.push_back(cubes[i]);
       }
     }
     frame_cubes_[lvl] = std::move(keep);
@@ -448,33 +519,53 @@ void Ic3::propagate_and_check_fixpoint() {
 
 // --- main loop ---------------------------------------------------------------
 
-Ic3Result Ic3::run() {
+Ic3Result Ic3::run() { return run(Ic3Budget{}); }
+
+Ic3Result Ic3::run(const Ic3Budget& budget) {
+  begin_slice(budget);
   Ic3Result result;
+  result.frames = top_frame_;
+  if (phase_ == Phase::Done) {
+    // Re-running a finished engine: report the verdict again (without the
+    // trace/invariant, which the terminal slice moved out).
+    result.status = final_status_;
+    result.stats = finalize_stats();
+    return result;
+  }
   try {
-    validate_seed_clauses();
-    mine_singleton_invariants();
-    ensure_frame(0);
-
-    // Depth-0 check: an initial state violating the property.
-    if (checked(ctx(0).query_bad()) == sat::SolveResult::Sat) {
-      build_cex(ctx(0).model_state(), ctx(0).model_inputs(), -1);
-      result.status = CheckStatus::Fails;
-      result.frames = 0;
-      result.cex = std::move(cex_);
-      result.stats = finalize_stats();
-      return result;
+    if (phase_ == Phase::SeedValidation) {
+      validate_seed_clauses();
+      phase_ = Phase::Mining;
     }
-
-    top_frame_ = 1;
-    ensure_frame(1);
+    if (phase_ == Phase::Mining) {
+      mine_singleton_invariants();
+      ensure_frame(0);
+      phase_ = Phase::Depth0;
+    }
+    if (phase_ == Phase::Depth0) {
+      // Depth-0 check: an initial state violating the property.
+      if (checked(ctx(0).query_bad()) == sat::SolveResult::Sat) {
+        build_cex(ctx(0).model_state(), ctx(0).model_inputs(), -1);
+        phase_ = Phase::Done;
+        final_status_ = CheckStatus::Fails;
+        result.status = CheckStatus::Fails;
+        result.frames = 0;
+        result.cex = std::move(cex_);
+        result.stats = finalize_stats();
+        return result;
+      }
+      top_frame_ = 1;
+      ensure_frame(1);
+      phase_ = Phase::Main;
+    }
 
     while (true) {
       // Clear all bad states reachable within top_frame_ steps.
       while (checked(ctx(top_frame_).query_bad()) == sat::SolveResult::Sat) {
-        if (opts_.time_limit_seconds > 0 && deadline_.expired()) {
-          throw Timeout{};
-        }
+        poll_budget();
         if (!block_from_bad_state()) {
+          phase_ = Phase::Done;
+          final_status_ = CheckStatus::Fails;
           result.status = CheckStatus::Fails;
           result.frames = top_frame_;
           result.cex = std::move(cex_);
@@ -490,6 +581,8 @@ Ic3Result Ic3::run() {
       ensure_frame(top_frame_);
       propagate_and_check_fixpoint();
       if (fixpoint_found_) {
+        phase_ = Phase::Done;
+        final_status_ = CheckStatus::Holds;
         result.status = CheckStatus::Holds;
         result.frames = std::max(result.frames, fixpoint_level_);
         result.invariant = inf_cubes_;
@@ -507,6 +600,17 @@ Ic3Result Ic3::run() {
     }
   } catch (const Timeout&) {
     result.status = CheckStatus::Unknown;
+    result.resumable = false;
+    result.frames = top_frame_;
+    result.stats = finalize_stats();
+    return result;
+  } catch (const Suspend&) {
+    // Drop in-flight obligations (re-derived by the next slice's bad-state
+    // query); frames, F_inf clauses and solver contexts survive.
+    queue_.clear();
+    pool_.clear();
+    result.status = CheckStatus::Unknown;
+    result.resumable = true;
     result.frames = top_frame_;
     result.stats = finalize_stats();
     return result;

@@ -66,8 +66,22 @@ struct Ic3Stats {
   std::uint64_t simp_clauses_out = 0;
 };
 
+// A resource slice for one resumable run() call. Zero fields are
+// unlimited. Time is wall-clock for this slice; conflicts count SAT
+// conflicts across every solver context the engine owns.
+struct Ic3Budget {
+  double time_slice_seconds = 0.0;
+  std::uint64_t conflict_slice = 0;
+};
+
 struct Ic3Result {
   CheckStatus status = CheckStatus::Unknown;
+  // Unknown verdicts only: true when the engine merely exhausted its
+  // run-slice budget and kept its frames, so another run() call continues
+  // where this one stopped; false when a hard limit (overall time limit,
+  // max_frames, obligation cap, per-query conflict budget outside a
+  // slice) ended the run for good.
+  bool resumable = false;
   // Number of time frames unfolded when the engine stopped (the paper's
   // "#time frames" metric, Tables I and X).
   int frames = 0;
@@ -76,6 +90,7 @@ struct Ic3Result {
   // strengthening: I → Inv, Inv ∧ constr ∧ assumed ∧ T → Inv',
   // Inv ∧ constr → P.
   std::vector<ts::Cube> invariant;
+  // Cumulative over the whole engine lifetime, not just the last slice.
   Ic3Stats stats;
 };
 
@@ -85,10 +100,28 @@ class Ic3 {
       Ic3Options opts = {});
   ~Ic3();
 
+  // One-shot run bounded only by Ic3Options limits.
   Ic3Result run();
+  // Budgeted, resumable run: does at most `budget` worth of work, then
+  // returns Unknown with resumable=true, keeping frames, F_inf clauses and
+  // solver contexts. In-flight proof obligations are discarded on suspend
+  // (sound: the pending bad state is re-derived by the next slice's
+  // query). Call repeatedly until the result is terminal or not resumable.
+  Ic3Result run(const Ic3Budget& budget);
 
  private:
-  struct Timeout {};  // internal control-flow signal for budget expiry
+  struct Timeout {};  // internal control-flow signal: hard budget expiry
+  struct Suspend {};  // internal control-flow signal: slice budget expiry
+
+  // Where a resumed run() picks up. Each stage is idempotent or keeps its
+  // progress in member state, so replaying a suspended stage is sound.
+  enum class Phase : std::uint8_t {
+    SeedValidation,  // validate_seed_clauses (restarts cleanly on resume)
+    Mining,          // mine_singleton_invariants (skips known cubes)
+    Depth0,          // initial-state property check
+    Main,            // blocking / propagation loop
+    Done,            // terminal verdict reached
+  };
 
   struct Obligation {
     ts::Cube cube;
@@ -149,16 +182,32 @@ class Ic3 {
   void propagate_and_check_fixpoint();
   sat::SolveResult checked(sat::SolveResult r) const;
 
+  // --- budget slicing ---
+  // Installs the effective deadline for this run() call: the tighter of
+  // the overall time limit and the slice. Solver contexts poll it.
+  void begin_slice(const Ic3Budget& budget);
+  // Throws Timeout on overall expiry, Suspend on slice expiry.
+  void poll_budget() const;
+  std::uint64_t total_conflicts() const;
+
   // --- statistics ---
   // Folds a retiring solver context's SAT/simp counters into stats_.
   void absorb_stats(const FrameSolver& fs);
-  // stats_ plus the counters of the still-live solver contexts.
-  Ic3Stats finalize_stats();
+  // stats_ plus the counters of the still-live solver contexts; pure, so
+  // every slice can report cumulative totals.
+  Ic3Stats finalize_stats() const;
 
   const ts::TransitionSystem& ts_;
   std::size_t target_prop_;
   Ic3Options opts_;
-  Deadline deadline_;
+  Deadline deadline_;  // overall limit, ticking since construction
+  // Effective deadline of the current run() call (overall ∧ slice). All
+  // solver contexts hold a pointer to this member; reassigned per slice.
+  Deadline slice_deadline_;
+  bool slicing_ = false;
+  std::uint64_t slice_conflict_limit_ = 0;  // absolute; 0 = unlimited
+  Phase phase_ = Phase::SeedValidation;
+  CheckStatus final_status_ = CheckStatus::Unknown;
   // One simplification of the transition relation serves every frame
   // context this run creates (they encode identically).
   mutable sat::simp::BatchCache simp_cache_;

@@ -9,6 +9,7 @@ namespace javer::mp {
 ClauseDb::ClauseDb(const ClauseDb& other) {
   std::lock_guard<std::mutex> lock(other.mutex_);
   cubes_ = other.cubes_;
+  version_ = other.version_;
 }
 
 std::size_t ClauseDb::add(const std::vector<ts::Cube>& cubes) {
@@ -19,12 +20,28 @@ std::size_t ClauseDb::add(const std::vector<ts::Cube>& cubes) {
     ts::sort_cube(sorted);
     if (cubes_.insert(sorted).second) added++;
   }
+  if (added > 0) {
+    version_++;
+    cache_.reset();
+  }
   return added;
 }
 
-std::vector<ts::Cube> ClauseDb::snapshot() const {
+std::vector<ts::Cube> ClauseDb::snapshot() const { return *shared_snapshot(); }
+
+std::shared_ptr<const std::vector<ts::Cube>> ClauseDb::shared_snapshot()
+    const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return std::vector<ts::Cube>(cubes_.begin(), cubes_.end());
+  if (!cache_) {
+    cache_ = std::make_shared<const std::vector<ts::Cube>>(cubes_.begin(),
+                                                           cubes_.end());
+  }
+  return cache_;
+}
+
+std::uint64_t ClauseDb::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
 }
 
 std::size_t ClauseDb::size() const {
@@ -35,6 +52,8 @@ std::size_t ClauseDb::size() const {
 void ClauseDb::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   cubes_.clear();
+  version_++;
+  cache_.reset();
 }
 
 void ClauseDb::save(const std::string& path) const {

@@ -8,6 +8,8 @@
 #ifndef JAVER_MP_CLAUSE_DB_H
 #define JAVER_MP_CLAUSE_DB_H
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -27,6 +29,13 @@ class ClauseDb {
   std::size_t add(const std::vector<ts::Cube>& cubes);
 
   std::vector<ts::Cube> snapshot() const;
+  // Immutable view of the current cube set, materialized at most once per
+  // version: concurrent seed snapshots of an unchanged database share one
+  // vector instead of each deep-copying the set under the mutex.
+  std::shared_ptr<const std::vector<ts::Cube>> shared_snapshot() const;
+  // Bumped whenever the cube set changes; lets callers skip re-seeding
+  // when nothing new has been published since their last snapshot.
+  std::uint64_t version() const;
   std::size_t size() const;
   void clear();
 
@@ -39,6 +48,9 @@ class ClauseDb {
  private:
   mutable std::mutex mutex_;
   std::set<ts::Cube> cubes_;
+  std::uint64_t version_ = 0;
+  // Cache of the current version's snapshot; invalidated on mutation.
+  mutable std::shared_ptr<const std::vector<ts::Cube>> cache_;
 };
 
 }  // namespace javer::mp

@@ -1,17 +1,11 @@
 #include "mp/ja_verifier.h"
 
+#include "mp/sched/scheduler.h"
+
 namespace javer::mp {
 
 JaVerifier::JaVerifier(const ts::TransitionSystem& ts, JaOptions opts)
-    : ts_(ts) {
-  sep_opts_.local_proofs = true;
-  sep_opts_.clause_reuse = opts.clause_reuse;
-  sep_opts_.lifting_respects_constraints = opts.lifting_respects_constraints;
-  sep_opts_.simplify = opts.simplify;
-  sep_opts_.time_limit_per_property = opts.time_limit_per_property;
-  sep_opts_.total_time_limit = opts.total_time_limit;
-  sep_opts_.order = std::move(opts.order);
-}
+    : ts_(ts), opts_(std::move(opts)) {}
 
 MultiResult JaVerifier::run() {
   ClauseDb db;
@@ -19,8 +13,12 @@ MultiResult JaVerifier::run() {
 }
 
 MultiResult JaVerifier::run(ClauseDb& db) {
-  SeparateVerifier sep(ts_, sep_opts_);
-  return sep.run(db);
+  sched::SchedulerOptions so;
+  so.engine = opts_;
+  so.proof_mode = sched::ProofMode::Local;
+  so.dispatch = sched::DispatchPolicy::RunToCompletion;
+  so.num_threads = 1;
+  return sched::Scheduler(ts_, so).run(db);
 }
 
 }  // namespace javer::mp

@@ -1,27 +1,23 @@
 // JA-verification ("Just-Assume", Section 4): the paper's headline
-// algorithm. A preset over SeparateVerifier: each property is proved
-// locally (all other ETH properties assumed) with strengthening-clause
-// re-use. The outcome is either a proof that every property holds
-// globally (Proposition 5) or a debugging set of properties that are the
-// first to break (Proposition 6).
+// algorithm. A preset over the property scheduler: each property is
+// proved locally (all other ETH properties assumed) with
+// strengthening-clause re-use. The outcome is either a proof that every
+// property holds globally (Proposition 5) or a debugging set of
+// properties that are the first to break (Proposition 6).
 #ifndef JAVER_MP_JA_VERIFIER_H
 #define JAVER_MP_JA_VERIFIER_H
 
-#include "mp/separate_verifier.h"
+#include "mp/clause_db.h"
+#include "mp/report.h"
+#include "mp/sched/engine_options.h"
+#include "ts/transition_system.h"
 
 namespace javer::mp {
 
-struct JaOptions {
-  double time_limit_per_property = 0.0;
-  double total_time_limit = 0.0;
-  bool clause_reuse = true;
-  // Lifting ignores property constraints by default (§7-A found this
-  // usually faster); spurious CEXs trigger an automatic strict retry.
-  bool lifting_respects_constraints = false;
-  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
-  bool simplify = false;
-  std::vector<std::size_t> order;
-};
+// All knobs are the shared engine ones; lifting ignores property
+// constraints by default (§7-A found this usually faster) and spurious
+// CEXs trigger an automatic strict retry.
+struct JaOptions : sched::EngineOptions {};
 
 class JaVerifier {
  public:
@@ -35,7 +31,7 @@ class JaVerifier {
 
  private:
   const ts::TransitionSystem& ts_;
-  SeparateOptions sep_opts_;
+  JaOptions opts_;
 };
 
 }  // namespace javer::mp

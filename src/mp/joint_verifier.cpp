@@ -1,10 +1,7 @@
 #include "mp/joint_verifier.h"
 
-#include <algorithm>
-
-#include "aig/sim.h"
-#include "base/log.h"
-#include "base/timer.h"
+#include "aig/aig.h"
+#include "mp/sched/scheduler.h"
 
 namespace javer::mp {
 
@@ -24,91 +21,12 @@ JointVerifier::JointVerifier(const ts::TransitionSystem& ts,
     : ts_(ts), opts_(std::move(opts)) {}
 
 MultiResult JointVerifier::run() {
-  Timer total;
-  MultiResult result;
-  result.per_property.resize(ts_.num_properties());
-
-  std::vector<std::size_t> unsolved;
-  for (std::size_t i = 0; i < ts_.num_properties(); ++i) unsolved.push_back(i);
-
-  while (!unsolved.empty()) {
-    double remaining = 0.0;
-    if (opts_.total_time_limit > 0) {
-      remaining = opts_.total_time_limit - total.seconds();
-      if (remaining <= 0) break;
-    }
-    double iteration_limit = opts_.time_limit_per_iteration;
-    if (remaining > 0 &&
-        (iteration_limit <= 0 || iteration_limit > remaining)) {
-      iteration_limit = remaining;
-    }
-
-    auto [agg_aig, agg_index] = make_aggregate(ts_.aig(), unsolved);
-    ts::TransitionSystem agg_ts(agg_aig);
-
-    ic3::Ic3Options engine_opts;
-    engine_opts.time_limit_seconds = iteration_limit;
-    engine_opts.conflict_budget_per_query = opts_.conflict_budget_per_query;
-    engine_opts.lifting_respects_constraints =
-        opts_.lifting_respects_constraints;
-    engine_opts.simplify = opts_.simplify;
-
-    Timer iteration;
-    ic3::Ic3 engine(agg_ts, agg_index, engine_opts);
-    ic3::Ic3Result er = engine.run();
-    double spent = iteration.seconds();
-
-    if (er.status == CheckStatus::Holds) {
-      for (std::size_t p : unsolved) {
-        PropertyResult& pr = result.per_property[p];
-        pr.verdict = PropertyVerdict::HoldsGlobally;
-        pr.seconds = spent;
-        pr.frames = er.frames;
-      }
-      // The iteration's engine stats go to one property only, so summing
-      // engine_stats over per_property counts each IC3 run once.
-      result.per_property[unsolved.front()].engine_stats = er.stats;
-      unsolved.clear();
-      break;
-    }
-    if (er.status != CheckStatus::Fails) break;  // budget exhausted
-
-    // The aggregate failed: every unsolved property false at the final
-    // step of the CEX is refuted by it (the prefix satisfied all of them,
-    // so these are exactly the first-failing ones of this trace).
-    aig::Simulator sim(ts_.aig());
-    const ts::Step& last = er.cex.steps.back();
-    sim.eval(last.state, last.inputs);
-    std::vector<std::size_t> refuted;
-    for (std::size_t p : unsolved) {
-      if (!sim.value(ts_.property_lit(p))) refuted.push_back(p);
-    }
-    if (refuted.empty()) {
-      // Should be impossible for a genuine aggregate CEX; avoid looping.
-      JAVER_LOG(Info) << "joint: aggregate cex refutes no property; stopping";
-      break;
-    }
-    for (std::size_t p : refuted) {
-      PropertyResult& pr = result.per_property[p];
-      pr.verdict = PropertyVerdict::FailsGlobally;
-      pr.seconds = spent;
-      pr.frames = er.frames;
-      pr.cex = er.cex;
-    }
-    result.per_property[refuted.front()].engine_stats = er.stats;
-    std::vector<std::size_t> next;
-    for (std::size_t p : unsolved) {
-      if (std::find(refuted.begin(), refuted.end(), p) == refuted.end()) {
-        next.push_back(p);
-      }
-    }
-    unsolved = std::move(next);
-    JAVER_LOG(Verbose) << "joint: " << refuted.size() << " refuted, "
-                       << unsolved.size() << " remaining";
-  }
-
-  result.total_seconds = total.seconds();
-  return result;
+  sched::SchedulerOptions so;
+  so.engine = opts_;
+  so.proof_mode = sched::ProofMode::Global;
+  so.dispatch = sched::DispatchPolicy::JointAggregate;
+  so.time_limit_per_iteration = opts_.time_limit_per_iteration;
+  return sched::Scheduler(ts_, so).run();
 }
 
 }  // namespace javer::mp

@@ -2,27 +2,25 @@
 // aggregate property P = P1 ∧ ... ∧ Pk with a single IC3 run. When the
 // aggregate fails, the counterexample's final state identifies a subset of
 // failed properties; those are removed and the procedure restarts on the
-// remaining conjunction (the paper's Jnt-ver script).
+// remaining conjunction (the paper's Jnt-ver script). A preset over the
+// property scheduler's JointAggregate dispatch policy.
 #ifndef JAVER_MP_JOINT_VERIFIER_H
 #define JAVER_MP_JOINT_VERIFIER_H
 
-#include <memory>
+#include <utility>
 #include <vector>
 
-#include "ic3/ic3.h"
 #include "mp/report.h"
+#include "mp/sched/engine_options.h"
 #include "ts/transition_system.h"
 
 namespace javer::mp {
 
-struct JointOptions {
-  double total_time_limit = 0.0;             // the paper used 10 hours
-  double time_limit_per_iteration = 0.0;     // 0 = bounded only by total
-  std::uint64_t conflict_budget_per_query = 0;
-  bool lifting_respects_constraints = false; // joint runs have no assumed
-                                             // props, so this rarely matters
-  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
-  bool simplify = false;
+// The shared engine knobs live in the sched::EngineOptions base (the
+// paper's joint runs used a 10-hour total_time_limit; clause re-use,
+// per-property limits and order do not apply to the aggregate run).
+struct JointOptions : sched::EngineOptions {
+  double time_limit_per_iteration = 0.0;  // 0 = bounded only by total
 };
 
 class JointVerifier {

@@ -1,10 +1,6 @@
 #include "mp/parallel_ja.h"
 
-#include <atomic>
-#include <thread>
-#include <vector>
-
-#include "base/timer.h"
+#include "mp/sched/scheduler.h"
 
 namespace javer::mp {
 
@@ -18,44 +14,12 @@ MultiResult ParallelJaVerifier::run() {
 }
 
 MultiResult ParallelJaVerifier::run(ClauseDb& db) {
-  Timer total;
-  MultiResult result;
-  result.per_property.resize(ts_.num_properties());
-
-  unsigned threads = opts_.num_threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(
-      threads, std::max<std::size_t>(ts_.num_properties(), 1));
-
-  SeparateOptions sep_opts;
-  sep_opts.local_proofs = true;
-  sep_opts.clause_reuse = opts_.clause_reuse;
-  sep_opts.lifting_respects_constraints = opts_.lifting_respects_constraints;
-  sep_opts.simplify = opts_.simplify;
-  sep_opts.time_limit_per_property = opts_.time_limit_per_property;
-
-  std::atomic<std::size_t> next_prop{0};
-  auto worker = [&]() {
-    // Each worker owns its verifier; the TransitionSystem and AIG are
-    // read-only, and the ClauseDb is internally synchronized.
-    SeparateVerifier verifier(ts_, sep_opts);
-    while (true) {
-      std::size_t p = next_prop.fetch_add(1);
-      if (p >= ts_.num_properties()) break;
-      result.per_property[p] =
-          verifier.verify_one(p, opts_.clause_reuse ? &db : nullptr);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  result.total_seconds = total.seconds();
-  return result;
+  sched::SchedulerOptions so;
+  so.engine = opts_;
+  so.proof_mode = sched::ProofMode::Local;
+  so.dispatch = sched::DispatchPolicy::RunToCompletion;
+  so.num_threads = opts_.num_threads;
+  return sched::Scheduler(ts_, so).run(db);
 }
 
 }  // namespace javer::mp

@@ -4,23 +4,21 @@
 // snapshots seed each run, and completed proofs merge their strengthening
 // clauses back (the paper's observation that information exchange shrinks
 // as the property count grows makes even a stale snapshot useful).
+//
+// A preset over the property scheduler: run-to-completion dispatch on the
+// sched::WorkerPool work-stealing driver.
 #ifndef JAVER_MP_PARALLEL_JA_H
 #define JAVER_MP_PARALLEL_JA_H
 
 #include "mp/clause_db.h"
 #include "mp/report.h"
-#include "mp/separate_verifier.h"
+#include "mp/sched/engine_options.h"
 #include "ts/transition_system.h"
 
 namespace javer::mp {
 
-struct ParallelJaOptions {
+struct ParallelJaOptions : sched::EngineOptions {
   unsigned num_threads = 0;  // 0 = hardware concurrency
-  double time_limit_per_property = 0.0;
-  bool clause_reuse = true;
-  bool lifting_respects_constraints = false;
-  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
-  bool simplify = false;
 };
 
 class ParallelJaVerifier {

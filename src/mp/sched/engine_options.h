@@ -1,0 +1,34 @@
+// EngineOptions: the engine configuration every verification mode shares.
+// Before the scheduler refactor these fields were copy-pasted across
+// SeparateOptions / JaOptions / JointOptions / ParallelJaOptions; the
+// legacy option structs now inherit this one, so existing field accesses
+// keep compiling while the scheduler consumes one uniform type.
+#ifndef JAVER_MP_SCHED_ENGINE_OPTIONS_H
+#define JAVER_MP_SCHED_ENGINE_OPTIONS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace javer::mp::sched {
+
+struct EngineOptions {
+  // Accumulate/seed strengthening clauses through a ClauseDb (§6-B/§7-B).
+  bool clause_reuse = true;
+  // §7-A: lifting respects the assumed-property constraints from the
+  // start (no spurious local CEXs) instead of the detect-and-retry loop.
+  bool lifting_respects_constraints = false;
+  // Preprocess each SAT context's transition-relation CNF (sat/simp/).
+  bool simplify = false;
+  double time_limit_per_property = 0.0;  // seconds; 0 = unlimited
+  double total_time_limit = 0.0;         // seconds; 0 = unlimited
+  std::uint64_t conflict_budget_per_query = 0;
+  // Verification order (property indices); empty = design order, the
+  // paper's default ("properties are verified in the order they are
+  // given").
+  std::vector<std::size_t> order;
+};
+
+}  // namespace javer::mp::sched
+
+#endif  // JAVER_MP_SCHED_ENGINE_OPTIONS_H

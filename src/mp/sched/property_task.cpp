@@ -1,0 +1,149 @@
+#include "mp/sched/property_task.h"
+
+#include <utility>
+
+#include "base/log.h"
+#include "base/timer.h"
+#include "ts/trace.h"
+
+namespace javer::mp::sched {
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::Pending: return "pending";
+    case TaskState::Running: return "running";
+    case TaskState::Holds: return "holds";
+    case TaskState::Fails: return "fails";
+    default: return "unknown";
+  }
+}
+
+std::vector<std::size_t> local_assumptions(const ts::TransitionSystem& ts,
+                                           std::size_t prop) {
+  std::vector<std::size_t> assumed;
+  for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+    if (j != prop && !ts.expected_to_fail(j)) assumed.push_back(j);
+  }
+  return assumed;
+}
+
+PropertyTask::PropertyTask(const ts::TransitionSystem& ts, std::size_t prop,
+                           std::vector<std::size_t> assumed,
+                           const EngineOptions& engine, bool local_mode)
+    : ts_(ts),
+      prop_(prop),
+      assumed_(std::move(assumed)),
+      engine_opts_(engine),
+      local_mode_(local_mode),
+      strict_lifting_(engine.lifting_respects_constraints) {}
+
+PropertyTask::~PropertyTask() = default;
+
+void PropertyTask::ensure_engine(ClauseDb* db) {
+  if (engine_) return;
+  ic3::Ic3Options opts;
+  opts.assumed = assumed_;
+  opts.lifting_respects_constraints = strict_lifting_;
+  opts.simplify = engine_opts_.simplify;
+  opts.conflict_budget_per_query = engine_opts_.conflict_budget_per_query;
+  // Time budgeting is the task's job: the internal engine deadline would
+  // tick in wall-clock while *other* tasks hold the engine pool.
+  opts.time_limit_seconds = 0.0;
+  if (engine_opts_.clause_reuse && db != nullptr && !seeds_) {
+    seeds_ = db->shared_snapshot();
+  }
+  if (seeds_) opts.seed_clauses = *seeds_;
+  engine_ = std::make_unique<ic3::Ic3>(ts_, prop_, std::move(opts));
+}
+
+void PropertyTask::close_holds(std::vector<ts::Cube> invariant,
+                               ClauseDb* db) {
+  state_ = TaskState::Holds;
+  result_.verdict = local_mode_ ? PropertyVerdict::HoldsLocally
+                                : PropertyVerdict::HoldsGlobally;
+  result_.invariant = std::move(invariant);
+  if (db != nullptr && engine_opts_.clause_reuse &&
+      !result_.invariant.empty()) {
+    db->add(result_.invariant);
+  }
+}
+
+void PropertyTask::finish_fails(ts::Trace cex) {
+  state_ = TaskState::Fails;
+  result_.verdict = local_mode_ ? PropertyVerdict::FailsLocally
+                                : PropertyVerdict::FailsGlobally;
+  result_.cex = std::move(cex);
+}
+
+void PropertyTask::resolve_fails(ts::Trace cex, int frames) {
+  if (!open()) return;
+  result_.frames = frames;
+  finish_fails(std::move(cex));
+}
+
+void PropertyTask::close_unknown() {
+  if (!open()) return;
+  state_ = TaskState::Unknown;
+  result_.verdict = PropertyVerdict::Unknown;
+}
+
+void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
+  if (!open()) return;
+  double per_prop = engine_opts_.time_limit_per_property;
+  double remaining = per_prop > 0 ? per_prop - engine_seconds_ : 0.0;
+  if (per_prop > 0 && remaining <= 0) {
+    close_unknown();
+    return;
+  }
+
+  ensure_engine(db);
+  ic3::Ic3Budget slice;
+  slice.time_slice_seconds = budget.seconds;
+  if (per_prop > 0 &&
+      (slice.time_slice_seconds <= 0 || remaining < slice.time_slice_seconds)) {
+    slice.time_slice_seconds = remaining;
+  }
+  slice.conflict_slice = budget.conflicts;
+
+  Timer timer;
+  ic3::Ic3Result er = engine_->run(slice);
+  double spent = timer.seconds();
+  engine_seconds_ += spent;
+  result_.seconds += spent;
+  result_.frames = er.frames;
+  // Per-slice stats are cumulative for this engine; a strict-lifting retry
+  // resets them along with the engine (matching the one-shot verifiers,
+  // which report the final engine's stats).
+  result_.engine_stats = er.stats;
+  state_ = TaskState::Running;
+
+  switch (er.status) {
+    case CheckStatus::Holds:
+      close_holds(std::move(er.invariant), db);
+      return;
+    case CheckStatus::Fails:
+      if (local_mode_ && !strict_lifting_ && !assumed_.empty() &&
+          !ts::is_local_cex(ts_, er.cex, prop_, assumed_)) {
+        // §7-A: relaxed lifting produced a spurious local CEX. Restart
+        // with strict lifting and a fresh per-property budget, like the
+        // one-shot path.
+        JAVER_LOG(Verbose) << "sched: spurious local cex for P" << prop_
+                           << "; strict-lifting retry";
+        strict_lifting_ = true;
+        engine_.reset();
+        engine_seconds_ = 0.0;
+        result_.spurious_restarts++;
+        return;  // still open; the next slice drives the strict engine
+      }
+      finish_fails(std::move(er.cex));
+      return;
+    default:
+      if (!er.resumable ||
+          (per_prop > 0 && engine_seconds_ >= per_prop)) {
+        close_unknown();
+      }
+      return;
+  }
+}
+
+}  // namespace javer::mp::sched

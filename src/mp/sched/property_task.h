@@ -1,0 +1,114 @@
+// PropertyTask: the per-property state machine the scheduler drives.
+//
+//   Pending ──first slice──> Running ──verdict──> HoldsLocally
+//                               │                 HoldsGlobally
+//                               │                 FailsLocally
+//                               │                 FailsGlobally
+//                               └──budget gone──> Unknown
+//
+// A task owns one resumable ic3::Ic3 engine, created lazily at the first
+// slice (so clause-database seeds are as fresh as possible) and kept
+// across slices: the scheduler can hand out small budget slices and
+// round-robin them over many open properties instead of burning a full
+// one-shot timeout on the first hard one. The §7-A spurious-counterexample
+// strict-lifting retry lives here too: a spurious local CEX discards the
+// engine and restarts with lifting that respects the constraints.
+//
+// Verdicts can also be injected from outside the IC3 engine — the hybrid
+// policy resolves shallow failures with shared BMC sweeps and calls
+// resolve_fails() with the trace.
+#ifndef JAVER_MP_SCHED_PROPERTY_TASK_H
+#define JAVER_MP_SCHED_PROPERTY_TASK_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ic3/ic3.h"
+#include "mp/clause_db.h"
+#include "mp/report.h"
+#include "mp/sched/engine_options.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp::sched {
+
+enum class TaskState : std::uint8_t {
+  Pending,   // no engine work done yet
+  Running,   // engine suspended between slices
+  Holds,     // closed: HoldsLocally / HoldsGlobally per proof mode
+  Fails,     // closed: FailsLocally / FailsGlobally per proof mode
+  Unknown,   // closed: budget exhausted
+};
+
+const char* to_string(TaskState s);
+
+// The local-proof assumption set for target `prop` (Section 5): every ETH
+// property except the target — also correct when the target itself is
+// expected to fail. The one place this rule lives; every mode's
+// assumption plumbing goes through it.
+std::vector<std::size_t> local_assumptions(const ts::TransitionSystem& ts,
+                                           std::size_t prop);
+
+// One slice of engine work. Zero fields = unlimited (the task still stops
+// at its per-property time budget).
+struct TaskBudget {
+  double seconds = 0.0;
+  std::uint64_t conflicts = 0;
+};
+
+class PropertyTask {
+ public:
+  // `local_mode` selects the verdict labels (Locally/Globally) and enables
+  // the spurious-CEX strict-lifting retry; `assumed` is this target's
+  // assumption set (empty for global proofs).
+  PropertyTask(const ts::TransitionSystem& ts, std::size_t prop,
+               std::vector<std::size_t> assumed, const EngineOptions& engine,
+               bool local_mode);
+  ~PropertyTask();
+
+  std::size_t prop() const { return prop_; }
+  TaskState state() const { return state_; }
+  bool open() const {
+    return state_ == TaskState::Pending || state_ == TaskState::Running;
+  }
+  const std::vector<std::size_t>& assumed() const { return assumed_; }
+
+  // Runs one engine slice (respecting the per-property time budget). When
+  // `db` is non-null and clause re-use is on, the engine is seeded from it
+  // and completed proofs publish their strengthenings back.
+  void run_slice(const TaskBudget& budget, ClauseDb* db);
+
+  // Closes the task with a failure verdict from an externally found
+  // counterexample (a BMC sweep); `frames` is the trace depth.
+  void resolve_fails(ts::Trace cex, int frames);
+  // Closes the task as Unknown (scheduler ran out of total budget).
+  void close_unknown();
+
+  // The per-property row for MultiResult; valid any time, final once the
+  // task is closed.
+  PropertyResult& result() { return result_; }
+
+ private:
+  void ensure_engine(ClauseDb* db);
+  void close_holds(std::vector<ts::Cube> invariant, ClauseDb* db);
+  void finish_fails(ts::Trace cex);
+
+  const ts::TransitionSystem& ts_;
+  std::size_t prop_;
+  std::vector<std::size_t> assumed_;
+  EngineOptions engine_opts_;
+  bool local_mode_;
+  bool strict_lifting_ = false;  // set after a spurious-CEX retry
+
+  TaskState state_ = TaskState::Pending;
+  std::unique_ptr<ic3::Ic3> engine_;
+  // Seeds captured at first engine creation; the strict-lifting retry
+  // re-uses the same snapshot (matching the one-shot verifiers).
+  std::shared_ptr<const std::vector<ts::Cube>> seeds_;
+  double engine_seconds_ = 0.0;  // this engine's accumulated slice time
+  PropertyResult result_;
+};
+
+}  // namespace javer::mp::sched
+
+#endif  // JAVER_MP_SCHED_PROPERTY_TASK_H

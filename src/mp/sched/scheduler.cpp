@@ -1,0 +1,296 @@
+#include "mp/sched/scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "aig/sim.h"
+#include "base/log.h"
+#include "base/timer.h"
+#include "bmc/bmc.h"
+#include "mp/joint_verifier.h"
+#include "mp/sched/worker_pool.h"
+
+namespace javer::mp::sched {
+
+// The shared BMC falsification state living across a hybrid run's rounds:
+// one incremental unrolling, extended window by window, with the "just
+// assume" constraints asserted on every completed bound.
+class SweepState {
+ public:
+  SweepState(const ts::TransitionSystem& ts, const SchedulerOptions& opts,
+             bool local)
+      : bmc_(ts) {
+    if (local) {
+      // Every ETH property is assumed on non-final steps; a failure found
+      // at the final bound is therefore a first failure (a local CEX).
+      for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+        if (!ts.expected_to_fail(j)) assumed_.push_back(j);
+      }
+    }
+    exhausted_ = opts.bmc_max_depth <= 0 || opts.bmc_depth_per_sweep <= 0;
+  }
+
+  bmc::Bmc bmc_;
+  std::vector<std::size_t> assumed_;
+  int depth_done_ = 0;    // completed bounds of the shared unrolling
+  int empty_streak_ = 0;  // consecutive sweeps without a counterexample
+  bool exhausted_ = false;
+};
+
+Scheduler::Scheduler(const ts::TransitionSystem& ts, SchedulerOptions opts)
+    : ts_(ts), opts_(std::move(opts)) {}
+
+std::vector<std::size_t> Scheduler::assumptions_for(std::size_t prop) const {
+  if (opts_.proof_mode != ProofMode::Local) return {};
+  return local_assumptions(ts_, prop);
+}
+
+std::vector<std::size_t> Scheduler::resolve_order() const {
+  if (!opts_.engine.order.empty()) return opts_.engine.order;
+  std::vector<std::size_t> order(ts_.num_properties());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return order;
+}
+
+unsigned Scheduler::effective_threads() const {
+  unsigned threads = opts_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(
+      threads, std::max<std::size_t>(ts_.num_properties(), 1));
+  return std::max(threads, 1u);
+}
+
+MultiResult Scheduler::run() {
+  ClauseDb db;
+  return run(db);
+}
+
+MultiResult Scheduler::run(ClauseDb& db) {
+  if (opts_.dispatch == DispatchPolicy::JointAggregate) return run_joint();
+  return run_tasks(db);
+}
+
+std::size_t Scheduler::bmc_sweep(
+    SweepState& sweep, std::vector<std::unique_ptr<PropertyTask>>& tasks,
+    double remaining_seconds) {
+  if (sweep.exhausted_) return 0;
+  std::vector<std::size_t> targets;
+  std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
+  for (auto& task : tasks) {
+    if (task->open()) {
+      targets.push_back(task->prop());
+      by_prop[task->prop()] = task.get();
+    }
+  }
+  if (targets.empty()) return 0;
+
+  const int window_end =
+      std::min(sweep.depth_done_ + opts_.bmc_depth_per_sweep,
+               opts_.bmc_max_depth) -
+      1;
+  if (window_end < sweep.depth_done_) {
+    sweep.exhausted_ = true;
+    return 0;
+  }
+
+  double budget = opts_.bmc_sweep_seconds;
+  if (remaining_seconds > 0 && (budget <= 0 || remaining_seconds < budget)) {
+    budget = remaining_seconds;
+  }
+  Deadline sweep_deadline(budget);
+
+  bmc::BmcOptions bo;
+  bo.assumed = sweep.assumed_;
+  bo.simplify = opts_.engine.simplify;
+  bo.conflict_budget = opts_.engine.conflict_budget_per_query;
+  bo.start_depth = sweep.depth_done_;
+  bo.max_depth = window_end;
+
+  std::size_t closed = 0;
+  while (!targets.empty()) {
+    bo.time_limit_seconds = budget > 0 ? sweep_deadline.remaining() : 0.0;
+    if (budget > 0 && bo.time_limit_seconds <= 0) break;
+    bmc::BmcResult br = sweep.bmc_.run(targets, bo);
+    sweep.depth_done_ = std::max(sweep.depth_done_, br.frames_explored);
+    if (br.status != CheckStatus::Fails) break;  // window clean / budget out
+    for (std::size_t p : br.failed_targets) {
+      if (by_prop[p] != nullptr) {
+        by_prop[p]->resolve_fails(br.cex, br.depth);
+        by_prop[p] = nullptr;
+        closed++;
+      }
+    }
+    targets.erase(std::remove_if(targets.begin(), targets.end(),
+                                 [&](std::size_t p) {
+                                   return by_prop[p] == nullptr;
+                                 }),
+                  targets.end());
+    // Re-scan this bound: other targets may fail here too before the
+    // unrolling grows.
+    bo.start_depth = br.depth;
+    JAVER_LOG(Verbose) << "sched: bmc closed " << br.failed_targets.size()
+                       << " target(s) at depth " << br.depth;
+  }
+
+  if (closed > 0) {
+    sweep.empty_streak_ = 0;
+  } else if (sweep.depth_done_ > window_end) {
+    sweep.empty_streak_++;  // a fully clean window, not a budget cut
+  }
+  if (sweep.depth_done_ >= opts_.bmc_max_depth ||
+      sweep.empty_streak_ >= opts_.bmc_empty_sweeps_to_stop) {
+    sweep.exhausted_ = true;
+  }
+  return closed;
+}
+
+MultiResult Scheduler::run_tasks(ClauseDb& db) {
+  Timer total;
+  MultiResult result;
+  result.per_property.resize(ts_.num_properties());
+
+  const bool local = opts_.proof_mode == ProofMode::Local;
+  std::vector<std::unique_ptr<PropertyTask>> tasks;
+  for (std::size_t p : resolve_order()) {
+    tasks.push_back(std::make_unique<PropertyTask>(
+        ts_, p, assumptions_for(p), opts_.engine, local));
+  }
+
+  ClauseDb* db_ptr = &db;  // tasks gate on clause_reuse themselves
+  const double total_limit = opts_.engine.total_time_limit;
+  auto out_of_time = [&] {
+    return total_limit > 0 && total.seconds() >= total_limit;
+  };
+
+  WorkerPool pool(effective_threads());
+
+  if (opts_.dispatch == DispatchPolicy::RunToCompletion) {
+    // With one thread the pool drains on the caller in index order, so
+    // this is also the classic sequential separate/JA loop.
+    pool.run(tasks.size(), [&](std::size_t i) {
+      if (out_of_time()) return;  // stays Unknown
+      while (tasks[i]->open()) tasks[i]->run_slice(TaskBudget{}, db_ptr);
+    });
+  } else {  // HybridBmcIc3
+    SweepState sweep(ts_, opts_, local);
+    const TaskBudget slice{opts_.ic3_slice_seconds,
+                           opts_.ic3_slice_conflicts};
+    while (!out_of_time()) {
+      double remaining =
+          total_limit > 0 ? total_limit - total.seconds() : 0.0;
+      bmc_sweep(sweep, tasks, remaining);
+
+      std::vector<std::size_t> open;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i]->open()) open.push_back(i);
+      }
+      if (open.empty()) break;
+      if (out_of_time()) break;
+      pool.run(open.size(), [&](std::size_t i) {
+        tasks[open[i]]->run_slice(slice, db_ptr);
+      });
+    }
+    for (auto& task : tasks) {
+      if (task->open()) task->close_unknown();
+    }
+  }
+
+  for (auto& task : tasks) {
+    result.per_property[task->prop()] = std::move(task->result());
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+MultiResult Scheduler::run_joint() {
+  Timer total;
+  MultiResult result;
+  result.per_property.resize(ts_.num_properties());
+
+  std::vector<std::size_t> unsolved;
+  for (std::size_t i = 0; i < ts_.num_properties(); ++i) unsolved.push_back(i);
+
+  while (!unsolved.empty()) {
+    double remaining = 0.0;
+    if (opts_.engine.total_time_limit > 0) {
+      remaining = opts_.engine.total_time_limit - total.seconds();
+      if (remaining <= 0) break;
+    }
+    double iteration_limit = opts_.time_limit_per_iteration;
+    if (remaining > 0 &&
+        (iteration_limit <= 0 || iteration_limit > remaining)) {
+      iteration_limit = remaining;
+    }
+
+    auto [agg_aig, agg_index] = make_aggregate(ts_.aig(), unsolved);
+    ts::TransitionSystem agg_ts(agg_aig);
+
+    ic3::Ic3Options engine_opts;
+    engine_opts.time_limit_seconds = iteration_limit;
+    engine_opts.conflict_budget_per_query =
+        opts_.engine.conflict_budget_per_query;
+    engine_opts.lifting_respects_constraints =
+        opts_.engine.lifting_respects_constraints;
+    engine_opts.simplify = opts_.engine.simplify;
+
+    Timer iteration;
+    ic3::Ic3 engine(agg_ts, agg_index, engine_opts);
+    ic3::Ic3Result er = engine.run();
+    double spent = iteration.seconds();
+
+    if (er.status == CheckStatus::Holds) {
+      for (std::size_t p : unsolved) {
+        PropertyResult& pr = result.per_property[p];
+        pr.verdict = PropertyVerdict::HoldsGlobally;
+        pr.seconds = spent;
+        pr.frames = er.frames;
+      }
+      // The iteration's engine stats go to one property only, so summing
+      // engine_stats over per_property counts each IC3 run once.
+      result.per_property[unsolved.front()].engine_stats = er.stats;
+      unsolved.clear();
+      break;
+    }
+    if (er.status != CheckStatus::Fails) break;  // budget exhausted
+
+    // The aggregate failed: every unsolved property false at the final
+    // step of the CEX is refuted by it (the prefix satisfied all of them,
+    // so these are exactly the first-failing ones of this trace).
+    aig::Simulator sim(ts_.aig());
+    const ts::Step& last = er.cex.steps.back();
+    sim.eval(last.state, last.inputs);
+    std::vector<std::size_t> refuted;
+    for (std::size_t p : unsolved) {
+      if (!sim.value(ts_.property_lit(p))) refuted.push_back(p);
+    }
+    if (refuted.empty()) {
+      // Should be impossible for a genuine aggregate CEX; avoid looping.
+      JAVER_LOG(Info) << "sched: aggregate cex refutes no property; stopping";
+      break;
+    }
+    for (std::size_t p : refuted) {
+      PropertyResult& pr = result.per_property[p];
+      pr.verdict = PropertyVerdict::FailsGlobally;
+      pr.seconds = spent;
+      pr.frames = er.frames;
+      pr.cex = er.cex;
+    }
+    result.per_property[refuted.front()].engine_stats = er.stats;
+    std::vector<std::size_t> next;
+    for (std::size_t p : unsolved) {
+      if (std::find(refuted.begin(), refuted.end(), p) == refuted.end()) {
+        next.push_back(p);
+      }
+    }
+    unsolved = std::move(next);
+    JAVER_LOG(Verbose) << "sched: joint iteration refuted " << refuted.size()
+                       << ", " << unsolved.size() << " remaining";
+  }
+
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace javer::mp::sched

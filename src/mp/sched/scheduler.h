@@ -1,0 +1,100 @@
+// Scheduler: the one orchestrator behind every verification mode. It owns
+// the PropertyTask pool, the ClauseDb plumbing, the worker pool, and the
+// engines; the four public verifier classes (SeparateVerifier, JaVerifier,
+// JointVerifier, ParallelJaVerifier) are thin policy presets over it, and
+// the hybrid policy is only expressible here.
+//
+// Policies:
+//  * RunToCompletion — each property gets one engine run bounded by its
+//    per-property budget, in order. With num_threads > 1 the tasks are
+//    dispatched onto the worker pool (the paper's Section 11 parallel
+//    mode); with local proofs this is Sep-loc/JA, with global proofs
+//    Sep-glob.
+//  * HybridBmcIc3 — rounds interleaving a *shared* BMC falsification
+//    sweep over every still-open property (one incremental unrolling,
+//    "just assume" constraints on the prefix) with round-robin IC3 budget
+//    slices. Failing-heavy workloads (the paper's Tables III/V/VIII
+//    substrate) die cheaply in the BMC sweeps before IC3 spends anything
+//    on them; the surviving properties get proven by the sliced IC3
+//    engines, which keep their frames between slices.
+//  * JointAggregate — the paper's Jnt-ver baseline: one IC3 run on the
+//    conjunction of all open properties; a counterexample removes the
+//    refuted subset and the loop restarts on the rest.
+#ifndef JAVER_MP_SCHED_SCHEDULER_H
+#define JAVER_MP_SCHED_SCHEDULER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mp/clause_db.h"
+#include "mp/report.h"
+#include "mp/sched/engine_options.h"
+#include "mp/sched/property_task.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp::sched {
+
+enum class ProofMode : std::uint8_t {
+  Local,   // other ETH properties assumed (T_P projection, §4)
+  Global,  // no assumptions
+};
+
+enum class DispatchPolicy : std::uint8_t {
+  RunToCompletion,
+  HybridBmcIc3,
+  JointAggregate,
+};
+
+struct SchedulerOptions {
+  EngineOptions engine;
+  ProofMode proof_mode = ProofMode::Local;
+  DispatchPolicy dispatch = DispatchPolicy::RunToCompletion;
+  unsigned num_threads = 1;  // 0 = hardware concurrency
+
+  // --- HybridBmcIc3 knobs ---
+  // IC3 budget slice per open property per round.
+  double ic3_slice_seconds = 0.5;
+  std::uint64_t ic3_slice_conflicts = 0;
+  // Unrolling depth added per BMC sweep, the hard cap on the shared
+  // unrolling, and the wall-clock cap per sweep (0 = unlimited).
+  int bmc_depth_per_sweep = 8;
+  int bmc_max_depth = 64;
+  double bmc_sweep_seconds = 0.0;
+  // Stop sweeping after this many consecutive sweeps found nothing: the
+  // open set is (probably) all-true and BMC money is better spent on IC3.
+  int bmc_empty_sweeps_to_stop = 2;
+
+  // --- JointAggregate knobs ---
+  double time_limit_per_iteration = 0.0;  // 0 = bounded only by total
+};
+
+class Scheduler {
+ public:
+  Scheduler(const ts::TransitionSystem& ts, SchedulerOptions opts);
+
+  MultiResult run();
+  MultiResult run(ClauseDb& db);
+
+  // The assumption set the current proof mode gives target `prop`: every
+  // ETH property except the target for Local, empty for Global.
+  std::vector<std::size_t> assumptions_for(std::size_t prop) const;
+
+ private:
+  MultiResult run_tasks(ClauseDb& db);  // RunToCompletion + HybridBmcIc3
+  MultiResult run_joint();              // JointAggregate
+  std::vector<std::size_t> resolve_order() const;
+  unsigned effective_threads() const;
+  // One shared-unrolling BMC falsification sweep over the open tasks;
+  // returns the number of tasks it closed.
+  std::size_t bmc_sweep(class SweepState& sweep,
+                        std::vector<std::unique_ptr<PropertyTask>>& tasks,
+                        double remaining_seconds);
+
+  const ts::TransitionSystem& ts_;
+  SchedulerOptions opts_;
+};
+
+}  // namespace javer::mp::sched
+
+#endif  // JAVER_MP_SCHED_SCHEDULER_H

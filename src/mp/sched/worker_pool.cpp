@@ -1,0 +1,78 @@
+#include "mp/sched/worker_pool.h"
+
+namespace javer::mp::sched {
+
+WorkerPool::WorkerPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (unsigned t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::drain() {
+  std::size_t i;
+  while ((i = next_.fetch_add(1)) < count_) {
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      next_.store(count_);  // skip the remaining items
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      active_--;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = n;
+    next_.store(0);
+    active_ = workers_.size();
+    error_ = nullptr;
+    generation_++;
+  }
+  start_cv_.notify_all();
+  drain();  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace javer::mp::sched

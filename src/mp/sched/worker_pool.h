@@ -1,0 +1,65 @@
+// WorkerPool: the scheduler's generic work-stealing driver. N workers
+// (the calling thread included) pull item indices from a shared cursor —
+// the generalization of the ad-hoc thread pool ParallelJaVerifier used to
+// own, now reusable by any dispatch policy: run-to-completion tasks,
+// per-round hybrid IC3 slices, or anything else shaped "run fn(i) for
+// i in [0, n)".
+//
+// Threads are spawned once and parked between run() calls, so per-round
+// dispatch (the hybrid policy calls run() every round) costs no respawn.
+#ifndef JAVER_MP_SCHED_WORKER_POOL_H
+#define JAVER_MP_SCHED_WORKER_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace javer::mp::sched {
+
+class WorkerPool {
+ public:
+  // `num_threads` >= 1 is the total worker count including the caller;
+  // num_threads - 1 threads are spawned.
+  explicit WorkerPool(unsigned num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  // Runs fn(i) for every i in [0, n); blocks until all items completed.
+  // The caller participates. If any fn throws, remaining items are
+  // skipped and the first exception is rethrown here.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain();
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  // Current job, guarded by mutex_ for publication; workers race on
+  // next_ only.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;       // spawned workers still inside the job
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace javer::mp::sched
+
+#endif  // JAVER_MP_SCHED_WORKER_POOL_H

@@ -1,19 +1,9 @@
 #include "mp/separate_verifier.h"
 
-#include <algorithm>
-
-#include "base/log.h"
-#include "base/timer.h"
+#include "mp/sched/property_task.h"
+#include "mp/sched/scheduler.h"
 
 namespace javer::mp {
-
-namespace {
-
-struct EngineOutcome {
-  PropertyResult pr;  // pr.invariant carries the strengthening on Holds
-};
-
-}  // namespace
 
 SeparateVerifier::SeparateVerifier(const ts::TransitionSystem& ts,
                                    SeparateOptions opts)
@@ -21,86 +11,19 @@ SeparateVerifier::SeparateVerifier(const ts::TransitionSystem& ts,
 
 std::vector<std::size_t> SeparateVerifier::assumptions_for(
     std::size_t prop) const {
-  std::vector<std::size_t> assumed;
-  if (!opts_.local_proofs) return assumed;
-  // Section 5: only properties Expected To Hold are ever assumed; this is
-  // also correct when the target itself is expected to fail.
-  for (std::size_t j = 0; j < ts_.num_properties(); ++j) {
-    if (j != prop && !ts_.expected_to_fail(j)) assumed.push_back(j);
-  }
-  return assumed;
+  if (!opts_.local_proofs) return {};
+  return sched::local_assumptions(ts_, prop);
 }
-
-namespace {
-
-// Runs IC3 once for `prop`, including the Section 7-A spurious-CEX retry
-// (relaxed lifting first, strict lifting on a spurious local CEX).
-// Verdict labels follow the verifier's proof mode: local mode yields
-// local verdicts even when the assumption set happens to be empty (e.g.
-// when every other property is ETF) — the projection claim still holds
-// and the debugging-set accounting stays uniform.
-EngineOutcome check_property(const ts::TransitionSystem& ts,
-                             const SeparateOptions& opts, std::size_t prop,
-                             const std::vector<std::size_t>& assumed,
-                             const std::vector<ts::Cube>& seeds) {
-  Timer timer;
-  ic3::Ic3Options engine_opts;
-  engine_opts.assumed = assumed;
-  engine_opts.lifting_respects_constraints =
-      opts.lifting_respects_constraints;
-  engine_opts.simplify = opts.simplify;
-  engine_opts.seed_clauses = seeds;
-  engine_opts.time_limit_seconds = opts.time_limit_per_property;
-  engine_opts.conflict_budget_per_query = opts.conflict_budget_per_query;
-
-  EngineOutcome out;
-  ic3::Ic3 engine(ts, prop, engine_opts);
-  ic3::Ic3Result er = engine.run();
-
-  if (er.status == CheckStatus::Fails && !assumed.empty() &&
-      !engine_opts.lifting_respects_constraints &&
-      !ts::is_local_cex(ts, er.cex, prop, assumed)) {
-    JAVER_LOG(Verbose) << "separate: spurious local cex for P" << prop
-                       << "; strict-lifting retry";
-    engine_opts.lifting_respects_constraints = true;
-    ic3::Ic3 strict_engine(ts, prop, engine_opts);
-    er = strict_engine.run();
-    out.pr.spurious_restarts = 1;
-  }
-
-  out.pr.frames = er.frames;
-  out.pr.engine_stats = er.stats;
-  switch (er.status) {
-    case CheckStatus::Holds:
-      out.pr.verdict = opts.local_proofs ? PropertyVerdict::HoldsLocally
-                                         : PropertyVerdict::HoldsGlobally;
-      out.pr.invariant = std::move(er.invariant);
-      break;
-    case CheckStatus::Fails:
-      out.pr.verdict = opts.local_proofs ? PropertyVerdict::FailsLocally
-                                         : PropertyVerdict::FailsGlobally;
-      out.pr.cex = std::move(er.cex);
-      break;
-    default:
-      out.pr.verdict = PropertyVerdict::Unknown;
-      break;
-  }
-  out.pr.seconds = timer.seconds();
-  return out;
-}
-
-}  // namespace
 
 PropertyResult SeparateVerifier::verify_one(std::size_t prop, ClauseDb* db) {
-  std::vector<std::size_t> assumed = assumptions_for(prop);
-  std::vector<ts::Cube> seeds;
-  if (opts_.clause_reuse && db != nullptr) seeds = db->snapshot();
-
-  EngineOutcome out = check_property(ts_, opts_, prop, assumed, seeds);
-  if (db != nullptr && opts_.clause_reuse && !out.pr.invariant.empty()) {
-    db->add(out.pr.invariant);
-  }
-  return std::move(out.pr);
+  // One task driven to completion; verdict labels follow the verifier's
+  // proof mode even when the assumption set happens to be empty (the
+  // projection claim still holds and the debugging-set accounting stays
+  // uniform).
+  sched::PropertyTask task(ts_, prop, assumptions_for(prop), opts_,
+                           opts_.local_proofs);
+  while (task.open()) task.run_slice(sched::TaskBudget{}, db);
+  return std::move(task.result());
 }
 
 MultiResult SeparateVerifier::run() {
@@ -109,25 +32,13 @@ MultiResult SeparateVerifier::run() {
 }
 
 MultiResult SeparateVerifier::run(ClauseDb& db) {
-  Timer total;
-  MultiResult result;
-  result.per_property.resize(ts_.num_properties());
-
-  std::vector<std::size_t> order = opts_.order;
-  if (order.empty()) {
-    for (std::size_t i = 0; i < ts_.num_properties(); ++i) order.push_back(i);
-  }
-
-  for (std::size_t prop : order) {
-    if (opts_.total_time_limit > 0 &&
-        total.seconds() >= opts_.total_time_limit) {
-      break;  // remaining properties stay Unknown
-    }
-    result.per_property[prop] = verify_one(prop, &db);
-  }
-
-  result.total_seconds = total.seconds();
-  return result;
+  sched::SchedulerOptions so;
+  so.engine = opts_;
+  so.proof_mode = opts_.local_proofs ? sched::ProofMode::Local
+                                     : sched::ProofMode::Global;
+  so.dispatch = sched::DispatchPolicy::RunToCompletion;
+  so.num_threads = 1;
+  return sched::Scheduler(ts_, so).run(db);
 }
 
 }  // namespace javer::mp

@@ -8,33 +8,27 @@
 // property constraints (§7-A), including the spurious-counterexample
 // detect-and-retry loop.
 //
-// Tables III–IX are all driven by this class under different options;
-// JaVerifier (ja_verifier.h) is the preset the paper calls
+// Since the scheduler refactor this class is a thin policy preset over
+// sched::Scheduler (proof mode local/global, run-to-completion dispatch,
+// one thread). Tables III–IX are all driven through it under different
+// options; JaVerifier (ja_verifier.h) is the preset the paper calls
 // "JA-verification" (local proofs + clause re-use).
 #ifndef JAVER_MP_SEPARATE_VERIFIER_H
 #define JAVER_MP_SEPARATE_VERIFIER_H
 
 #include <vector>
 
-#include "ic3/ic3.h"
 #include "mp/clause_db.h"
 #include "mp/report.h"
+#include "mp/sched/engine_options.h"
 #include "ts/transition_system.h"
 
 namespace javer::mp {
 
-struct SeparateOptions {
-  bool local_proofs = true;        // local (JA) vs global separate
-  bool clause_reuse = true;        // accumulate/seed via ClauseDb
-  bool lifting_respects_constraints = false;  // §7-A; only affects local
-  // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
-  bool simplify = false;
-  double time_limit_per_property = 0.0;       // seconds; 0 = unlimited
-  double total_time_limit = 0.0;              // seconds; 0 = unlimited
-  std::uint64_t conflict_budget_per_query = 0;
-  // Verification order (indices); empty = design order, the paper's
-  // default ("properties are verified in the order they are given").
-  std::vector<std::size_t> order;
+// The shared engine knobs (time limits, clause re-use, lifting, simplify,
+// order) live in the sched::EngineOptions base.
+struct SeparateOptions : sched::EngineOptions {
+  bool local_proofs = true;  // local (JA) vs global separate
 };
 
 class SeparateVerifier {
