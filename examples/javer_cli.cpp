@@ -21,9 +21,11 @@
 #include "mp/joint_verifier.h"
 #include "mp/ordering.h"
 #include "mp/parallel_ja.h"
+#include "mp/exchange/lemma_bus.h"
 #include "mp/report.h"
 #include "mp/sched/scheduler.h"
 #include "mp/separate_verifier.h"
+#include "mp/shard/sharded_scheduler.h"
 #include "ts/witness.h"
 
 namespace {
@@ -35,7 +37,11 @@ struct CliOptions {
   std::string clause_db_path;
   double time_limit = 60.0;
   unsigned threads = 0;  // 0 = hardware concurrency (parallel/hybrid)
-  int bmc_depth = 64;    // hybrid: cap on the shared BMC unrolling
+  int bmc_depth = 64;    // hybrid/sharded: cap on the shared BMC unrolling
+  double cluster_threshold = 0.5;     // sharded/clustered: min similarity
+  std::size_t max_cluster_size = 64;  // sharded/clustered: shard size cap
+  javer::mp::exchange::ExchangeMode lemma_exchange =
+      javer::mp::exchange::ExchangeMode::Units;  // sharded only
   bool reuse = true;
   bool strict_lifting = false;
   bool simplify = false;
@@ -56,7 +62,7 @@ void usage(std::FILE* out) {
 "\n"
 "engine selection:\n"
 "  --engine NAME        separate | ja | joint | parallel | hybrid |\n"
-"                       clustered             (default: ja)\n"
+"                       clustered | sharded   (default: ja)\n"
 "                         separate  global proofs, one property at a time\n"
 "                         ja        local proofs + clause re-use (paper's\n"
 "                                   headline algorithm)\n"
@@ -67,16 +73,34 @@ void usage(std::FILE* out) {
 "                                   interleaved with IC3 proof slices\n"
 "                         clustered cone-similarity clusters, verified\n"
 "                                   jointly per cluster\n"
+"                         sharded   one hybrid BMC+IC3 shard per cluster\n"
+"                                   (own task pool + clause-db shard),\n"
+"                                   shards balanced across the worker\n"
+"                                   pool, lemmas exchanged per shard\n"
 "  --mode NAME          deprecated alias for --engine (also accepts\n"
 "                       separate-global)\n"
 "\n"
 "resource limits:\n"
-"  --time-limit SEC     per property (separate/ja/parallel/hybrid) or\n"
-"                       total (joint/clustered)       (default: 60)\n"
-"  --threads N          worker threads for parallel/hybrid; 0 = all\n"
-"                       hardware threads              (default: 0)\n"
-"  --bmc-depth N        hybrid only: cap on the shared BMC unrolling\n"
+"  --time-limit SEC     per property (separate/ja/parallel/hybrid/\n"
+"                       sharded) or total (joint/clustered) (default: 60)\n"
+"  --threads N          worker threads for parallel/hybrid/sharded;\n"
+"                       0 = all hardware threads      (default: 0)\n"
+"  --bmc-depth N        hybrid/sharded: cap on the shared BMC unrolling\n"
 "                       depth                         (default: 64)\n"
+"\n"
+"sharded/clustered knobs:\n"
+"  --cluster-threshold F  minimum Jaccard cone similarity for two\n"
+"                         properties to share a cluster, in [0,1]\n"
+"                         (default: 0.5)\n"
+"  --max-cluster-size N   cap on properties per cluster; oversized\n"
+"                         would-be clusters split    (default: 64)\n"
+"  --lemma-exchange M     sharded only: off | units | all\n"
+"                           off    no cross-engine traffic\n"
+"                           units  BMC prefix units seed sibling IC3\n"
+"                                  tasks' F_inf (re-validated in-engine)\n"
+"                           all    units + IC3 strengthenings to sibling\n"
+"                                  tasks and back into the shard's BMC\n"
+"                         (default: units)\n"
 "\n"
 "strategy knobs:\n"
 "  --order KIND         design | cone | shuffle       (default: design)\n"
@@ -156,6 +180,37 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       unsigned long n = 0;
       if (!next_number("--bmc-depth", n)) return false;
       opts.bmc_depth = static_cast<int>(n);
+    } else if (arg == "--cluster-threshold") {
+      const char* v = next("--cluster-threshold");
+      if (v == nullptr) return false;
+      if (!parse_number(v, opts.cluster_threshold) ||
+          opts.cluster_threshold > 1.0) {
+        std::fprintf(stderr,
+                     "javer_cli: --cluster-threshold wants a number in "
+                     "[0,1], got '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--max-cluster-size") {
+      unsigned long n = 0;
+      if (!next_number("--max-cluster-size", n)) return false;
+      if (n == 0) {
+        std::fprintf(stderr,
+                     "javer_cli: --max-cluster-size wants a positive "
+                     "integer\n");
+        return false;
+      }
+      opts.max_cluster_size = static_cast<std::size_t>(n);
+    } else if (arg == "--lemma-exchange") {
+      const char* v = next("--lemma-exchange");
+      if (v == nullptr) return false;
+      auto mode = javer::mp::exchange::parse_exchange_mode(v);
+      if (!mode) {
+        std::fprintf(stderr,
+                     "javer_cli: --lemma-exchange wants off|units|all, "
+                     "got '%s'\n", v);
+        return false;
+      }
+      opts.lemma_exchange = *mode;
     } else if (arg == "--order") {
       const char* v = next("--order");
       if (v == nullptr) return false;
@@ -308,10 +363,42 @@ int main(int argc, char** argv) {
     opts.engine.simplify = cli.simplify;
     opts.engine.order = order;
     result = mp::sched::Scheduler(ts, opts).run(db);
+  } else if (cli.engine == "sharded") {
+    mp::shard::ShardedOptions opts;
+    opts.base.proof_mode = mp::sched::ProofMode::Local;
+    opts.base.dispatch = mp::sched::DispatchPolicy::HybridBmcIc3;
+    opts.base.num_threads = cli.threads;
+    opts.base.bmc_max_depth = cli.bmc_depth;
+    opts.base.engine.time_limit_per_property = cli.time_limit;
+    opts.base.engine.clause_reuse = cli.reuse;
+    opts.base.engine.lifting_respects_constraints = cli.strict_lifting;
+    opts.base.engine.simplify = cli.simplify;
+    opts.base.engine.order = order;
+    opts.clustering.min_similarity = cli.cluster_threshold;
+    opts.clustering.max_cluster_size = cli.max_cluster_size;
+    opts.exchange = cli.lemma_exchange;
+    mp::shard::ShardedScheduler sharded(ts, opts);
+    result = sharded.run(db);
+    if (!cli.quiet) {
+      // With --witness, stdout is reserved for witness data (see below).
+      std::FILE* out = cli.witness ? stderr : stdout;
+      const mp::exchange::ExchangeStats& xs = sharded.exchange_stats();
+      std::fprintf(out,
+          "sharded: %zu shard(s), lemma exchange %s: %llu published, "
+          "%llu delivered, %llu imported, %llu rejected (hit rate %.2f)\n",
+          sharded.num_shards(),
+          mp::exchange::to_string(opts.exchange),
+          static_cast<unsigned long long>(xs.published),
+          static_cast<unsigned long long>(xs.delivered),
+          static_cast<unsigned long long>(xs.imported),
+          static_cast<unsigned long long>(xs.rejected), xs.hit_rate());
+    }
   } else if (cli.engine == "clustered") {
     mp::ClusteredJointOptions opts;
     opts.total_time_limit = cli.time_limit;
     opts.simplify = cli.simplify;
+    opts.clustering.min_similarity = cli.cluster_threshold;
+    opts.clustering.max_cluster_size = cli.max_cluster_size;
     result = mp::ClusteredJointVerifier(ts, opts).run();
   } else {
     std::fprintf(stderr, "javer_cli: unknown engine '%s'\n",

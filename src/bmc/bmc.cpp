@@ -1,5 +1,6 @@
 #include "bmc/bmc.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "base/log.h"
@@ -58,6 +59,60 @@ void Bmc::make_next_frame() {
     encoder_.bind(next, l.var, encoder_.lit(cur, l.next));
   }
   frames_.push_back(std::move(next));
+  for (const ts::Cube& c : invariant_cubes_) {
+    assert_invariant_clause(frames_.back(), c);
+  }
+}
+
+void Bmc::assert_invariant_clause(cnf::Encoder::Frame& frame,
+                                  const ts::Cube& cube) {
+  std::vector<sat::Lit> clause;
+  clause.reserve(cube.size());
+  for (const ts::StateLit& l : cube) {
+    sat::Lit lit =
+        encoder_.lit(frame, aig::Lit::make(ts_.aig().latches()[l.latch].var));
+    clause.push_back(l.value ? ~lit : lit);
+  }
+  // Through the preprocessor with the literals frozen: in simplify mode
+  // the clause joins the pending batch and its variables survive
+  // elimination; a solve before the next flush merely misses the pruning.
+  for (sat::Lit l : clause) pre_.freeze(l);
+  pre_.add_clause(clause);
+}
+
+std::size_t Bmc::add_invariant_cubes(const std::vector<ts::Cube>& cubes) {
+  std::size_t added = 0;
+  for (const ts::Cube& c : cubes) {
+    if (c.empty()) continue;
+    ts::Cube sorted = c;
+    ts::sort_cube(sorted);
+    if (!invariant_seen_.insert(sorted).second) continue;
+    for (cnf::Encoder::Frame& f : frames_) assert_invariant_clause(f, sorted);
+    invariant_cubes_.push_back(std::move(sorted));
+    added++;
+  }
+  return added;
+}
+
+std::vector<ts::Cube> Bmc::prefix_unit_candidates(int max_step) {
+  std::vector<ts::Cube> out;
+  const aig::Aig& aig = ts_.aig();
+  const int last =
+      std::min<int>(max_step, static_cast<int>(frames_.size()) - 1);
+  for (int t = 0; t <= last; ++t) {
+    const cnf::Encoder::Frame& f = frames_[t];
+    for (std::size_t i = 0; i < aig.num_latches(); ++i) {
+      aig::Var v = aig.latches()[i].var;
+      if (!f.mapped(v)) continue;
+      sat::Value val = solver_.fixed_value(f.at(v));
+      if (val == sat::kUndef) continue;
+      // Latch i is pinned to `val` at step t: nominate "latch i never
+      // takes the opposite value" by offering the opposite-value cube.
+      ts::Cube c{ts::StateLit{static_cast<int>(i), val == sat::kFalse}};
+      if (mined_units_.insert(c).second) out.push_back(std::move(c));
+    }
+  }
+  return out;
 }
 
 ts::Trace Bmc::extract_trace(std::size_t depth) {

@@ -256,6 +256,56 @@ void Ic3::validate_seed_clauses() {
   stats_.seed_clauses_kept = inf_cubes_.size();
 }
 
+void Ic3::add_lemma_candidates(std::vector<ts::Cube> cubes) {
+  for (ts::Cube& c : cubes) {
+    if (c.empty()) continue;
+    ts::sort_cube(c);
+    lemma_queue_.push_back(std::move(c));
+  }
+}
+
+std::vector<ts::Cube> Ic3::take_new_inf_lemmas() {
+  // Before seed validation inf_cubes_ is still subject to wholesale
+  // replacement, so nothing is exportable yet.
+  if (phase_ == Phase::SeedValidation) return {};
+  std::vector<ts::Cube> out(inf_cubes_.begin() + inf_exported_,
+                            inf_cubes_.end());
+  inf_exported_ = inf_cubes_.size();
+  return out;
+}
+
+void Ic3::absorb_lemma_candidates() {
+  if (lemma_queue_.empty()) return;
+  std::vector<ts::Cube> pending = std::move(lemma_queue_);
+  lemma_queue_.clear();
+  for (const ts::Cube& c : pending) {
+    if (!ts_.cube_disjoint_from_init(c)) {
+      stats_.lemmas_rejected++;
+      continue;
+    }
+    bool known = false;
+    for (const ts::Cube& have : inf_cubes_) {
+      if (ts::cube_subsumes(have, c)) {
+        known = true;
+        break;
+      }
+    }
+    if (known) {
+      stats_.lemmas_known++;  // already proven (e.g. via the ClauseDb)
+      continue;
+    }
+    stats_.consecution_queries++;
+    if (checked(inf_ctx().query_consecution(c, /*add_negation=*/true,
+                                            nullptr)) ==
+        sat::SolveResult::Unsat) {
+      add_inf_cube(c);
+      stats_.lemmas_imported++;
+    } else {
+      stats_.lemmas_rejected++;
+    }
+  }
+}
+
 void Ic3::mine_singleton_invariants() {
   // A few passes so that mutually dependent singletons (a latch whose
   // inductiveness needs another mined clause) settle; designs rarely need
@@ -535,6 +585,10 @@ Ic3Result Ic3::run(const Ic3Budget& budget) {
   try {
     if (phase_ == Phase::SeedValidation) {
       validate_seed_clauses();
+      // Validated seeds are not lemma traffic: every sibling seeded from
+      // the same ClauseDb validates the same candidates itself, so
+      // exporting them would only re-publish what the db already shared.
+      inf_exported_ = inf_cubes_.size();
       phase_ = Phase::Mining;
     }
     if (phase_ == Phase::Mining) {
@@ -542,6 +596,7 @@ Ic3Result Ic3::run(const Ic3Budget& budget) {
       ensure_frame(0);
       phase_ = Phase::Depth0;
     }
+    absorb_lemma_candidates();
     if (phase_ == Phase::Depth0) {
       // Depth-0 check: an initial state violating the property.
       if (checked(ctx(0).query_bad()) == sat::SolveResult::Sat) {

@@ -55,6 +55,13 @@ struct Ic3Stats {
   std::uint64_t seed_clauses_dropped = 0;
   std::uint64_t solver_rebuilds = 0;
   std::uint64_t mined_invariants = 0;
+  // Cross-engine lemma exchange (mp/exchange): candidates offered via
+  // add_lemma_candidates that survived re-validation and were installed
+  // at F_inf, candidates that failed it, and candidates that were already
+  // subsumed by F_inf (e.g. they arrived through the ClauseDb seeds too).
+  std::uint64_t lemmas_imported = 0;
+  std::uint64_t lemmas_rejected = 0;
+  std::uint64_t lemmas_known = 0;
   // Aggregated over every SAT context this run created (including retired
   // and rebuilt ones).
   std::uint64_t sat_propagations = 0;
@@ -108,6 +115,22 @@ class Ic3 {
   // (sound: the pending bad state is re-derived by the next slice's
   // query). Call repeatedly until the result is terminal or not resumable.
   Ic3Result run(const Ic3Budget& budget);
+
+  // --- cross-engine lemma exchange (mp/exchange) ---
+
+  // Queues candidate invariant cubes (e.g. a sibling BMC sweep's learned
+  // prefix units). Nothing is trusted: at the start of the next run()
+  // call each candidate is re-validated in this engine's own context —
+  // init disjointness plus consecution relative to F_inf under this
+  // engine's assumption set — and only survivors are installed at F_inf,
+  // so arbitrary (even unsound) candidates can never flip a verdict.
+  void add_lemma_candidates(std::vector<ts::Cube> cubes);
+
+  // F_inf cubes proven since the last call (validated seeds, promoted
+  // obligations, accepted lemmas) — the engine's outgoing lemma traffic.
+  // Each is invariant under this engine's assumption set. Empty until
+  // seed validation has run.
+  std::vector<ts::Cube> take_new_inf_lemmas();
 
  private:
   struct Timeout {};  // internal control-flow signal: hard budget expiry
@@ -172,6 +195,11 @@ class Ic3 {
 
   // --- proof ---
   void validate_seed_clauses();
+  // Drains lemma_queue_: re-validates each candidate and installs the
+  // survivors at F_inf. Runs after the mining phase so F_inf plumbing
+  // exists; on budget expiry the untested remainder is dropped (lemma
+  // traffic is best-effort).
+  void absorb_lemma_candidates();
   // One-time pass installing every latch literal that contradicts its
   // reset and is one-step inductive relative to the path constraints as
   // an F_inf clause. Under JA assumptions this catches the "other
@@ -217,6 +245,8 @@ class Ic3 {
   std::unique_ptr<FrameSolver> inf_solver_;
   std::vector<std::vector<ts::Cube>> frame_cubes_;  // delta encoding
   std::vector<ts::Cube> inf_cubes_;  // F_inf: seeds + globally inductive
+  std::vector<ts::Cube> lemma_queue_;   // candidates pending re-validation
+  std::size_t inf_exported_ = 0;  // take_new_inf_lemmas cursor
 
   std::vector<Obligation> pool_;
   // Min-heap entries: (frame, insertion order, pool index).

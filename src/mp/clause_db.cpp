@@ -74,6 +74,33 @@ ClauseDb ClauseDb::load(const std::string& path) {
   return db;
 }
 
+ShardedClauseDb::ShardedClauseDb(std::size_t num_shards) {
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ClauseDb>());
+  }
+}
+
+std::size_t ShardedClauseDb::seed_all(const std::vector<ts::Cube>& cubes) {
+  std::size_t added = 0;
+  for (auto& shard : shards_) added += shard->add(cubes);
+  return added;
+}
+
+std::vector<ts::Cube> ShardedClauseDb::merged_snapshot() const {
+  std::set<ts::Cube> merged;
+  for (const auto& shard : shards_) {
+    for (const ts::Cube& c : *shard->shared_snapshot()) merged.insert(c);
+  }
+  return std::vector<ts::Cube>(merged.begin(), merged.end());
+}
+
+std::size_t ShardedClauseDb::total_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
 std::size_t ClauseDb::load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("clausedb: cannot open " + path);

@@ -53,6 +53,31 @@ class ClauseDb {
   mutable std::shared_ptr<const std::vector<ts::Cube>> cache_;
 };
 
+// ShardedClauseDb: one independent ClauseDb per cluster shard (the
+// sharded scheduler's layout). Shards never contend with each other —
+// each cluster's tasks seed from and publish into their own shard only —
+// while seed_all/merged bridge to the single global database the CLI's
+// --clause-db persistence and the legacy verifiers use.
+class ShardedClauseDb {
+ public:
+  explicit ShardedClauseDb(std::size_t num_shards);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  ClauseDb& shard(std::size_t i) { return *shards_[i]; }
+  const ClauseDb& shard(std::size_t i) const { return *shards_[i]; }
+
+  // Adds the cubes to every shard (global seeding); returns the total
+  // number of insertions across shards.
+  std::size_t seed_all(const std::vector<ts::Cube>& cubes);
+
+  // Union of all shards' cubes.
+  std::vector<ts::Cube> merged_snapshot() const;
+  std::size_t total_size() const;
+
+ private:
+  std::vector<std::unique_ptr<ClauseDb>> shards_;
+};
+
 }  // namespace javer::mp
 
 #endif  // JAVER_MP_CLAUSE_DB_H

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "base/timer.h"
+#include "mp/shard/sharded_scheduler.h"
 
 namespace javer::mp {
 
@@ -84,41 +84,16 @@ ClusteredJointVerifier::ClusteredJointVerifier(const ts::TransitionSystem& ts,
     : ts_(ts), opts_(std::move(opts)) {}
 
 MultiResult ClusteredJointVerifier::run() {
-  Timer total;
-  MultiResult result;
-  result.per_property.resize(ts_.num_properties());
-
-  auto clusters = cluster_properties(ts_, opts_.clustering);
-  for (const auto& cluster : clusters) {
-    double remaining = 0.0;
-    if (opts_.total_time_limit > 0) {
-      remaining = opts_.total_time_limit - total.seconds();
-      if (remaining <= 0) break;  // rest stays Unknown
-    }
-    double cluster_limit = opts_.time_limit_per_cluster;
-    if (remaining > 0 && (cluster_limit <= 0 || cluster_limit > remaining)) {
-      cluster_limit = remaining;
-    }
-
-    // Joint verification restricted to this cluster: reuse JointVerifier
-    // on a design whose property list is the cluster.
-    aig::Aig sub = ts_.aig();
-    std::vector<aig::Property> props;
-    for (std::size_t p : cluster) {
-      props.push_back(ts_.aig().properties()[p]);
-    }
-    sub.properties() = props;
-    ts::TransitionSystem sub_ts(sub);
-    JointOptions jopts;
-    jopts.total_time_limit = cluster_limit;
-    jopts.simplify = opts_.simplify;
-    MultiResult sub_result = JointVerifier(sub_ts, jopts).run();
-    for (std::size_t i = 0; i < cluster.size(); ++i) {
-      result.per_property[cluster[i]] = sub_result.per_property[i];
-    }
-  }
-  result.total_seconds = total.seconds();
-  return result;
+  shard::ShardedOptions so;
+  so.base.dispatch = sched::DispatchPolicy::JointAggregate;
+  so.base.proof_mode = sched::ProofMode::Global;
+  so.base.num_threads = 1;
+  so.base.engine.total_time_limit = opts_.total_time_limit;
+  so.base.engine.simplify = opts_.simplify;
+  so.clustering = opts_.clustering;
+  so.time_limit_per_shard = opts_.time_limit_per_cluster;
+  so.exchange = exchange::ExchangeMode::Off;
+  return shard::ShardedScheduler(ts_, so).run();
 }
 
 }  // namespace javer::mp

@@ -9,7 +9,6 @@
 
 #include <vector>
 
-#include "mp/joint_verifier.h"
 #include "mp/report.h"
 #include "ts/transition_system.h"
 
@@ -36,7 +35,10 @@ struct ClusteredJointOptions {
 };
 
 // The grouping baseline: joint verification per cluster (each cluster's
-// aggregate property is the conjunction of its members).
+// aggregate property is the conjunction of its members). A thin preset
+// over the sharded scheduler (mp/shard) with JointAggregate dispatch per
+// shard and the lemma exchange off, the way the four legacy verifiers
+// are presets over the property scheduler.
 class ClusteredJointVerifier {
  public:
   ClusteredJointVerifier(const ts::TransitionSystem& ts,

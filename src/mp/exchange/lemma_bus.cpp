@@ -1,0 +1,92 @@
+#include "mp/exchange/lemma_bus.h"
+
+#include <string>
+
+namespace javer::mp::exchange {
+
+const char* to_string(ExchangeMode m) {
+  switch (m) {
+    case ExchangeMode::Off: return "off";
+    case ExchangeMode::Units: return "units";
+    default: return "all";
+  }
+}
+
+std::optional<ExchangeMode> parse_exchange_mode(const std::string& text) {
+  if (text == "off") return ExchangeMode::Off;
+  if (text == "units") return ExchangeMode::Units;
+  if (text == "all") return ExchangeMode::All;
+  return std::nullopt;
+}
+
+LemmaBus::LemmaBus(std::size_t num_shards, ExchangeMode mode) : mode_(mode) {
+  channels_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+}
+
+std::size_t LemmaBus::publish(std::size_t shard, LemmaKind kind,
+                              std::size_t producer,
+                              const std::vector<ts::Cube>& cubes) {
+  if (cubes.empty() || shard >= channels_.size()) return 0;
+  if (mode_ == ExchangeMode::Off ||
+      (mode_ == ExchangeMode::Units && kind != LemmaKind::BmcUnit)) {
+    mode_filtered_ += cubes.size();
+    return 0;
+  }
+  Channel& ch = *channels_[shard];
+  std::size_t accepted = 0;
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  for (const ts::Cube& c : cubes) {
+    if (c.empty()) continue;
+    ts::Cube sorted = c;
+    ts::sort_cube(sorted);
+    if (!ch.seen.insert(sorted).second) {
+      duplicates_++;
+      continue;
+    }
+    ch.log.push_back(Lemma{std::move(sorted), kind, producer});
+    accepted++;
+  }
+  published_ += accepted;
+  return accepted;
+}
+
+std::vector<Lemma> LemmaBus::poll(std::size_t shard, Cursor& cursor,
+                                  std::optional<LemmaKind> kind,
+                                  std::optional<std::size_t> exclude_producer) {
+  std::vector<Lemma> out;
+  if (shard >= channels_.size()) return out;
+  Channel& ch = *channels_[shard];
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  for (; cursor.next < ch.log.size(); ++cursor.next) {
+    const Lemma& l = ch.log[cursor.next];
+    if (kind && l.kind != *kind) continue;
+    if (exclude_producer && l.producer == *exclude_producer) continue;
+    out.push_back(l);
+  }
+  delivered_ += out.size();
+  return out;
+}
+
+void LemmaBus::record_import(std::uint64_t imported, std::uint64_t rejected,
+                             std::uint64_t redundant) {
+  imported_ += imported;
+  rejected_ += rejected;
+  redundant_ += redundant;
+}
+
+ExchangeStats LemmaBus::stats() const {
+  ExchangeStats s;
+  s.published = published_.load();
+  s.duplicates = duplicates_.load();
+  s.mode_filtered = mode_filtered_.load();
+  s.delivered = delivered_.load();
+  s.imported = imported_.load();
+  s.rejected = rejected_.load();
+  s.redundant = redundant_.load();
+  return s;
+}
+
+}  // namespace javer::mp::exchange

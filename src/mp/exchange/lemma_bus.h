@@ -1,0 +1,132 @@
+// LemmaBus: the thread-safe cross-engine clause channel behind the
+// sharded scheduler (mp/shard). Each shard owns one channel; lemmas
+// published into it never leave it, which is the subscription filter that
+// keeps exchange sound across cluster boundaries: a lemma is only ever
+// consumed by engines whose assumption sets the producing shard's
+// engines are compatible with (and IC3 consumers re-validate every
+// candidate in their own context regardless).
+//
+// Traffic directions (ISSUE/ROADMAP "cross-engine lemma exchange"):
+//  * BmcUnit — unit cubes a shard's shared BMC sweep learned about the
+//    unrolling prefix, offered to the shard's IC3 tasks as F_inf seed
+//    candidates;
+//  * Ic3Strengthening — F_inf cubes an IC3 task proved, offered to
+//    sibling IC3 tasks and published back into the shard's BMC solver.
+//
+// Consumers are cursor-based: each holds its own Cursor into the
+// channel's append-only log, so polling is independent per consumer and
+// nothing is ever delivered twice to the same consumer.
+#ifndef JAVER_MP_EXCHANGE_LEMMA_BUS_H
+#define JAVER_MP_EXCHANGE_LEMMA_BUS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ts/transition_system.h"
+
+namespace javer::mp::exchange {
+
+enum class ExchangeMode : std::uint8_t {
+  Off,    // no traffic at all
+  Units,  // BMC prefix units into IC3 only
+  All,    // units + IC3 strengthenings (to sibling IC3 tasks and BMC)
+};
+
+const char* to_string(ExchangeMode m);
+// Parses "off" / "units" / "all"; nullopt otherwise (CLI plumbing).
+std::optional<ExchangeMode> parse_exchange_mode(const std::string& text);
+
+enum class LemmaKind : std::uint8_t { BmcUnit, Ic3Strengthening };
+
+// Producer id a shard's BMC sweep publishes under; IC3 producers use
+// their property index, so the two can never collide.
+inline constexpr std::size_t kBmcProducer = static_cast<std::size_t>(-1);
+
+struct Lemma {
+  ts::Cube cube;
+  LemmaKind kind = LemmaKind::BmcUnit;
+  std::size_t producer = kBmcProducer;
+};
+
+// Aggregate traffic counters; `imported`/`rejected` are filled in by the
+// consumers' re-validation reports (record_import), so
+// imported / delivered is the exchange hit rate the benches track.
+struct ExchangeStats {
+  std::uint64_t published = 0;      // lemmas accepted into a channel
+  std::uint64_t duplicates = 0;     // publishes suppressed by dedup
+  std::uint64_t mode_filtered = 0;  // publishes dropped by the mode
+  std::uint64_t delivered = 0;      // lemmas handed out by poll()
+  std::uint64_t imported = 0;       // survived a consumer's re-validation
+  std::uint64_t rejected = 0;       // failed a consumer's re-validation
+  std::uint64_t redundant = 0;      // delivered but already proven there
+
+  double hit_rate() const {
+    return delivered == 0
+               ? 0.0
+               : static_cast<double>(imported) / static_cast<double>(delivered);
+  }
+};
+
+class LemmaBus {
+ public:
+  // A consumer's private position in one channel's log.
+  struct Cursor {
+    std::size_t next = 0;
+  };
+
+  LemmaBus(std::size_t num_shards, ExchangeMode mode);
+
+  ExchangeMode mode() const { return mode_; }
+  bool enabled() const { return mode_ != ExchangeMode::Off; }
+  std::size_t num_shards() const { return channels_.size(); }
+
+  // Publishes cubes into `shard`'s channel. Units mode accepts only
+  // BmcUnit lemmas, Off accepts nothing, and duplicate cubes per channel
+  // are suppressed (echoes of imported lemmas die here). Returns how many
+  // were accepted.
+  std::size_t publish(std::size_t shard, LemmaKind kind, std::size_t producer,
+                      const std::vector<ts::Cube>& cubes);
+
+  // Lemmas published to `shard` since `cursor`, advancing it to the end
+  // of the log. `kind` restricts to one kind; `exclude_producer` skips a
+  // consumer's own publications. Skipped entries are consumed too (the
+  // cursor never revisits them).
+  std::vector<Lemma> poll(std::size_t shard, Cursor& cursor,
+                          std::optional<LemmaKind> kind = std::nullopt,
+                          std::optional<std::size_t> exclude_producer =
+                              std::nullopt);
+
+  // Consumers report their re-validation outcome here so stats() can
+  // expose the hit rate.
+  void record_import(std::uint64_t imported, std::uint64_t rejected,
+                     std::uint64_t redundant = 0);
+
+  ExchangeStats stats() const;
+
+ private:
+  struct Channel {
+    std::mutex mutex;
+    std::vector<Lemma> log;       // append-only
+    std::set<ts::Cube> seen;      // per-channel dedup
+  };
+
+  ExchangeMode mode_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> mode_filtered_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> imported_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> redundant_{0};
+};
+
+}  // namespace javer::mp::exchange
+
+#endif  // JAVER_MP_EXCHANGE_LEMMA_BUS_H

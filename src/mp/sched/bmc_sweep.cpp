@@ -1,0 +1,106 @@
+#include "mp/sched/bmc_sweep.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+#include "base/timer.h"
+
+namespace javer::mp::sched {
+
+BmcSweep::BmcSweep(const ts::TransitionSystem& ts,
+                   const SchedulerOptions& opts, bool local_mode)
+    : ts_(ts), opts_(opts), bmc_(ts) {
+  if (local_mode) {
+    // Every ETH property is assumed on non-final steps; a failure found
+    // at the final bound is therefore a first failure (a local CEX).
+    for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+      if (!ts.expected_to_fail(j)) assumed_.push_back(j);
+    }
+  }
+  exhausted_ = opts_.bmc_max_depth <= 0 || opts_.bmc_depth_per_sweep <= 0;
+}
+
+std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
+                            double remaining_seconds) {
+  if (exhausted_) return 0;
+  std::vector<std::size_t> targets;
+  std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
+  for (PropertyTask* task : tasks) {
+    if (task != nullptr && task->open()) {
+      targets.push_back(task->prop());
+      by_prop[task->prop()] = task;
+    }
+  }
+  if (targets.empty()) return 0;
+
+  const int window_end =
+      std::min(depth_done_ + opts_.bmc_depth_per_sweep, opts_.bmc_max_depth) -
+      1;
+  if (window_end < depth_done_) {
+    exhausted_ = true;
+    return 0;
+  }
+
+  double budget = opts_.bmc_sweep_seconds;
+  if (remaining_seconds > 0 && (budget <= 0 || remaining_seconds < budget)) {
+    budget = remaining_seconds;
+  }
+  Deadline sweep_deadline(budget);
+
+  bmc::BmcOptions bo;
+  bo.assumed = assumed_;
+  bo.simplify = opts_.engine.simplify;
+  bo.conflict_budget = opts_.engine.conflict_budget_per_query;
+  bo.start_depth = depth_done_;
+  bo.max_depth = window_end;
+
+  std::size_t closed = 0;
+  while (!targets.empty()) {
+    bo.time_limit_seconds = budget > 0 ? sweep_deadline.remaining() : 0.0;
+    if (budget > 0 && bo.time_limit_seconds <= 0) break;
+    bmc::BmcResult br = bmc_.run(targets, bo);
+    depth_done_ = std::max(depth_done_, br.frames_explored);
+    if (br.status != CheckStatus::Fails) break;  // window clean / budget out
+    for (std::size_t p : br.failed_targets) {
+      if (by_prop[p] != nullptr) {
+        by_prop[p]->resolve_fails(br.cex, br.depth);
+        by_prop[p] = nullptr;
+        closed++;
+      }
+    }
+    targets.erase(std::remove_if(
+                      targets.begin(), targets.end(),
+                      [&](std::size_t p) { return by_prop[p] == nullptr; }),
+                  targets.end());
+    // Re-scan this bound: other targets may fail here too before the
+    // unrolling grows.
+    bo.start_depth = br.depth;
+    JAVER_LOG(Verbose) << "sweep: bmc closed " << br.failed_targets.size()
+                       << " target(s) at depth " << br.depth;
+  }
+
+  if (closed > 0) {
+    empty_streak_ = 0;
+  } else if (depth_done_ > window_end) {
+    empty_streak_++;  // a fully clean window, not a budget cut
+  }
+  if (depth_done_ >= opts_.bmc_max_depth ||
+      empty_streak_ >= opts_.bmc_empty_sweeps_to_stop) {
+    exhausted_ = true;
+  }
+  return closed;
+}
+
+std::vector<ts::Cube> BmcSweep::harvest_unit_candidates() {
+  // Completed bounds are 0 .. depth_done_-1; deeper frames may exist but
+  // carry no assumed/constraint units yet, so their facts are weaker.
+  return bmc_.prefix_unit_candidates(depth_done_ - 1);
+}
+
+std::size_t BmcSweep::install_invariant_cubes(
+    const std::vector<ts::Cube>& cubes) {
+  if (exhausted_ || cubes.empty()) return 0;
+  return bmc_.add_invariant_cubes(cubes);
+}
+
+}  // namespace javer::mp::sched

@@ -1,0 +1,63 @@
+// BmcSweep: the shared BMC falsification state living across a policy's
+// rounds — one incremental unrolling, extended window by window, with the
+// "just assume" constraints asserted on every completed bound. Extracted
+// from the Scheduler's hybrid policy so the sharded scheduler (mp/shard)
+// can run one sweep per cluster shard; it is also the BMC endpoint of the
+// cross-engine lemma exchange (mp/exchange): learned prefix units flow
+// out as candidates, proven IC3 strengthenings flow back in as permanent
+// unrolling clauses.
+#ifndef JAVER_MP_SCHED_BMC_SWEEP_H
+#define JAVER_MP_SCHED_BMC_SWEEP_H
+
+#include <vector>
+
+#include "bmc/bmc.h"
+#include "mp/sched/scheduler.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp::sched {
+
+class BmcSweep {
+ public:
+  // `local_mode` selects the "just assume" prefix set: every non-ETF
+  // property for local proofs (a failure found at the final bound is then
+  // a first failure, i.e. a local CEX), empty for global proofs. Only the
+  // hybrid knobs of `opts` are read.
+  BmcSweep(const ts::TransitionSystem& ts, const SchedulerOptions& opts,
+           bool local_mode);
+
+  // One falsification window over the open tasks (closed ones are
+  // skipped); resolves every task that fails inside the window and
+  // returns how many it closed. `remaining_seconds` caps the window on
+  // top of the per-sweep budget (0 = no extra cap).
+  std::size_t sweep(const std::vector<PropertyTask*>& tasks,
+                    double remaining_seconds);
+
+  bool exhausted() const { return exhausted_; }
+  int depth_done() const { return depth_done_; }
+  const std::vector<std::size_t>& assumed() const { return assumed_; }
+
+  // --- lemma exchange endpoints (mp/exchange) ---
+
+  // Candidate invariant cubes mined from the solver's root-level facts
+  // about the completed prefix. Candidates only: consumers re-validate.
+  std::vector<ts::Cube> harvest_unit_candidates();
+
+  // Asserts ¬cube at every unrolling step. Sound only for cubes invariant
+  // under a subset of this sweep's assumed set — the shard layer checks
+  // that before calling. No-op once the sweep is exhausted.
+  std::size_t install_invariant_cubes(const std::vector<ts::Cube>& cubes);
+
+ private:
+  const ts::TransitionSystem& ts_;
+  SchedulerOptions opts_;  // copied: a sweep may outlive a caller's round
+  bmc::Bmc bmc_;
+  std::vector<std::size_t> assumed_;
+  int depth_done_ = 0;    // completed bounds of the shared unrolling
+  int empty_streak_ = 0;  // consecutive sweeps without a counterexample
+  bool exhausted_ = false;
+};
+
+}  // namespace javer::mp::sched
+
+#endif  // JAVER_MP_SCHED_BMC_SWEEP_H

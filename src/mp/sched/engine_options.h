@@ -23,6 +23,14 @@ struct EngineOptions {
   double time_limit_per_property = 0.0;  // seconds; 0 = unlimited
   double total_time_limit = 0.0;         // seconds; 0 = unlimited
   std::uint64_t conflict_budget_per_query = 0;
+  // Adaptive slice sizing (ROADMAP): each budgeted slice is scaled by a
+  // per-task multiplier — doubled (up to slice_scale_max) when the slice
+  // advanced the engine's frame counter, halved (down to slice_scale_min)
+  // when it added no clauses at all. Unbudgeted (run-to-completion)
+  // slices are unaffected.
+  bool adaptive_slicing = true;
+  double slice_scale_min = 0.25;
+  double slice_scale_max = 4.0;
   // Verification order (property indices); empty = design order, the
   // paper's default ("properties are verified in the order they are
   // given").

@@ -1,5 +1,6 @@
 #include "mp/sched/property_task.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/log.h"
@@ -75,6 +76,12 @@ void PropertyTask::finish_fails(ts::Trace cex) {
   result_.cex = std::move(cex);
 }
 
+void PropertyTask::attach_exchange(exchange::LemmaBus* bus,
+                                   std::size_t shard) {
+  bus_ = bus;
+  shard_ = shard;
+}
+
 void PropertyTask::resolve_fails(ts::Trace cex, int frames) {
   if (!open()) return;
   result_.frames = frames;
@@ -97,13 +104,40 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   }
 
   ensure_engine(db);
+
+  // Incoming lemma traffic: everything siblings published since the last
+  // poll becomes candidates the engine re-validates at slice start.
+  if (bus_ != nullptr && bus_->enabled()) {
+    std::vector<exchange::Lemma> lemmas =
+        bus_->poll(shard_, bus_cursor_, std::nullopt,
+                   /*exclude_producer=*/prop_);
+    if (!lemmas.empty()) {
+      std::vector<ts::Cube> cubes;
+      cubes.reserve(lemmas.size());
+      for (exchange::Lemma& l : lemmas) cubes.push_back(std::move(l.cube));
+      engine_->add_lemma_candidates(std::move(cubes));
+    }
+  }
+
   ic3::Ic3Budget slice;
   slice.time_slice_seconds = budget.seconds;
+  slice.conflict_slice = budget.conflicts;
+  const bool budgeted = budget.seconds > 0 || budget.conflicts > 0;
+  if (budgeted && engine_opts_.adaptive_slicing) {
+    if (slice.time_slice_seconds > 0) slice.time_slice_seconds *= slice_scale_;
+    if (slice.conflict_slice > 0) {
+      slice.conflict_slice = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 static_cast<double>(slice.conflict_slice) * slice_scale_));
+    }
+  }
   if (per_prop > 0 &&
       (slice.time_slice_seconds <= 0 || remaining < slice.time_slice_seconds)) {
     slice.time_slice_seconds = remaining;
   }
-  slice.conflict_slice = budget.conflicts;
+
+  const int frames_before = result_.frames;
+  const std::uint64_t clauses_before = result_.engine_stats.clauses_added;
 
   Timer timer;
   ic3::Ic3Result er = engine_->run(slice);
@@ -115,7 +149,41 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   // resets them along with the engine (matching the one-shot verifiers,
   // which report the final engine's stats).
   result_.engine_stats = er.stats;
+  result_.slices++;
   state_ = TaskState::Running;
+
+  // Outgoing lemma traffic + import accounting for the bus hit rate.
+  if (bus_ != nullptr && bus_->enabled()) {
+    // Strengthenings only travel in All mode; skip the F_inf copy (and
+    // the channel lock) when the mode filter would drop them anyway.
+    if (bus_->mode() == exchange::ExchangeMode::All) {
+      std::vector<ts::Cube> fresh = engine_->take_new_inf_lemmas();
+      if (!fresh.empty()) {
+        bus_->publish(shard_, exchange::LemmaKind::Ic3Strengthening, prop_,
+                      fresh);
+      }
+    }
+    bus_->record_import(er.stats.lemmas_imported - reported_imported_,
+                        er.stats.lemmas_rejected - reported_rejected_,
+                        er.stats.lemmas_known - reported_known_);
+    reported_imported_ = er.stats.lemmas_imported;
+    reported_rejected_ = er.stats.lemmas_rejected;
+    reported_known_ = er.stats.lemmas_known;
+  }
+
+  // Adaptive slice sizing: frames advanced => the slice is paying off,
+  // grow it; a slice that could not even add a clause is stalled, shrink.
+  if (budgeted && engine_opts_.adaptive_slicing &&
+      er.status == CheckStatus::Unknown && er.resumable) {
+    if (er.frames > frames_before) {
+      slice_scale_ =
+          std::min(slice_scale_ * 2.0, engine_opts_.slice_scale_max);
+    } else if (er.stats.clauses_added == clauses_before) {
+      slice_scale_ =
+          std::max(slice_scale_ / 2.0, engine_opts_.slice_scale_min);
+    }
+  }
+  result_.slice_scale = slice_scale_;
 
   switch (er.status) {
     case CheckStatus::Holds:
@@ -132,6 +200,10 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
         strict_lifting_ = true;
         engine_.reset();
         engine_seconds_ = 0.0;
+        reported_imported_ = reported_rejected_ = reported_known_ = 0;
+        // Rewind the channel too: lemmas the discarded engine consumed
+        // (or still had queued) must reach the fresh strict engine.
+        bus_cursor_ = {};
         result_.spurious_restarts++;
         return;  // still open; the next slice drives the strict engine
       }

@@ -26,6 +26,7 @@
 
 #include "ic3/ic3.h"
 #include "mp/clause_db.h"
+#include "mp/exchange/lemma_bus.h"
 #include "mp/report.h"
 #include "mp/sched/engine_options.h"
 #include "ts/transition_system.h"
@@ -73,6 +74,12 @@ class PropertyTask {
   }
   const std::vector<std::size_t>& assumed() const { return assumed_; }
 
+  // Subscribes this task to `shard`'s channel on `bus` (the sharded
+  // scheduler's lemma exchange): every slice first feeds newly published
+  // lemmas into the engine as candidates and afterwards publishes the
+  // engine's fresh F_inf cubes. Call before the first slice.
+  void attach_exchange(exchange::LemmaBus* bus, std::size_t shard);
+
   // Runs one engine slice (respecting the per-property time budget). When
   // `db` is non-null and clause re-use is on, the engine is seeded from it
   // and completed proofs publish their strengthenings back.
@@ -106,6 +113,18 @@ class PropertyTask {
   // re-uses the same snapshot (matching the one-shot verifiers).
   std::shared_ptr<const std::vector<ts::Cube>> seeds_;
   double engine_seconds_ = 0.0;  // this engine's accumulated slice time
+  // Adaptive slice sizing: multiplier applied to budgeted slices, driven
+  // by per-slice progress (see EngineOptions::adaptive_slicing).
+  double slice_scale_ = 1.0;
+  // Lemma exchange plumbing (null = not attached).
+  exchange::LemmaBus* bus_ = nullptr;
+  std::size_t shard_ = 0;
+  exchange::LemmaBus::Cursor bus_cursor_;
+  // Already-reported slices of the engine's cumulative import counters
+  // (reset with the engine on a strict-lifting retry).
+  std::uint64_t reported_imported_ = 0;
+  std::uint64_t reported_rejected_ = 0;
+  std::uint64_t reported_known_ = 0;
   PropertyResult result_;
 };
 

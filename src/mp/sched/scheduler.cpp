@@ -1,41 +1,15 @@
 #include "mp/sched/scheduler.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "aig/sim.h"
 #include "base/log.h"
 #include "base/timer.h"
-#include "bmc/bmc.h"
 #include "mp/joint_verifier.h"
+#include "mp/sched/bmc_sweep.h"
 #include "mp/sched/worker_pool.h"
 
 namespace javer::mp::sched {
-
-// The shared BMC falsification state living across a hybrid run's rounds:
-// one incremental unrolling, extended window by window, with the "just
-// assume" constraints asserted on every completed bound.
-class SweepState {
- public:
-  SweepState(const ts::TransitionSystem& ts, const SchedulerOptions& opts,
-             bool local)
-      : bmc_(ts) {
-    if (local) {
-      // Every ETH property is assumed on non-final steps; a failure found
-      // at the final bound is therefore a first failure (a local CEX).
-      for (std::size_t j = 0; j < ts.num_properties(); ++j) {
-        if (!ts.expected_to_fail(j)) assumed_.push_back(j);
-      }
-    }
-    exhausted_ = opts.bmc_max_depth <= 0 || opts.bmc_depth_per_sweep <= 0;
-  }
-
-  bmc::Bmc bmc_;
-  std::vector<std::size_t> assumed_;
-  int depth_done_ = 0;    // completed bounds of the shared unrolling
-  int empty_streak_ = 0;  // consecutive sweeps without a counterexample
-  bool exhausted_ = false;
-};
 
 Scheduler::Scheduler(const ts::TransitionSystem& ts, SchedulerOptions opts)
     : ts_(ts), opts_(std::move(opts)) {}
@@ -53,13 +27,7 @@ std::vector<std::size_t> Scheduler::resolve_order() const {
 }
 
 unsigned Scheduler::effective_threads() const {
-  unsigned threads = opts_.num_threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(
-      threads, std::max<std::size_t>(ts_.num_properties(), 1));
-  return std::max(threads, 1u);
+  return resolve_worker_count(opts_.num_threads, ts_.num_properties());
 }
 
 MultiResult Scheduler::run() {
@@ -70,80 +38,6 @@ MultiResult Scheduler::run() {
 MultiResult Scheduler::run(ClauseDb& db) {
   if (opts_.dispatch == DispatchPolicy::JointAggregate) return run_joint();
   return run_tasks(db);
-}
-
-std::size_t Scheduler::bmc_sweep(
-    SweepState& sweep, std::vector<std::unique_ptr<PropertyTask>>& tasks,
-    double remaining_seconds) {
-  if (sweep.exhausted_) return 0;
-  std::vector<std::size_t> targets;
-  std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
-  for (auto& task : tasks) {
-    if (task->open()) {
-      targets.push_back(task->prop());
-      by_prop[task->prop()] = task.get();
-    }
-  }
-  if (targets.empty()) return 0;
-
-  const int window_end =
-      std::min(sweep.depth_done_ + opts_.bmc_depth_per_sweep,
-               opts_.bmc_max_depth) -
-      1;
-  if (window_end < sweep.depth_done_) {
-    sweep.exhausted_ = true;
-    return 0;
-  }
-
-  double budget = opts_.bmc_sweep_seconds;
-  if (remaining_seconds > 0 && (budget <= 0 || remaining_seconds < budget)) {
-    budget = remaining_seconds;
-  }
-  Deadline sweep_deadline(budget);
-
-  bmc::BmcOptions bo;
-  bo.assumed = sweep.assumed_;
-  bo.simplify = opts_.engine.simplify;
-  bo.conflict_budget = opts_.engine.conflict_budget_per_query;
-  bo.start_depth = sweep.depth_done_;
-  bo.max_depth = window_end;
-
-  std::size_t closed = 0;
-  while (!targets.empty()) {
-    bo.time_limit_seconds = budget > 0 ? sweep_deadline.remaining() : 0.0;
-    if (budget > 0 && bo.time_limit_seconds <= 0) break;
-    bmc::BmcResult br = sweep.bmc_.run(targets, bo);
-    sweep.depth_done_ = std::max(sweep.depth_done_, br.frames_explored);
-    if (br.status != CheckStatus::Fails) break;  // window clean / budget out
-    for (std::size_t p : br.failed_targets) {
-      if (by_prop[p] != nullptr) {
-        by_prop[p]->resolve_fails(br.cex, br.depth);
-        by_prop[p] = nullptr;
-        closed++;
-      }
-    }
-    targets.erase(std::remove_if(targets.begin(), targets.end(),
-                                 [&](std::size_t p) {
-                                   return by_prop[p] == nullptr;
-                                 }),
-                  targets.end());
-    // Re-scan this bound: other targets may fail here too before the
-    // unrolling grows.
-    bo.start_depth = br.depth;
-    JAVER_LOG(Verbose) << "sched: bmc closed " << br.failed_targets.size()
-                       << " target(s) at depth " << br.depth;
-  }
-
-  if (closed > 0) {
-    sweep.empty_streak_ = 0;
-  } else if (sweep.depth_done_ > window_end) {
-    sweep.empty_streak_++;  // a fully clean window, not a budget cut
-  }
-  if (sweep.depth_done_ >= opts_.bmc_max_depth ||
-      sweep.empty_streak_ >= opts_.bmc_empty_sweeps_to_stop) {
-    sweep.exhausted_ = true;
-  }
-  return closed;
 }
 
 MultiResult Scheduler::run_tasks(ClauseDb& db) {
@@ -174,13 +68,15 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
       while (tasks[i]->open()) tasks[i]->run_slice(TaskBudget{}, db_ptr);
     });
   } else {  // HybridBmcIc3
-    SweepState sweep(ts_, opts_, local);
+    BmcSweep sweep(ts_, opts_, local);
+    std::vector<PropertyTask*> task_ptrs;
+    for (auto& task : tasks) task_ptrs.push_back(task.get());
     const TaskBudget slice{opts_.ic3_slice_seconds,
                            opts_.ic3_slice_conflicts};
     while (!out_of_time()) {
       double remaining =
           total_limit > 0 ? total_limit - total.seconds() : 0.0;
-      bmc_sweep(sweep, tasks, remaining);
+      sweep.sweep(task_ptrs, remaining);
 
       std::vector<std::size_t> open;
       for (std::size_t i = 0; i < tasks.size(); ++i) {

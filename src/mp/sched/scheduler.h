@@ -85,11 +85,6 @@ class Scheduler {
   MultiResult run_joint();              // JointAggregate
   std::vector<std::size_t> resolve_order() const;
   unsigned effective_threads() const;
-  // One shared-unrolling BMC falsification sweep over the open tasks;
-  // returns the number of tasks it closed.
-  std::size_t bmc_sweep(class SweepState& sweep,
-                        std::vector<std::unique_ptr<PropertyTask>>& tasks,
-                        double remaining_seconds);
 
   const ts::TransitionSystem& ts_;
   SchedulerOptions opts_;

@@ -1,6 +1,17 @@
 #include "mp/sched/worker_pool.h"
 
+#include <algorithm>
+
 namespace javer::mp::sched {
+
+unsigned resolve_worker_count(unsigned requested, std::size_t num_items) {
+  unsigned threads = requested;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, std::max<std::size_t>(num_items, 1));
+  return std::max(threads, 1u);
+}
 
 WorkerPool::WorkerPool(unsigned num_threads) {
   if (num_threads == 0) num_threads = 1;

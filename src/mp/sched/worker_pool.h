@@ -21,6 +21,11 @@
 
 namespace javer::mp::sched {
 
+// Resolves a requested worker count: 0 means all hardware threads,
+// clamped to the number of parallel items and to at least 1. The one
+// rule every scheduler sizes its pool by.
+unsigned resolve_worker_count(unsigned requested, std::size_t num_items);
+
 class WorkerPool {
  public:
   // `num_threads` >= 1 is the total worker count including the caller;

@@ -1,0 +1,280 @@
+#include "mp/shard/sharded_scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "aig/aig.h"
+#include "base/timer.h"
+#include "mp/sched/bmc_sweep.h"
+#include "mp/sched/property_task.h"
+#include "mp/sched/worker_pool.h"
+
+namespace javer::mp::shard {
+
+ShardedScheduler::ShardedScheduler(const ts::TransitionSystem& ts,
+                                   ShardedOptions opts)
+    : ts_(ts), opts_(std::move(opts)) {}
+
+unsigned ShardedScheduler::effective_threads() const {
+  return sched::resolve_worker_count(opts_.base.num_threads,
+                                     ts_.num_properties());
+}
+
+std::vector<std::vector<std::size_t>> ShardedScheduler::make_clusters()
+    const {
+  auto clusters = cluster_properties(ts_, opts_.clustering);
+  const std::vector<std::size_t>& order = opts_.base.engine.order;
+  if (!order.empty()) {
+    // Honor the verification order within each cluster (properties absent
+    // from the order keep design order, after the ordered ones).
+    std::vector<std::size_t> rank(ts_.num_properties(), order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] < rank.size()) rank[order[i]] = i;
+    }
+    for (auto& cluster : clusters) {
+      std::sort(cluster.begin(), cluster.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return rank[a] != rank[b] ? rank[a] < rank[b] : a < b;
+                });
+    }
+  }
+  return clusters;
+}
+
+MultiResult ShardedScheduler::run() {
+  if (opts_.base.dispatch == sched::DispatchPolicy::JointAggregate) {
+    return run_joint();
+  }
+  return run_tasks(nullptr);
+}
+
+MultiResult ShardedScheduler::run(ClauseDb& db) {
+  if (opts_.base.dispatch == sched::DispatchPolicy::JointAggregate) {
+    return run_joint();  // the aggregate policy takes no clause database
+  }
+  return run_tasks(&db);
+}
+
+MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
+  Timer total;
+  MultiResult result;
+  result.per_property.resize(ts_.num_properties());
+
+  auto clusters = make_clusters();
+  num_shards_ = clusters.size();
+  exchange_stats_ = {};
+  const bool local = opts_.base.proof_mode == sched::ProofMode::Local;
+  const bool hybrid =
+      opts_.base.dispatch == sched::DispatchPolicy::HybridBmcIc3;
+
+  exchange::LemmaBus bus(clusters.size(), opts_.exchange);
+  ShardedClauseDb dbs(clusters.size());
+  if (external != nullptr && opts_.base.engine.clause_reuse) {
+    dbs.seed_all(external->snapshot());
+  }
+
+  // One shard per cluster: its own task pool, ClauseDb shard, and (for
+  // the hybrid policy) its own shared-unrolling BMC sweep.
+  struct Shard {
+    std::size_t id = 0;
+    ClauseDb* db = nullptr;
+    std::vector<std::unique_ptr<sched::PropertyTask>> tasks;
+    std::unique_ptr<sched::BmcSweep> sweep;
+    exchange::LemmaBus::Cursor bmc_cursor;
+  };
+  std::vector<Shard> shards(clusters.size());
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    Shard& s = shards[i];
+    s.id = i;
+    s.db = &dbs.shard(i);
+    for (std::size_t p : clusters[i]) {
+      auto task = std::make_unique<sched::PropertyTask>(
+          ts_, p,
+          local ? sched::local_assumptions(ts_, p)
+                : std::vector<std::size_t>{},
+          opts_.base.engine, local);
+      if (bus.enabled()) task->attach_exchange(&bus, i);
+      s.tasks.push_back(std::move(task));
+    }
+    if (hybrid) {
+      s.sweep = std::make_unique<sched::BmcSweep>(ts_, opts_.base, local);
+    }
+  }
+
+  const double total_limit = opts_.base.engine.total_time_limit;
+  auto out_of_time = [&] {
+    return total_limit > 0 && total.seconds() >= total_limit;
+  };
+  auto open_in = [](Shard& s) {
+    std::vector<sched::PropertyTask*> open;
+    for (auto& t : s.tasks) {
+      if (t->open()) open.push_back(t.get());
+    }
+    return open;
+  };
+  // A producing engine's F_inf lemmas are invariant relative to traces
+  // whose non-final steps satisfy the engine's *target* property and its
+  // assumed set (the frame solvers' path constraint asserts both).
+  // Installing one into a sweep's unrolling is sound only when the sweep
+  // asserts at least that much on its prefix — true for every non-ETF
+  // local producer (its target ∪ assumptions is exactly the sweep's
+  // assumed set), false for ETF producers and in global mode, which this
+  // filter rejects.
+  auto producer_compatible = [&](std::size_t producer,
+                                 const sched::BmcSweep& sweep) {
+    if (producer == exchange::kBmcProducer) return true;
+    std::vector<std::size_t> under =
+        local ? sched::local_assumptions(ts_, producer)
+              : std::vector<std::size_t>{};
+    under.push_back(producer);
+    std::sort(under.begin(), under.end());
+    return std::includes(sweep.assumed().begin(), sweep.assumed().end(),
+                         under.begin(), under.end());
+  };
+
+  sched::WorkerPool pool(effective_threads());
+
+  if (!hybrid) {  // RunToCompletion: every task drains on the pool
+    std::vector<std::pair<Shard*, sched::PropertyTask*>> items;
+    for (Shard& s : shards) {
+      for (auto& t : s.tasks) items.emplace_back(&s, t.get());
+    }
+    pool.run(items.size(), [&](std::size_t i) {
+      if (out_of_time()) return;  // stays Unknown
+      auto [s, t] = items[i];
+      while (t->open()) t->run_slice(sched::TaskBudget{}, s->db);
+    });
+  } else {  // HybridBmcIc3 rounds, two pool passes per round
+    const sched::TaskBudget slice{opts_.base.ic3_slice_seconds,
+                                  opts_.base.ic3_slice_conflicts};
+    while (!out_of_time()) {
+      std::vector<Shard*> live;
+      for (Shard& s : shards) {
+        if (!open_in(s).empty()) live.push_back(&s);
+      }
+      if (live.empty()) break;
+
+      // Pass 1: per-shard BMC sweeps plus the sweeps' bus traffic.
+      pool.run(live.size(), [&](std::size_t i) {
+        Shard& s = *live[i];
+        // An exhausted sweep can neither find failures nor use or
+        // produce lemmas; skip its exchange traffic entirely. (The
+        // harvest below still runs on the round the sweep exhausts.)
+        if (s.sweep->exhausted()) return;
+        // Recompute the remaining budget per item: with fewer workers
+        // than shards the sweeps serialize, and each must only get what
+        // is actually left, not the round's opening balance.
+        if (out_of_time()) return;
+        double remaining =
+            total_limit > 0 ? total_limit - total.seconds() : 0.0;
+        if (bus.enabled()) {
+          std::vector<exchange::Lemma> lemmas =
+              bus.poll(s.id, s.bmc_cursor,
+                       exchange::LemmaKind::Ic3Strengthening,
+                       exchange::kBmcProducer);
+          if (!lemmas.empty()) {
+            std::vector<ts::Cube> cubes;
+            cubes.reserve(lemmas.size());
+            for (exchange::Lemma& l : lemmas) {
+              if (producer_compatible(l.producer, *s.sweep)) {
+                cubes.push_back(std::move(l.cube));
+              }
+            }
+            std::size_t installed = s.sweep->install_invariant_cubes(cubes);
+            // Incompatible producers are rejections; compatible lemmas
+            // the unrolling already had (or could no longer use) are
+            // redundant deliveries.
+            bus.record_import(installed, lemmas.size() - cubes.size(),
+                              cubes.size() - installed);
+          }
+        }
+        s.sweep->sweep(open_in(s), remaining);
+        if (bus.enabled()) {
+          bus.publish(s.id, exchange::LemmaKind::BmcUnit,
+                      exchange::kBmcProducer,
+                      s.sweep->harvest_unit_candidates());
+        }
+      });
+
+      // Pass 2: one IC3 slice for every still-open task, shard-agnostic
+      // on the pool (this is where shard load-balancing happens).
+      std::vector<std::pair<Shard*, sched::PropertyTask*>> open;
+      for (Shard& s : shards) {
+        for (sched::PropertyTask* t : open_in(s)) open.emplace_back(&s, t);
+      }
+      if (open.empty()) break;
+      if (out_of_time()) break;
+      pool.run(open.size(), [&](std::size_t i) {
+        open[i].second->run_slice(slice, open[i].first->db);
+      });
+    }
+  }
+
+  for (Shard& s : shards) {
+    for (auto& t : s.tasks) {
+      if (t->open()) t->close_unknown();
+      result.per_property[t->prop()] = std::move(t->result());
+    }
+  }
+
+  if (external != nullptr && opts_.base.engine.clause_reuse) {
+    external->add(dbs.merged_snapshot());
+  }
+  exchange_stats_ = bus.stats();
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+MultiResult ShardedScheduler::run_joint() {
+  Timer total;
+  MultiResult result;
+  result.per_property.resize(ts_.num_properties());
+
+  auto clusters = make_clusters();
+  num_shards_ = clusters.size();
+  exchange_stats_ = {};
+
+  const double total_limit = opts_.base.engine.total_time_limit;
+  sched::WorkerPool pool(effective_threads());
+  std::vector<MultiResult> sub_results(clusters.size());
+  pool.run(clusters.size(), [&](std::size_t i) {
+    double remaining = 0.0;
+    if (total_limit > 0) {
+      remaining = total_limit - total.seconds();
+      if (remaining <= 0) return;  // stays Unknown
+    }
+    double shard_limit = opts_.time_limit_per_shard;
+    if (remaining > 0 && (shard_limit <= 0 || shard_limit > remaining)) {
+      shard_limit = remaining;
+    }
+
+    // Joint verification restricted to this shard: the aggregate policy
+    // on a design whose property list is the cluster.
+    aig::Aig sub = ts_.aig();
+    std::vector<aig::Property> props;
+    for (std::size_t p : clusters[i]) {
+      props.push_back(ts_.aig().properties()[p]);
+    }
+    sub.properties() = props;
+    ts::TransitionSystem sub_ts(sub);
+    sched::SchedulerOptions so = opts_.base;
+    so.num_threads = 1;  // parallelism lives at the shard level here
+    so.engine.total_time_limit = shard_limit;
+    so.engine.order.clear();  // global indices mean nothing to the sub-TS
+    sub_results[i] = sched::Scheduler(sub_ts, so).run();
+  });
+
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    for (std::size_t j = 0; j < clusters[i].size(); ++j) {
+      if (j < sub_results[i].per_property.size()) {
+        result.per_property[clusters[i][j]] =
+            std::move(sub_results[i].per_property[j]);
+      }
+    }
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace javer::mp::shard

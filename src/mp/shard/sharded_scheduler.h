@@ -1,0 +1,85 @@
+// ShardedScheduler: cluster-sharded orchestration on top of the property
+// scheduler (mp/sched). `cluster_properties` partitions the properties by
+// cone similarity; every cluster becomes a *shard* owning its own
+// PropertyTask pool, its own ClauseDb shard, and (for the hybrid policy)
+// its own shared-unrolling BmcSweep, so structurally related properties
+// share work and unrelated ones never contend for it. Shards are
+// load-balanced across the work-stealing WorkerPool in rounds: first one
+// pool pass runs every live shard's BMC sweep, then a second pass slices
+// every open IC3 task — tasks of a slow shard never hold up the rest.
+//
+// The shards are stitched together by the LemmaBus (mp/exchange): a
+// sweep's learned prefix units seed its shard's IC3 tasks' F_inf (after
+// in-engine re-validation), and proven IC3 strengthenings flow back into
+// the shard's BMC unrolling and to sibling tasks. Each shard has its own
+// channel — the subscription filter that keeps lemmas from crossing
+// cluster boundaries — and the assumed-set compatibility of every
+// BMC-bound lemma is checked before installation, so exchange can never
+// flip a verdict (tests/test_shard.cpp proves this against exchange-off
+// oracle runs).
+//
+// ClusteredJointVerifier (mp/clustering.h) is a thin preset over this
+// class (JointAggregate dispatch per shard), the same way the four legacy
+// verifiers are presets over the Scheduler.
+#ifndef JAVER_MP_SHARD_SHARDED_SCHEDULER_H
+#define JAVER_MP_SHARD_SHARDED_SCHEDULER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mp/clause_db.h"
+#include "mp/clustering.h"
+#include "mp/exchange/lemma_bus.h"
+#include "mp/report.h"
+#include "mp/sched/scheduler.h"
+#include "ts/transition_system.h"
+
+namespace javer::mp::shard {
+
+struct ShardedOptions {
+  // `base.dispatch` selects the within-shard policy: HybridBmcIc3
+  // (default here: shared BMC sweep + IC3 slices per shard),
+  // RunToCompletion, or JointAggregate (one aggregate IC3 per shard —
+  // the clustered-joint baseline). `base.num_threads` sizes the worker
+  // pool the shards' work items are balanced across; the hybrid knobs
+  // apply per shard.
+  sched::SchedulerOptions base;
+  ClusterOptions clustering;
+  exchange::ExchangeMode exchange = exchange::ExchangeMode::Units;
+  // JointAggregate dispatch only: per-shard time limit (the clustered
+  // baseline's time_limit_per_cluster).
+  double time_limit_per_shard = 0.0;
+};
+
+class ShardedScheduler {
+ public:
+  ShardedScheduler(const ts::TransitionSystem& ts, ShardedOptions opts);
+
+  MultiResult run();
+  // Seeds every shard's ClauseDb from `db` and merges the shards'
+  // accumulated strengthenings back into it after the run.
+  MultiResult run(ClauseDb& db);
+
+  // Post-run introspection (bench / CLI metrics).
+  const exchange::ExchangeStats& exchange_stats() const {
+    return exchange_stats_;
+  }
+  std::size_t num_shards() const { return num_shards_; }
+
+ private:
+  MultiResult run_tasks(ClauseDb* external);
+  MultiResult run_joint();
+  unsigned effective_threads() const;
+  // Cluster partition with each cluster's members ordered by the engine
+  // order option (design order by default).
+  std::vector<std::vector<std::size_t>> make_clusters() const;
+
+  const ts::TransitionSystem& ts_;
+  ShardedOptions opts_;
+  std::size_t num_shards_ = 0;
+  exchange::ExchangeStats exchange_stats_;
+};
+
+}  // namespace javer::mp::shard
+
+#endif  // JAVER_MP_SHARD_SHARDED_SCHEDULER_H

@@ -66,6 +66,16 @@ class Solver : public ClauseSink {
   // already inconsistent with the clauses (the "final conflict" core).
   const std::vector<Lit>& conflict_core() const { return conflict_core_; }
 
+  // kUndef unless the literal is fixed by the clause set alone (assigned
+  // at decision level 0). Valid between solves: the trail is backtracked
+  // to level 0 after every solve() call, so everything still assigned is a
+  // root-level fact. BMC mines these for cross-engine lemma candidates.
+  Value fixed_value(Lit l) const {
+    Value v = assign_[l.var()];
+    if (v == kUndef || level_[l.var()] != 0) return kUndef;
+    return l.sign() ? static_cast<Value>(-v) : v;
+  }
+
   // True while the clause set is still possibly satisfiable at level 0.
   bool ok() const { return ok_; }
 

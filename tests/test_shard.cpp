@@ -1,0 +1,438 @@
+// Sharded-scheduler tests: cluster_properties edge cases, LemmaBus
+// channel semantics, ShardedClauseDb plumbing, adaptive slice sizing, and
+// the lemma-exchange soundness contract — exchanged lemmas never flip a
+// verdict: every exchange mode must match the exchange-off runs, the
+// explicit-state oracle, and the one-shot engines, and every proof
+// produced through exchange must stay independently certifiable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/counter.h"
+#include "gen/random_design.h"
+#include "gen/synthetic.h"
+#include "mp/clustering.h"
+#include "mp/exchange/lemma_bus.h"
+#include "mp/sched/property_task.h"
+#include "mp/sched/scheduler.h"
+#include "mp/shard/sharded_scheduler.h"
+#include "ref/explicit_checker.h"
+#include "test_util.h"
+#include "ts/trace.h"
+
+namespace javer::mp::shard {
+namespace {
+
+// --- cluster_properties edge cases -----------------------------------------
+
+TEST(ClusterEdges, ZeroPropertiesGiveEmptyPartition) {
+  aig::Aig aig = gen::make_ring(3);
+  aig.properties().clear();
+  ts::TransitionSystem ts(aig);
+  EXPECT_TRUE(cluster_properties(ts).empty());
+}
+
+TEST(ClusterEdges, AllDissimilarPropertiesStaySingletons) {
+  // One adjacency property per independent ring: the cones are disjoint,
+  // so any positive similarity threshold keeps every property alone.
+  gen::SyntheticSpec spec;
+  spec.seed = 21;
+  spec.rings = 3;
+  spec.ring_size = 5;
+  spec.ring_props = 3;
+  spec.pair_props = 0;
+  spec.unreachable_props = 0;
+  spec.shuffle_properties = false;
+  aig::Aig aig = gen::make_synthetic(spec);
+  ts::TransitionSystem ts(aig);
+  ClusterOptions opts;
+  opts.min_similarity = 0.1;
+  auto clusters = cluster_properties(ts, opts);
+  EXPECT_EQ(clusters.size(), 3u);
+  for (const auto& c : clusters) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ClusterEdges, MaxClusterSizeOverflowSplits) {
+  // All 7 ring properties share one cone; a size cap of 3 must split the
+  // would-be single cluster into partitions of at most 3 that still cover
+  // every property exactly once.
+  aig::Aig aig = gen::make_ring(7);
+  ts::TransitionSystem ts(aig);
+  ClusterOptions opts;
+  opts.min_similarity = 0.0;
+  opts.max_cluster_size = 3;
+  auto clusters = cluster_properties(ts, opts);
+  std::vector<bool> seen(ts.num_properties(), false);
+  std::size_t covered = 0;
+  for (const auto& c : clusters) {
+    EXPECT_LE(c.size(), 3u);
+    for (std::size_t p : c) {
+      ASSERT_LT(p, seen.size());
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+      covered++;
+    }
+  }
+  EXPECT_EQ(covered, 7u);
+  EXPECT_EQ(clusters.size(), 3u);  // greedy single-link packs {3,3,1}
+}
+
+TEST(ClusterEdges, MaxClusterSizeOneMeansAllSingletons) {
+  aig::Aig aig = gen::make_ring(5);
+  ts::TransitionSystem ts(aig);
+  ClusterOptions opts;
+  opts.min_similarity = 0.0;
+  opts.max_cluster_size = 1;
+  auto clusters = cluster_properties(ts, opts);
+  EXPECT_EQ(clusters.size(), 5u);
+  for (const auto& c : clusters) EXPECT_EQ(c.size(), 1u);
+}
+
+// --- LemmaBus channel semantics --------------------------------------------
+
+ts::Cube unit_cube(int latch, bool value) {
+  return ts::Cube{ts::StateLit{latch, value}};
+}
+
+TEST(LemmaBus, CursorDeliversEachLemmaOncePerConsumer) {
+  exchange::LemmaBus bus(2, exchange::ExchangeMode::All);
+  EXPECT_EQ(bus.publish(0, exchange::LemmaKind::BmcUnit,
+                        exchange::kBmcProducer,
+                        {unit_cube(0, true), unit_cube(1, false)}),
+            2u);
+  exchange::LemmaBus::Cursor a, b, c;
+  EXPECT_EQ(bus.poll(0, a).size(), 2u);
+  EXPECT_TRUE(bus.poll(0, a).empty());   // same consumer: nothing new
+  EXPECT_EQ(bus.poll(0, b).size(), 2u);  // independent consumer: all of it
+  EXPECT_TRUE(bus.poll(1, c).empty());   // other shard's channel is empty
+}
+
+TEST(LemmaBus, DedupAndModeFilter) {
+  exchange::LemmaBus bus(1, exchange::ExchangeMode::Units);
+  EXPECT_EQ(bus.publish(0, exchange::LemmaKind::BmcUnit, 7,
+                        {unit_cube(0, true)}),
+            1u);
+  // Same cube again: suppressed, even from another producer.
+  EXPECT_EQ(bus.publish(0, exchange::LemmaKind::BmcUnit, 8,
+                        {unit_cube(0, true)}),
+            0u);
+  // Units mode drops strengthenings at the door.
+  EXPECT_EQ(bus.publish(0, exchange::LemmaKind::Ic3Strengthening, 7,
+                        {unit_cube(1, true)}),
+            0u);
+  exchange::ExchangeStats s = bus.stats();
+  EXPECT_EQ(s.published, 1u);
+  EXPECT_EQ(s.duplicates, 1u);
+  EXPECT_EQ(s.mode_filtered, 1u);
+}
+
+TEST(LemmaBus, OffModeAcceptsNothing) {
+  exchange::LemmaBus bus(1, exchange::ExchangeMode::Off);
+  EXPECT_FALSE(bus.enabled());
+  EXPECT_EQ(bus.publish(0, exchange::LemmaKind::BmcUnit,
+                        exchange::kBmcProducer, {unit_cube(0, true)}),
+            0u);
+  exchange::LemmaBus::Cursor c;
+  EXPECT_TRUE(bus.poll(0, c).empty());
+}
+
+TEST(LemmaBus, KindAndProducerFilters) {
+  exchange::LemmaBus bus(1, exchange::ExchangeMode::All);
+  bus.publish(0, exchange::LemmaKind::BmcUnit, exchange::kBmcProducer,
+              {unit_cube(0, true)});
+  bus.publish(0, exchange::LemmaKind::Ic3Strengthening, 3,
+              {unit_cube(1, true)});
+  {
+    exchange::LemmaBus::Cursor c;
+    auto lemmas = bus.poll(0, c, exchange::LemmaKind::Ic3Strengthening,
+                           exchange::kBmcProducer);
+    ASSERT_EQ(lemmas.size(), 1u);
+    EXPECT_EQ(lemmas[0].producer, 3u);
+    // Skipped entries are consumed too: a second unfiltered poll on the
+    // same cursor sees nothing.
+    EXPECT_TRUE(bus.poll(0, c).empty());
+  }
+  {
+    exchange::LemmaBus::Cursor c;
+    auto lemmas = bus.poll(0, c, std::nullopt, /*exclude_producer=*/3);
+    ASSERT_EQ(lemmas.size(), 1u);
+    EXPECT_EQ(lemmas[0].kind, exchange::LemmaKind::BmcUnit);
+  }
+}
+
+// --- ShardedClauseDb --------------------------------------------------------
+
+TEST(ShardedClauseDb, SeedAllAndMergedSnapshot) {
+  ShardedClauseDb dbs(3);
+  EXPECT_EQ(dbs.num_shards(), 3u);
+  EXPECT_EQ(dbs.seed_all({unit_cube(0, true)}), 3u);
+  dbs.shard(1).add({unit_cube(1, false)});
+  EXPECT_EQ(dbs.total_size(), 4u);
+  std::vector<ts::Cube> merged = dbs.merged_snapshot();
+  EXPECT_EQ(merged.size(), 2u);  // the shared seed dedups in the union
+}
+
+// --- sharded scheduling: verdict equivalence + exchange soundness ----------
+
+ShardedOptions sharded_opts(exchange::ExchangeMode mode) {
+  ShardedOptions so;
+  so.base.proof_mode = sched::ProofMode::Local;
+  so.base.dispatch = sched::DispatchPolicy::HybridBmcIc3;
+  // Small slices/windows so rounds, suspensions and lemma traffic
+  // actually happen on tiny designs; tiny clusters so several shards
+  // exist and the per-shard channels matter.
+  so.base.ic3_slice_seconds = 0.05;
+  so.base.bmc_depth_per_sweep = 4;
+  so.base.bmc_max_depth = 32;
+  so.clustering.min_similarity = 0.3;
+  so.clustering.max_cluster_size = 2;
+  so.exchange = mode;
+  return so;
+}
+
+void expect_matches_local_oracle(const ts::TransitionSystem& ts,
+                                 const MultiResult& result,
+                                 const ref::ExplicitResult& oracle,
+                                 const std::string& tag) {
+  ASSERT_EQ(result.per_property.size(), ts.num_properties()) << tag;
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    const PropertyResult& pr = result.per_property[p];
+    if (oracle.fails_locally(p)) {
+      EXPECT_EQ(pr.verdict, PropertyVerdict::FailsLocally) << tag << " P" << p;
+    } else {
+      EXPECT_EQ(pr.verdict, PropertyVerdict::HoldsLocally) << tag << " P" << p;
+    }
+  }
+}
+
+// Proofs and counterexamples produced through the exchange must stay
+// independently checkable — this is what makes "lemmas can never flip a
+// verdict" a theorem rather than a coincidence: an unsoundly imported
+// clause would surface here as an uncertifiable strengthening.
+void expect_certifiable(const ts::TransitionSystem& ts,
+                        const MultiResult& result, const std::string& tag) {
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    const PropertyResult& pr = result.per_property[p];
+    std::vector<std::size_t> assumed;
+    for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+      if (j != p && !ts.expected_to_fail(j)) assumed.push_back(j);
+    }
+    if (pr.verdict == PropertyVerdict::HoldsLocally) {
+      testutil::expect_valid_invariant(ts, p, assumed, pr.invariant);
+    } else if (pr.verdict == PropertyVerdict::FailsLocally) {
+      EXPECT_TRUE(ts::is_local_cex(ts, pr.cex, p, assumed))
+          << tag << " P" << p;
+    }
+  }
+}
+
+class ShardedExchangeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedExchangeTest, EveryExchangeModeMatchesOracleAndCertifies) {
+  gen::RandomDesignSpec spec;
+  spec.seed = GetParam();
+  spec.num_latches = 4;
+  spec.num_inputs = 2;
+  spec.num_ands = 18;
+  spec.num_properties = 5;
+  aig::Aig aig = gen::make_random_design(spec);
+  ts::TransitionSystem ts(aig);
+  ref::ExplicitResult oracle = ref::explicit_check(ts);
+
+  for (exchange::ExchangeMode mode :
+       {exchange::ExchangeMode::Off, exchange::ExchangeMode::Units,
+        exchange::ExchangeMode::All}) {
+    ShardedOptions so = sharded_opts(mode);
+    ShardedScheduler sched(ts, so);
+    MultiResult r = sched.run();
+    std::string tag = std::string("sharded-") + exchange::to_string(mode);
+    expect_matches_local_oracle(ts, r, oracle, tag);
+    expect_certifiable(ts, r, tag);
+    EXPECT_GE(sched.num_shards(), 1u);
+  }
+
+  // The same contract holds with shards balanced across real threads.
+  {
+    ShardedOptions so = sharded_opts(exchange::ExchangeMode::All);
+    so.base.num_threads = 2;
+    MultiResult r = ShardedScheduler(ts, so).run();
+    expect_matches_local_oracle(ts, r, oracle, "sharded-threads");
+    expect_certifiable(ts, r, "sharded-threads");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedExchangeTest,
+                         ::testing::Range<std::uint64_t>(700, 715));
+
+TEST(Sharded, ExchangeMatchesExchangeOffOnSyntheticFamily) {
+  // A multi-cone failing-heavy design: shallow failures for the sweeps, a
+  // masked deep failure that must be proven locally true, true fillers.
+  gen::SyntheticSpec spec;
+  spec.seed = 93;
+  spec.wrap_counter_bits = 10;
+  spec.rings = 2;
+  spec.ring_size = 5;
+  spec.ring_props = 6;
+  spec.pair_props = 2;
+  spec.unreachable_props = 2;
+  spec.det_fail_props = 1;
+  spec.input_fail_props = 1;
+  spec.masked_fail_props = 1;
+  aig::Aig aig = gen::make_synthetic(spec);
+  ts::TransitionSystem ts(aig);
+
+  ShardedOptions off = sharded_opts(exchange::ExchangeMode::Off);
+  MultiResult r_off = ShardedScheduler(ts, off).run();
+
+  sched::SchedulerOptions ja;
+  ja.proof_mode = sched::ProofMode::Local;
+  MultiResult reference = sched::Scheduler(ts, ja).run();
+
+  for (exchange::ExchangeMode mode :
+       {exchange::ExchangeMode::Units, exchange::ExchangeMode::All}) {
+    ShardedOptions so = sharded_opts(mode);
+    ShardedScheduler sharded(ts, so);
+    MultiResult r = sharded.run();
+    ASSERT_EQ(r.per_property.size(), r_off.per_property.size());
+    for (std::size_t p = 0; p < r.per_property.size(); ++p) {
+      // Exchange-on verdicts match the exchange-off run *and* the
+      // one-shot JA engines exactly.
+      EXPECT_EQ(r.per_property[p].verdict, r_off.per_property[p].verdict)
+          << exchange::to_string(mode) << " P" << p;
+      EXPECT_EQ(r.per_property[p].verdict,
+                reference.per_property[p].verdict)
+          << exchange::to_string(mode) << " P" << p;
+    }
+    EXPECT_EQ(r.debugging_set(), r_off.debugging_set());
+    // Traffic accounting stays consistent.
+    exchange::ExchangeStats xs = sharded.exchange_stats();
+    EXPECT_LE(xs.imported, xs.delivered);
+    EXPECT_GE(xs.published, 0u);
+  }
+}
+
+TEST(Sharded, RunToCompletionDispatchMatchesOracle) {
+  gen::RandomDesignSpec spec;
+  spec.seed = 731;
+  spec.num_latches = 4;
+  spec.num_inputs = 2;
+  spec.num_properties = 4;
+  aig::Aig aig = gen::make_random_design(spec);
+  ts::TransitionSystem ts(aig);
+  ref::ExplicitResult oracle = ref::explicit_check(ts);
+
+  ShardedOptions so = sharded_opts(exchange::ExchangeMode::All);
+  so.base.dispatch = sched::DispatchPolicy::RunToCompletion;
+  MultiResult r = ShardedScheduler(ts, so).run();
+  expect_matches_local_oracle(ts, r, oracle, "sharded-rtc");
+}
+
+TEST(Sharded, ClauseDbSeedsAndCollectsAcrossShards) {
+  // All-true design: proofs publish strengthenings into the shard dbs,
+  // which merge back into the external database after the run.
+  aig::Aig aig = gen::make_ring(6);
+  ts::TransitionSystem ts(aig);
+  ShardedOptions so = sharded_opts(exchange::ExchangeMode::Units);
+  ClauseDb db;
+  MultiResult r = ShardedScheduler(ts, so).run(db);
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    EXPECT_EQ(r.per_property[p].verdict, PropertyVerdict::HoldsLocally)
+        << "P" << p;
+  }
+  EXPECT_GT(db.size(), 0u);
+}
+
+TEST(Sharded, BusAloneCarriesStrengtheningsWhenClauseDbIsOff) {
+  // With clause re-use off, the bus is the only strengthening channel
+  // between sibling tasks. On a one-hot ring every local proof's F_inf
+  // cubes are one-step inductive in the siblings' contexts too, so the
+  // exchange must produce genuine imports — and the verdicts must still
+  // match the exchange-off run exactly.
+  aig::Aig aig = gen::make_ring(6);
+  ts::TransitionSystem ts(aig);
+
+  ShardedOptions off = sharded_opts(exchange::ExchangeMode::Off);
+  off.base.engine.clause_reuse = false;
+  MultiResult r_off = ShardedScheduler(ts, off).run();
+
+  ShardedOptions bus = sharded_opts(exchange::ExchangeMode::All);
+  bus.base.engine.clause_reuse = false;
+  ShardedScheduler sharded(ts, bus);
+  MultiResult r_bus = sharded.run();
+
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    EXPECT_EQ(r_bus.per_property[p].verdict, r_off.per_property[p].verdict)
+        << "P" << p;
+    EXPECT_EQ(r_bus.per_property[p].verdict, PropertyVerdict::HoldsLocally)
+        << "P" << p;
+  }
+  exchange::ExchangeStats xs = sharded.exchange_stats();
+  EXPECT_GT(xs.delivered, 0u);
+  EXPECT_GT(xs.imported, 0u) << "bus carried no strengthenings";
+  EXPECT_GT(xs.hit_rate(), 0.0);
+}
+
+TEST(Sharded, RespectsTotalTimeLimit) {
+  gen::SyntheticSpec spec;
+  spec.seed = 94;
+  spec.wrap_counter_bits = 16;
+  spec.rings = 2;
+  spec.ring_size = 8;
+  spec.ring_props = 16;
+  spec.pair_props = 8;
+  spec.unreachable_props = 8;
+  aig::Aig aig = gen::make_synthetic(spec);
+  ts::TransitionSystem ts(aig);
+
+  ShardedOptions so = sharded_opts(exchange::ExchangeMode::All);
+  so.base.engine.total_time_limit = 0.2;
+  Timer timer;
+  MultiResult r = ShardedScheduler(ts, so).run();
+  EXPECT_LT(timer.seconds(), 5.0);
+  EXPECT_EQ(r.per_property.size(), ts.num_properties());
+}
+
+// --- adaptive slice sizing --------------------------------------------------
+
+TEST(AdaptiveSlice, ScaleAdaptsAndStaysBounded) {
+  aig::Aig aig = gen::make_counter({.bits = 8, .buggy = false});
+  ts::TransitionSystem ts(aig);
+  sched::EngineOptions engine;
+  ASSERT_TRUE(engine.adaptive_slicing);
+  sched::PropertyTask task(ts, 1, {}, engine, /*local_mode=*/false);
+  sched::TaskBudget budget;
+  budget.conflicts = 4;
+  bool scale_moved = false;
+  int guard = 0;
+  while (task.open()) {
+    task.run_slice(budget, nullptr);
+    double scale = task.result().slice_scale;
+    EXPECT_GE(scale, engine.slice_scale_min);
+    EXPECT_LE(scale, engine.slice_scale_max);
+    if (scale != 1.0) scale_moved = true;
+    ASSERT_LT(++guard, 100000) << "sliced run failed to converge";
+  }
+  EXPECT_EQ(task.result().verdict, PropertyVerdict::HoldsGlobally);
+  EXPECT_GT(task.result().slices, 1);
+  EXPECT_TRUE(scale_moved) << "adaptive scale never left 1.0";
+}
+
+TEST(AdaptiveSlice, DisabledKeepsScaleAtOne) {
+  aig::Aig aig = gen::make_counter({.bits = 6, .buggy = false});
+  ts::TransitionSystem ts(aig);
+  sched::EngineOptions engine;
+  engine.adaptive_slicing = false;
+  sched::PropertyTask task(ts, 1, {}, engine, /*local_mode=*/false);
+  sched::TaskBudget budget;
+  budget.conflicts = 4;
+  int guard = 0;
+  while (task.open()) {
+    task.run_slice(budget, nullptr);
+    EXPECT_EQ(task.result().slice_scale, 1.0);
+    ASSERT_LT(++guard, 100000) << "sliced run failed to converge";
+  }
+  EXPECT_EQ(task.result().verdict, PropertyVerdict::HoldsGlobally);
+}
+
+}  // namespace
+}  // namespace javer::mp::shard
