@@ -128,6 +128,13 @@ Summary summarize(const mp::MultiResult& result) {
     s.sat_propagations += pr.engine_stats.sat_propagations;
     s.sat_conflicts += pr.engine_stats.sat_conflicts;
     s.simp_vars_eliminated += pr.engine_stats.simp_vars_eliminated;
+    s.solver_rebuilds += pr.engine_stats.solver_rebuilds;
+    s.solver_contexts_created += pr.engine_stats.solver_contexts_created;
+    s.template_builds += pr.engine_stats.template_builds;
+    s.template_instantiations += pr.engine_stats.template_instantiations;
+    s.peak_live_solvers =
+        std::max(s.peak_live_solvers, pr.engine_stats.peak_live_solvers);
+    s.encode_seconds += pr.engine_stats.encode_seconds;
     switch (pr.verdict) {
       case mp::PropertyVerdict::FailsLocally:
         s.debug_set_size++;

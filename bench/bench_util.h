@@ -45,6 +45,14 @@ struct Summary {
   std::uint64_t sat_propagations = 0;
   std::uint64_t sat_conflicts = 0;
   std::uint64_t simp_vars_eliminated = 0;
+  // Encode-reuse accounting (cnf/template.h + monolithic IC3), summed
+  // across all properties; peak_live_solvers is the per-property maximum.
+  std::uint64_t solver_rebuilds = 0;
+  std::uint64_t solver_contexts_created = 0;
+  std::uint64_t template_builds = 0;
+  std::uint64_t template_instantiations = 0;
+  std::uint64_t peak_live_solvers = 0;
+  double encode_seconds = 0.0;
 };
 
 Summary summarize(const mp::MultiResult& result);

@@ -1,0 +1,169 @@
+// Encode-reuse ablation (this repo's extension, in the spirit of the
+// extended paper's shared-work amortization): JA-verification on the
+// Table II many-properties family under three IC3 backends —
+//   per-frame / template-off   every frame context re-runs the Tseitin
+//                              encoder (the historical cost model),
+//   per-frame / template-on    one cnf::CnfTemplate replayed per context,
+//   monolithic / template-on   one activation-literal solver per engine.
+// Expected shape: monolithic+template cuts solver rebuilds and total
+// encode work by >=2x while producing identical verdicts, and every proof
+// certifies in both the baseline and the monolithic mode.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/synthetic.h"
+#include "ic3/certify.h"
+#include "mp/ja_verifier.h"
+
+using namespace javer;
+
+namespace {
+
+struct ConfigRow {
+  const char* name;
+  ic3::Ic3SolverMode solver;
+  bool use_template;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchJson json("table12");
+  bench::print_title(
+      "Table XII",
+      "Encode-reuse ablation on the many-properties family: per-frame vs "
+      "monolithic IC3, CNF template on vs off. One transition-relation "
+      "encoding per run replaces one per frame per property.");
+
+  gen::SyntheticSpec spec;  // the Table II "6s400-like" design
+  spec.seed = 400;
+  spec.wrap_counter_bits = 13;
+  spec.sat_counter_bits = 8;
+  spec.rings = 6;
+  spec.ring_size = 8;
+  spec.ring_props = 48;
+  spec.pair_props = 30;
+  spec.unreachable_props = 40;
+  spec.unreachable_stride = 2;
+  spec.det_fail_props = 1;
+  spec.input_fail_props = 3;
+  spec.masked_fail_props = 3;
+  const std::size_t k = static_cast<std::size_t>(30 * bench::scale());
+  aig::Aig design =
+      bench::truncate_properties(gen::make_synthetic(spec), k);
+  ts::TransitionSystem ts(design);
+
+  const std::vector<ConfigRow> configs{
+      {"perframe-notmpl", ic3::Ic3SolverMode::PerFrame, false},
+      {"perframe-tmpl", ic3::Ic3SolverMode::PerFrame, true},
+      {"mono-tmpl", ic3::Ic3SolverMode::Monolithic, true},
+  };
+
+  std::vector<mp::MultiResult> results;
+  std::vector<bench::Summary> sums;
+  for (const ConfigRow& c : configs) {
+    mp::JaOptions opts;
+    opts.time_limit_per_property = bench::budget(2.0);
+    opts.ic3_solver = c.solver;
+    opts.ic3_use_template = c.use_template;
+    // Low threshold so rebuild churn is visible at bench scale: the
+    // per-frame topology rebuilds every frame context it saturates, the
+    // monolithic one rebuilds a single context.
+    opts.ic3_rebuild_threshold = 60;
+    results.push_back(mp::JaVerifier(ts, opts).run());
+    sums.push_back(bench::summarize(results.back()));
+    bench::record_row("syn-m400", c.name, sums.back());
+  }
+
+  std::printf("%16s %8s %9s %9s %10s %9s %6s %9s\n", "config", "#unsolved",
+              "contexts", "rebuilds", "tmpl-inst", "encode", "peak",
+              "time");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const bench::Summary& s = sums[i];
+    std::printf("%16s %8zu %9llu %9llu %10llu %9s %6llu %9s\n",
+                configs[i].name, s.num_unsolved,
+                static_cast<unsigned long long>(s.solver_contexts_created),
+                static_cast<unsigned long long>(s.solver_rebuilds),
+                static_cast<unsigned long long>(s.template_instantiations),
+                bench::fmt_time(s.encode_seconds).c_str(),
+                static_cast<unsigned long long>(s.peak_live_solvers),
+                bench::fmt_time(s.seconds).c_str());
+    bench::record_metric(std::string(configs[i].name) + "_contexts",
+                         static_cast<double>(s.solver_contexts_created));
+    bench::record_metric(std::string(configs[i].name) + "_rebuilds",
+                         static_cast<double>(s.solver_rebuilds));
+    bench::record_metric(std::string(configs[i].name) + "_tmpl_inst",
+                         static_cast<double>(s.template_instantiations));
+    bench::record_metric(std::string(configs[i].name) + "_encode_seconds",
+                         s.encode_seconds);
+    bench::record_metric(std::string(configs[i].name) + "_peak_solvers",
+                         static_cast<double>(s.peak_live_solvers));
+    bench::record_metric(std::string(configs[i].name) + "_seconds",
+                         s.seconds);
+  }
+
+  // Identical verdicts across all three backends, property by property.
+  bool verdicts_equal = true;
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      if (results[i].per_property[p].verdict !=
+          results[0].per_property[p].verdict) {
+        verdicts_equal = false;
+        std::printf("  verdict mismatch on P%zu: %s=%s vs %s=%s\n", p,
+                    configs[0].name,
+                    mp::to_string(results[0].per_property[p].verdict),
+                    configs[i].name,
+                    mp::to_string(results[i].per_property[p].verdict));
+      }
+    }
+  }
+  bench::print_shape("all backends produce identical verdicts",
+                     verdicts_equal);
+
+  // Every proof certifies — in the per-frame baseline and the monolithic
+  // mode. The certifier keeps its own template cache (independent of any
+  // engine state) so the sweep stays cheap.
+  bool certified = true;
+  cnf::TemplateCache certifier_templates(ts);
+  for (std::size_t which : {std::size_t{0}, std::size_t{2}}) {
+    for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+      const mp::PropertyResult& pr = results[which].per_property[p];
+      if (pr.verdict != mp::PropertyVerdict::HoldsLocally &&
+          pr.verdict != mp::PropertyVerdict::HoldsGlobally) {
+        continue;
+      }
+      std::vector<std::size_t> assumed;
+      if (pr.verdict == mp::PropertyVerdict::HoldsLocally) {
+        for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+          if (j != p && !ts.expected_to_fail(j)) assumed.push_back(j);
+        }
+      }
+      ic3::CertificateCheck check = ic3::certify_strengthening(
+          ts, p, assumed, pr.invariant, &certifier_templates);
+      if (!check.ok()) {
+        certified = false;
+        std::printf("  certification FAILED (%s, P%zu): %s\n",
+                    configs[which].name, p, check.failure.c_str());
+      }
+    }
+  }
+  bench::print_shape("every proof certifies in both modes", certified);
+
+  const bench::Summary& base = sums[0];
+  const bench::Summary& mono = sums[2];
+  bench::print_shape(
+      "monolithic+template cuts solver rebuilds >=2x vs per-frame",
+      base.solver_rebuilds >= 2 * mono.solver_rebuilds &&
+          base.solver_rebuilds > 0);
+  bench::print_shape(
+      "monolithic+template cuts encode work >=2x (contexts and seconds)",
+      base.solver_contexts_created >= 2 * mono.solver_contexts_created &&
+          base.encode_seconds >= 2 * mono.encode_seconds);
+  bench::print_shape(
+      "monolithic runs two live solvers per engine — frames + lift "
+      "companion (per-frame grows with depth)",
+      mono.peak_live_solvers <= 2 && base.peak_live_solvers > 2);
+  return 0;
+}

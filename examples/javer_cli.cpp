@@ -5,6 +5,7 @@
 //
 // Exit code: 0 all properties hold, 1 some property fails, 2 unsolved
 // properties remain, 3 usage/input error or failed certification.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,9 @@ struct CliOptions {
   std::size_t max_cluster_size = 64;  // sharded/clustered: shard size cap
   javer::mp::exchange::ExchangeMode lemma_exchange =
       javer::mp::exchange::ExchangeMode::Units;  // sharded only
+  javer::ic3::Ic3SolverMode ic3_solver =
+      javer::ic3::Ic3SolverMode::Monolithic;
+  bool ic3_template = true;
   bool reuse = true;
   bool strict_lifting = false;
   bool simplify = false;
@@ -103,6 +107,14 @@ void usage(std::FILE* out) {
 "                         (default: units)\n"
 "\n"
 "strategy knobs:\n"
+"  --ic3-solver MODE    per-frame | monolithic    (default: monolithic)\n"
+"                         per-frame   one SAT context per IC3 frame\n"
+"                         monolithic  one activation-literal context for\n"
+"                                     every frame: the transition relation\n"
+"                                     is encoded once and learned clauses\n"
+"                                     transfer across frames\n"
+"  --no-template        re-run the Tseitin encoder per SAT context instead\n"
+"                       of replaying one shared CNF template (ablation)\n"
 "  --order KIND         design | cone | shuffle       (default: design)\n"
 "  --no-reuse           disable strengthening-clause re-use\n"
 "  --strict-lifting     lifting respects property constraints (paper 7-A)\n"
@@ -211,6 +223,21 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.lemma_exchange = *mode;
+    } else if (arg == "--ic3-solver") {
+      const char* v = next("--ic3-solver");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "per-frame") == 0) {
+        opts.ic3_solver = javer::ic3::Ic3SolverMode::PerFrame;
+      } else if (std::strcmp(v, "monolithic") == 0) {
+        opts.ic3_solver = javer::ic3::Ic3SolverMode::Monolithic;
+      } else {
+        std::fprintf(stderr,
+                     "javer_cli: --ic3-solver wants per-frame|monolithic, "
+                     "got '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--no-template") {
+      opts.ic3_template = false;
     } else if (arg == "--order") {
       const char* v = next("--order");
       if (v == nullptr) return false;
@@ -328,6 +355,8 @@ int main(int argc, char** argv) {
     opts.clause_reuse = cli.reuse;
     opts.lifting_respects_constraints = cli.strict_lifting;
     opts.simplify = cli.simplify;
+    opts.ic3_solver = cli.ic3_solver;
+    opts.ic3_use_template = cli.ic3_template;
     opts.order = order;
     result = mp::JaVerifier(ts, opts).run(db);
   } else if (cli.engine == "separate" || cli.engine == "separate-global") {
@@ -335,6 +364,8 @@ int main(int argc, char** argv) {
     opts.local_proofs = false;
     opts.clause_reuse = cli.reuse;
     opts.simplify = cli.simplify;
+    opts.ic3_solver = cli.ic3_solver;
+    opts.ic3_use_template = cli.ic3_template;
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
     result = mp::SeparateVerifier(ts, opts).run(db);
@@ -342,6 +373,8 @@ int main(int argc, char** argv) {
     mp::JointOptions opts;
     opts.total_time_limit = cli.time_limit;
     opts.simplify = cli.simplify;
+    opts.ic3_solver = cli.ic3_solver;
+    opts.ic3_use_template = cli.ic3_template;
     result = mp::JointVerifier(ts, opts).run();
   } else if (cli.engine == "parallel") {
     mp::ParallelJaOptions opts;
@@ -350,6 +383,8 @@ int main(int argc, char** argv) {
     opts.clause_reuse = cli.reuse;
     opts.lifting_respects_constraints = cli.strict_lifting;
     opts.simplify = cli.simplify;
+    opts.ic3_solver = cli.ic3_solver;
+    opts.ic3_use_template = cli.ic3_template;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
   } else if (cli.engine == "hybrid") {
     mp::sched::SchedulerOptions opts;
@@ -361,6 +396,8 @@ int main(int argc, char** argv) {
     opts.engine.clause_reuse = cli.reuse;
     opts.engine.lifting_respects_constraints = cli.strict_lifting;
     opts.engine.simplify = cli.simplify;
+    opts.engine.ic3_solver = cli.ic3_solver;
+    opts.engine.ic3_use_template = cli.ic3_template;
     opts.engine.order = order;
     result = mp::sched::Scheduler(ts, opts).run(db);
   } else if (cli.engine == "sharded") {
@@ -373,6 +410,8 @@ int main(int argc, char** argv) {
     opts.base.engine.clause_reuse = cli.reuse;
     opts.base.engine.lifting_respects_constraints = cli.strict_lifting;
     opts.base.engine.simplify = cli.simplify;
+    opts.base.engine.ic3_solver = cli.ic3_solver;
+    opts.base.engine.ic3_use_template = cli.ic3_template;
     opts.base.engine.order = order;
     opts.clustering.min_similarity = cli.cluster_threshold;
     opts.clustering.max_cluster_size = cli.max_cluster_size;
@@ -397,6 +436,8 @@ int main(int argc, char** argv) {
     mp::ClusteredJointOptions opts;
     opts.total_time_limit = cli.time_limit;
     opts.simplify = cli.simplify;
+    opts.ic3_solver = cli.ic3_solver;
+    opts.ic3_use_template = cli.ic3_template;
     opts.clustering.min_similarity = cli.cluster_threshold;
     opts.clustering.max_cluster_size = cli.max_cluster_size;
     result = mp::ClusteredJointVerifier(ts, opts).run();
@@ -421,6 +462,28 @@ int main(int argc, char** argv) {
                mp::format_duration(timer.seconds()).c_str(),
                result.num_proved(), result.num_failed(),
                result.num_unsolved());
+  {
+    // Encode-reuse accounting across every engine of the run.
+    double encode_seconds = 0.0;
+    unsigned long long contexts = 0, builds = 0, replays = 0, rebuilds = 0;
+    unsigned long long peak = 0;
+    for (const mp::PropertyResult& pr : result.per_property) {
+      const ic3::Ic3Stats& es = pr.engine_stats;
+      encode_seconds += es.encode_seconds;
+      contexts += es.solver_contexts_created;
+      builds += es.template_builds;
+      replays += es.template_instantiations;
+      rebuilds += es.solver_rebuilds;
+      peak = std::max<unsigned long long>(peak, es.peak_live_solvers);
+    }
+    std::fprintf(info,
+                 "encode: %s (%s, %llu context(s), %llu template build(s), "
+                 "%llu replay(s), %llu rebuild(s), peak %llu live "
+                 "solver(s))\n",
+                 mp::format_duration(encode_seconds).c_str(),
+                 ic3::to_string(cli.ic3_solver), contexts, builds, replays,
+                 rebuilds, peak);
+  }
 
   if (cli.witness) {
     for (std::size_t p = 0; p < result.per_property.size(); ++p) {

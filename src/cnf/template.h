@@ -1,0 +1,137 @@
+// CnfTemplate: the one-step transition-relation CNF of a transition
+// system, encoded (and optionally simplified) exactly once and replayed
+// into any number of SAT solvers afterwards.
+//
+// IC3 historically paid the most expensive part of a run — Tseitin-encoding
+// the full transition cone and simplifying it — once per frame, per
+// property, per shard: every FrameSolver re-ran the encoder. A template
+// makes encoding a one-time cost: the clause list is immutable, lives in a
+// dense variable space starting at 0, and instantiating it into a fresh
+// sat::Solver is a straight bulk replay (no re-Tseitin, no
+// re-simplification) with the solver's storage pre-reserved.
+//
+// The pivot table exposes the interface literals every consumer needs:
+// present-state latches, inputs, next-state functions, the holds-literal
+// of each encoded property, and the design constraints. A template is
+// keyed by the *set* of property cones it encodes, so a local-proof run
+// (target P, assume all other non-ETF properties) and its sibling runs —
+// whose {target} ∪ assumed sets coincide — share one template; the
+// TemplateCache below memoizes that sharing thread-safely.
+#ifndef JAVER_CNF_TEMPLATE_H
+#define JAVER_CNF_TEMPLATE_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sat/simp/simplifier.h"
+#include "sat/solver.h"
+#include "sat/types.h"
+#include "ts/transition_system.h"
+
+namespace javer::cnf {
+
+class CnfTemplate {
+ public:
+  struct Spec {
+    // Property indices whose holds-cones are encoded (kept sorted). A
+    // consumer may use any subset as target/assumed literals.
+    std::vector<std::size_t> props;
+    // Run the sat/simp/ Simplifier over the encoding once at build time
+    // (interface literals frozen, Tseitin auxiliaries eliminable).
+    bool simplify = false;
+  };
+
+  CnfTemplate(const ts::TransitionSystem& ts, Spec spec);
+
+  // --- pivot table (template variable space, dense from 0) ---
+  sat::Lit true_lit() const { return true_lit_; }
+  const std::vector<sat::Lit>& latch_lits() const { return latch_lits_; }
+  const std::vector<sat::Lit>& input_lits() const { return input_lits_; }
+  const std::vector<sat::Lit>& next_lits() const { return next_lits_; }
+  const std::vector<sat::Lit>& constraint_lits() const {
+    return constraint_lits_;
+  }
+  // Holds-literal of a property in spec().props; throws std::out_of_range
+  // for properties the template does not encode.
+  sat::Lit property_lit(std::size_t prop) const;
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_literals() const { return num_literals_; }
+  const std::vector<std::vector<sat::Lit>>& clauses() const {
+    return clauses_;
+  }
+
+  // Replays the template into `solver`, which must be fresh (no variables
+  // yet): pre-reserves the solver's storage, creates num_vars() variables,
+  // bulk-loads the clause list, and marks simplifier-eliminated variables
+  // non-decision. Afterwards the pivot literals above are valid in the
+  // solver. Returns solver.ok().
+  bool instantiate(sat::Solver& solver) const;
+
+  const Spec& spec() const { return spec_; }
+  // Wall-clock cost of building this template (encode + simplify).
+  double encode_seconds() const { return encode_seconds_; }
+  // Zero unless spec().simplify.
+  const sat::simp::SimpStats& simp_stats() const { return simp_stats_; }
+
+ private:
+  Spec spec_;
+  sat::Lit true_lit_;
+  std::vector<sat::Lit> latch_lits_;
+  std::vector<sat::Lit> input_lits_;
+  std::vector<sat::Lit> next_lits_;
+  std::vector<sat::Lit> prop_lits_;  // parallel to spec_.props
+  std::vector<sat::Lit> constraint_lits_;
+
+  int num_vars_ = 0;
+  std::size_t num_literals_ = 0;
+  std::vector<std::vector<sat::Lit>> clauses_;
+  std::vector<sat::Var> eliminated_;  // simplifier-removed variables
+  sat::simp::SimpStats simp_stats_;
+  double encode_seconds_ = 0.0;
+};
+
+struct TemplateCacheStats {
+  std::uint64_t builds = 0;      // templates encoded from scratch
+  std::uint64_t hits = 0;        // get_or_build calls served from the memo
+  double encode_seconds = 0.0;   // total build time
+};
+
+// Thread-safe memo of built templates for one transition system, keyed by
+// (property-set, simplify). The schedulers own one per run and hand it to
+// every engine, so sibling property tasks whose {target} ∪ assumed sets
+// coincide (all non-ETF local-proof targets) encode the transition
+// relation once per process instead of once per frame per property.
+class TemplateCache {
+ public:
+  // The transition system must outlive the cache.
+  explicit TemplateCache(const ts::TransitionSystem& ts) : ts_(ts) {}
+  TemplateCache(const TemplateCache&) = delete;
+  TemplateCache& operator=(const TemplateCache&) = delete;
+
+  // Returns the memoized template for `spec`, building it on first use.
+  // `built` (optional) reports whether this call did the encoding work.
+  std::shared_ptr<const CnfTemplate> get_or_build(CnfTemplate::Spec spec,
+                                                  bool* built = nullptr);
+
+  TemplateCacheStats stats() const;
+
+ private:
+  const ts::TransitionSystem& ts_;
+  mutable std::mutex mu_;
+  // Each entry is a future so one thread builds while same-spec waiters
+  // block on the entry and different-spec builds proceed concurrently.
+  std::map<std::pair<std::vector<std::size_t>, bool>,
+           std::shared_future<std::shared_ptr<const CnfTemplate>>>
+      map_;
+  TemplateCacheStats stats_;
+};
+
+}  // namespace javer::cnf
+
+#endif  // JAVER_CNF_TEMPLATE_H

@@ -1,16 +1,78 @@
 #include "ic3/certify.h"
 
+#include <memory>
+#include <optional>
+
 #include "cnf/tseitin.h"
 #include "sat/solver.h"
 
 namespace javer::ic3 {
 
+namespace {
+
+// One-step encoding for a certification query: either a direct Tseitin
+// run (the historical path) or a replay of a template from the caller's
+// cache. Both expose the same pivot accessors, so the checks below are
+// written once.
+class StepEncoding {
+ public:
+  StepEncoding(const ts::TransitionSystem& ts, sat::Solver& solver,
+               const cnf::CnfTemplate* tmpl)
+      : ts_(ts), solver_(solver), tmpl_(tmpl) {
+    if (tmpl_ != nullptr) {
+      tmpl_->instantiate(solver_);
+    } else {
+      enc_.emplace(ts.aig(), solver_);
+      frame_.emplace(enc_->make_frame());
+    }
+  }
+
+  sat::Lit state_lit(const ts::StateLit& l) {
+    const aig::Aig& aig = ts_.aig();
+    sat::Lit base = tmpl_ != nullptr
+                        ? tmpl_->latch_lits()[l.latch]
+                        : enc_->lit(*frame_,
+                                    aig::Lit::make(aig.latches()[l.latch].var));
+    return base ^ !l.value;
+  }
+
+  sat::Lit next_lit(const ts::StateLit& l) {
+    sat::Lit base = tmpl_ != nullptr
+                        ? tmpl_->next_lits()[l.latch]
+                        : enc_->lit(*frame_, ts_.aig().latches()[l.latch].next);
+    return base ^ !l.value;
+  }
+
+  sat::Lit property_lit(std::size_t p) {
+    return tmpl_ != nullptr ? tmpl_->property_lit(p)
+                            : enc_->lit(*frame_, ts_.property_lit(p));
+  }
+
+  void assert_constraints() {
+    if (tmpl_ != nullptr) {
+      for (sat::Lit c : tmpl_->constraint_lits()) solver_.add_unit(c);
+    } else {
+      for (aig::Lit c : ts_.design_constraints()) {
+        solver_.add_unit(enc_->lit(*frame_, c));
+      }
+    }
+  }
+
+ private:
+  const ts::TransitionSystem& ts_;
+  sat::Solver& solver_;
+  const cnf::CnfTemplate* tmpl_;
+  std::optional<cnf::Encoder> enc_;
+  std::optional<cnf::Encoder::Frame> frame_;
+};
+
+}  // namespace
+
 CertificateCheck certify_strengthening(
     const ts::TransitionSystem& ts, std::size_t prop,
     const std::vector<std::size_t>& assumed,
-    const std::vector<ts::Cube>& invariant) {
+    const std::vector<ts::Cube>& invariant, cnf::TemplateCache* templates) {
   CertificateCheck check;
-  const aig::Aig& aig = ts.aig();
 
   // (1) Initiation: every clause must be satisfied by all initial states,
   // i.e. every cube must be disjoint from I (exact syntactic test).
@@ -22,34 +84,36 @@ CertificateCheck certify_strengthening(
   }
   check.initiation = true;
 
+  // One template (encoding the target and assumed cones) serves both SAT
+  // checks below when the caller passed a cache.
+  std::shared_ptr<const cnf::CnfTemplate> tmpl;
+  if (templates != nullptr) {
+    cnf::CnfTemplate::Spec spec;
+    spec.props = assumed;
+    spec.props.push_back(prop);
+    tmpl = templates->get_or_build(std::move(spec));
+  }
+
   // (2) Consecution: SAT?[Inv ∧ constr ∧ assumed ∧ T ∧ ¬Inv'] == UNSAT.
   {
     sat::Solver solver;
-    cnf::Encoder enc(aig, solver);
-    cnf::Encoder::Frame f = enc.make_frame();
-    auto state_lit = [&](const ts::StateLit& l) {
-      return enc.lit(f, aig::Lit::make(aig.latches()[l.latch].var)) ^
-             !l.value;
-    };
-    auto next_lit = [&](const ts::StateLit& l) {
-      return enc.lit(f, aig.latches()[l.latch].next) ^ !l.value;
-    };
+    StepEncoding enc(ts, solver, tmpl.get());
     for (const ts::Cube& c : invariant) {
       std::vector<sat::Lit> clause;
-      for (const ts::StateLit& l : c) clause.push_back(~state_lit(l));
+      for (const ts::StateLit& l : c) clause.push_back(~enc.state_lit(l));
       solver.add_clause(clause);
     }
-    for (aig::Lit cl : ts.design_constraints()) {
-      solver.add_unit(enc.lit(f, cl));
-    }
+    enc.assert_constraints();
     for (std::size_t j : assumed) {
-      solver.add_unit(enc.lit(f, ts.property_lit(j)));
+      solver.add_unit(enc.property_lit(j));
     }
     // ¬Inv' ⟺ at least one cube holds in the next state.
     std::vector<sat::Lit> some_cube_next;
     for (const ts::Cube& c : invariant) {
       sat::Lit sel = sat::Lit::make(solver.new_var());
-      for (const ts::StateLit& l : c) solver.add_binary(~sel, next_lit(l));
+      for (const ts::StateLit& l : c) {
+        solver.add_binary(~sel, enc.next_lit(l));
+      }
       some_cube_next.push_back(sel);
     }
     if (!some_cube_next.empty()) {
@@ -65,21 +129,14 @@ CertificateCheck certify_strengthening(
   // (3) Safety: SAT?[Inv ∧ constr ∧ ¬P] == UNSAT.
   {
     sat::Solver solver;
-    cnf::Encoder enc(aig, solver);
-    cnf::Encoder::Frame f = enc.make_frame();
+    StepEncoding enc(ts, solver, tmpl.get());
     for (const ts::Cube& c : invariant) {
       std::vector<sat::Lit> clause;
-      for (const ts::StateLit& l : c) {
-        clause.push_back(
-            ~(enc.lit(f, aig::Lit::make(aig.latches()[l.latch].var)) ^
-              !l.value));
-      }
+      for (const ts::StateLit& l : c) clause.push_back(~enc.state_lit(l));
       solver.add_clause(clause);
     }
-    for (aig::Lit cl : ts.design_constraints()) {
-      solver.add_unit(enc.lit(f, cl));
-    }
-    solver.add_unit(~enc.lit(f, ts.property_lit(prop)));
+    enc.assert_constraints();
+    solver.add_unit(~enc.property_lit(prop));
     if (solver.solve() != sat::SolveResult::Unsat) {
       check.failure = "safety fails: invariant does not imply the property";
       return check;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cnf/template.h"
 #include "ts/transition_system.h"
 
 namespace javer::ic3 {
@@ -28,10 +29,18 @@ struct CertificateCheck {
 
 // Verifies that `invariant` (cubes whose negations form the strengthening)
 // certifies property `prop` under the given assumption set.
+//
+// `templates` (optional) amortizes the transition-relation encoding across
+// many certifications via cnf/template.h. Pass a cache of the *certifier's
+// own* — never one shared with the engine under scrutiny: the template is
+// pure clause data re-derived from the design, so independence from the
+// engine's solver state (the trust anchor) is preserved, but keeping the
+// caches separate also rules out any shared-lifetime accidents.
 CertificateCheck certify_strengthening(
     const ts::TransitionSystem& ts, std::size_t prop,
     const std::vector<std::size_t>& assumed,
-    const std::vector<ts::Cube>& invariant);
+    const std::vector<ts::Cube>& invariant,
+    cnf::TemplateCache* templates = nullptr);
 
 }  // namespace javer::ic3
 

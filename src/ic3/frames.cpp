@@ -3,53 +3,74 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "cnf/tseitin.h"
+
 namespace javer::ic3 {
 
-FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
-    : ts_(ts), pre_(solver_, config.simplify),
-      encoder_(ts.aig(), pre_), frame_(encoder_.make_frame()) {
+StepContext::StepContext(const ts::TransitionSystem& ts, const Config& config)
+    : ts_(ts), pre_(solver_, config.simplify && config.tmpl == nullptr) {
   const aig::Aig& aig = ts.aig();
   solver_.set_deadline(config.deadline);
   solver_.set_conflict_budget(config.conflict_budget);
-  pre_.set_cache(config.simp_cache);
 
-  // Present-state and input variables first, so their solver variables are
-  // dense and easy to map back from assumption cores.
-  latch_lits_.reserve(aig.num_latches());
-  for (const aig::Latch& l : aig.latches()) {
-    latch_lits_.push_back(encoder_.lit(frame_, aig::Lit::make(l.var)));
-  }
-  input_lits_.reserve(aig.num_inputs());
-  for (aig::Var v : aig.inputs()) {
-    input_lits_.push_back(encoder_.lit(frame_, aig::Lit::make(v)));
-  }
+  if (config.tmpl != nullptr) {
+    // Encode-reuse fast path: the one-step cone was Tseitin-encoded (and
+    // simplified) once, in the template; this context is a bulk replay.
+    const cnf::CnfTemplate& t = *config.tmpl;
+    t.instantiate(solver_);
+    latch_lits_ = t.latch_lits();
+    input_lits_ = t.input_lits();
+    next_lits_ = t.next_lits();
+    prop_lit_ = t.property_lit(config.target_prop);
+    assumed_lits_.reserve(config.assumed.size());
+    for (std::size_t j : config.assumed) {
+      assumed_lits_.push_back(t.property_lit(j));
+    }
+    constraint_lits_ = t.constraint_lits();
+  } else {
+    pre_.set_cache(config.simp_cache);
+    cnf::Encoder encoder(aig, pre_);
+    cnf::Encoder::Frame frame = encoder.make_frame();
 
-  // Combinational cones: next-state functions, properties, constraints.
-  next_lits_.reserve(aig.num_latches());
-  for (const aig::Latch& l : aig.latches()) {
-    next_lits_.push_back(encoder_.lit(frame_, l.next));
-  }
-  prop_lit_ = encoder_.lit(frame_, ts.property_lit(config.target_prop));
-  for (std::size_t j : config.assumed) {
-    assumed_lits_.push_back(encoder_.lit(frame_, ts.property_lit(j)));
-  }
-  for (aig::Lit c : ts.design_constraints()) {
-    constraint_lits_.push_back(encoder_.lit(frame_, c));
-  }
+    // Present-state and input variables first, so their solver variables
+    // are dense and easy to map back from assumption cores.
+    latch_lits_.reserve(aig.num_latches());
+    for (const aig::Latch& l : aig.latches()) {
+      latch_lits_.push_back(encoder.lit(frame, aig::Lit::make(l.var)));
+    }
+    input_lits_.reserve(aig.num_inputs());
+    for (aig::Var v : aig.inputs()) {
+      input_lits_.push_back(encoder.lit(frame, aig::Lit::make(v)));
+    }
 
-  // With preprocessing on, the whole one-step encoding above is one batch:
-  // freeze every literal the IC3 loop references afterwards, simplify the
-  // batch, and commit it. Everything below goes to the solver directly.
-  if (config.simplify) {
-    pre_.freeze(encoder_.true_lit());
-    for (sat::Lit l : latch_lits_) pre_.freeze(l);
-    for (sat::Lit l : input_lits_) pre_.freeze(l);
-    for (sat::Lit l : next_lits_) pre_.freeze(l);
-    pre_.freeze(prop_lit_);
-    for (sat::Lit l : assumed_lits_) pre_.freeze(l);
-    for (sat::Lit l : constraint_lits_) pre_.freeze(l);
+    // Combinational cones: next-state functions, properties, constraints.
+    next_lits_.reserve(aig.num_latches());
+    for (const aig::Latch& l : aig.latches()) {
+      next_lits_.push_back(encoder.lit(frame, l.next));
+    }
+    prop_lit_ = encoder.lit(frame, ts.property_lit(config.target_prop));
+    for (std::size_t j : config.assumed) {
+      assumed_lits_.push_back(encoder.lit(frame, ts.property_lit(j)));
+    }
+    for (aig::Lit c : ts.design_constraints()) {
+      constraint_lits_.push_back(encoder.lit(frame, c));
+    }
+
+    // With preprocessing on, the whole one-step encoding above is one
+    // batch: freeze every literal the IC3 loop references afterwards,
+    // simplify the batch, and commit it. Everything below goes to the
+    // solver directly.
+    if (pre_.enabled()) {
+      pre_.freeze(encoder.true_lit());
+      for (sat::Lit l : latch_lits_) pre_.freeze(l);
+      for (sat::Lit l : input_lits_) pre_.freeze(l);
+      for (sat::Lit l : next_lits_) pre_.freeze(l);
+      pre_.freeze(prop_lit_);
+      for (sat::Lit l : assumed_lits_) pre_.freeze(l);
+      for (sat::Lit l : constraint_lits_) pre_.freeze(l);
+    }
+    pre_.flush();
   }
-  pre_.flush();
 
   for (sat::Lit cl : constraint_lits_) {
     solver_.add_unit(cl);  // design constraints hold unconditionally
@@ -65,7 +86,159 @@ FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
     solver_.add_binary(~assumed_act_, a);
   }
 
+  // Reverse map for core extraction. Variables created later (activation
+  // literals) fall outside the map and resolve to "no latch".
+  var_to_latch_.assign(solver_.num_vars() + 1, -1);
+  for (std::size_t i = 0; i < latch_lits_.size(); ++i) {
+    sat::Var v = latch_lits_[i].var();
+    if (static_cast<std::size_t>(v) >= var_to_latch_.size()) {
+      var_to_latch_.resize(v + 1, -1);
+    }
+    var_to_latch_[v] = static_cast<int>(i);
+  }
+}
+
+sat::Lit StepContext::state_assumption(const ts::StateLit& l) const {
+  return latch_lits_[l.latch] ^ !l.value;
+}
+
+sat::Lit StepContext::next_assumption(const ts::StateLit& l) const {
+  return next_lits_[l.latch] ^ !l.value;
+}
+
+sat::Lit StepContext::fresh_activation() {
+  return sat::Lit::make(solver_.new_var());
+}
+
+void StepContext::retire_activation(sat::Lit act) {
+  solver_.add_unit(~act);
+  retired_activations_++;
+}
+
+ts::Cube StepContext::lift_core_to_cube() const {
+  ts::Cube cube;
+  for (sat::Lit c : solver_.conflict_core()) {
+    sat::Var v = c.var();
+    if (static_cast<std::size_t>(v) < var_to_latch_.size() &&
+        var_to_latch_[v] >= 0) {
+      // The assumption literal was latch_lit ^ !value; recover the value.
+      bool value = !c.sign() == !latch_lits_[var_to_latch_[v]].sign();
+      cube.push_back(ts::StateLit{var_to_latch_[v], value});
+    }
+  }
+  ts::sort_cube(cube);
+  return cube;
+}
+
+ts::Cube StepContext::lift_predecessor(const std::vector<bool>& state,
+                                       const std::vector<bool>& inputs,
+                                       const ts::Cube& target,
+                                       bool respect_assumed) {
+  // Refutation clause: act -> (some target literal fails next
+  //                            OR some design constraint fails now
+  //                            OR some assumed property fails now).
+  // Assuming the full (state, inputs) must make this UNSAT; the core over
+  // the state literals is the lifted cube.
+  sat::Lit act = fresh_activation();
+  std::vector<sat::Lit> clause{~act};
+  for (const ts::StateLit& l : target) {
+    clause.push_back(~next_assumption(l));
+  }
+  for (sat::Lit c : constraint_lits_) clause.push_back(~c);
+  if (respect_assumed) {
+    clause.push_back(~prop_lit_);  // non-final step: target holds too
+    for (sat::Lit a : assumed_lits_) clause.push_back(~a);
+  }
+  solver_.add_clause(clause);
+
+  std::vector<sat::Lit> assumptions{act};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    assumptions.push_back(input_lits_[i] ^ !inputs[i]);
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    assumptions.push_back(latch_lits_[i] ^ !state[i]);
+  }
+
+  sat::SolveResult res = solver_.solve(assumptions);
+  retire_activation(act);
+  if (res != sat::SolveResult::Unsat) {
+    // Budget expiry mid-lift, or (should not happen) a satisfiable lift
+    // query; fall back to the full state cube, which is always sound.
+    ts::Cube full;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      full.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+    return full;
+  }
+  ts::Cube cube = lift_core_to_cube();
+  if (cube.empty()) {
+    // Degenerate (target reachable from every state under these inputs);
+    // keep the concrete state so the obligation machinery stays sound.
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      cube.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+  }
+  return cube;
+}
+
+ts::Cube StepContext::lift_bad(const std::vector<bool>& state,
+                               const std::vector<bool>& inputs) {
+  // Refutation clause: act -> (property holds OR a design constraint
+  // fails). UNSAT core over state literals = states that, under these
+  // inputs, violate the property while satisfying the constraints.
+  sat::Lit act = fresh_activation();
+  std::vector<sat::Lit> clause{~act, prop_lit_};
+  for (sat::Lit c : constraint_lits_) clause.push_back(~c);
+  solver_.add_clause(clause);
+
+  std::vector<sat::Lit> assumptions{act};
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    assumptions.push_back(input_lits_[i] ^ !inputs[i]);
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    assumptions.push_back(latch_lits_[i] ^ !state[i]);
+  }
+
+  sat::SolveResult res = solver_.solve(assumptions);
+  retire_activation(act);
+  if (res != sat::SolveResult::Unsat) {
+    ts::Cube full;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      full.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+    return full;
+  }
+  ts::Cube cube = lift_core_to_cube();
+  if (cube.empty()) {
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      cube.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+    }
+  }
+  return cube;
+}
+
+std::vector<bool> StepContext::model_state() const {
+  std::vector<bool> s(latch_lits_.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = solver_.model_value(latch_lits_[i]) == sat::kTrue;
+  }
+  return s;
+}
+
+std::vector<bool> StepContext::model_inputs() const {
+  std::vector<bool> x(input_lits_.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = solver_.model_value(input_lits_[i]) == sat::kTrue;
+  }
+  return x;
+}
+
+// --- FrameSolver (per-frame backend) ----------------------------------------
+
+FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
+    : StepContext(ts, config) {
   if (config.init_units) {
+    const aig::Aig& aig = ts.aig();
     for (std::size_t i = 0; i < aig.num_latches(); ++i) {
       switch (aig.latches()[i].reset) {
         case Ternary::False:
@@ -79,33 +252,6 @@ FrameSolver::FrameSolver(const ts::TransitionSystem& ts, const Config& config)
       }
     }
   }
-
-  // Reverse map for core extraction.
-  var_to_latch_.assign(solver_.num_vars() + 1, -1);
-  for (std::size_t i = 0; i < latch_lits_.size(); ++i) {
-    sat::Var v = latch_lits_[i].var();
-    if (static_cast<std::size_t>(v) >= var_to_latch_.size()) {
-      var_to_latch_.resize(v + 1, -1);
-    }
-    var_to_latch_[v] = static_cast<int>(i);
-  }
-}
-
-sat::Lit FrameSolver::state_assumption(const ts::StateLit& l) const {
-  return latch_lits_[l.latch] ^ !l.value;
-}
-
-sat::Lit FrameSolver::next_assumption(const ts::StateLit& l) const {
-  return next_lits_[l.latch] ^ !l.value;
-}
-
-sat::Lit FrameSolver::fresh_activation() {
-  return sat::Lit::make(solver_.new_var());
-}
-
-void FrameSolver::retire_activation(sat::Lit act) {
-  solver_.add_unit(~act);
-  retired_activations_++;
 }
 
 void FrameSolver::add_blocking_clause(const ts::Cube& cube) {
@@ -159,122 +305,112 @@ sat::SolveResult FrameSolver::query_consecution(
   return res;
 }
 
-ts::Cube FrameSolver::lift_core_to_cube() const {
-  ts::Cube cube;
-  for (sat::Lit c : solver_.conflict_core()) {
-    sat::Var v = c.var();
-    if (static_cast<std::size_t>(v) < var_to_latch_.size() &&
-        var_to_latch_[v] >= 0) {
-      // The assumption literal was latch_lit ^ !value; recover the value.
-      bool value = !c.sign() == !latch_lits_[var_to_latch_[v]].sign();
-      cube.push_back(ts::StateLit{var_to_latch_[v], value});
-    }
-  }
-  ts::sort_cube(cube);
-  return cube;
+// --- MonolithicFrameSolver --------------------------------------------------
+
+MonolithicFrameSolver::MonolithicFrameSolver(const ts::TransitionSystem& ts,
+                                             const Config& config)
+    : StepContext(ts, config) {
+  ensure_frame(0);  // F_0 = I always exists
 }
 
-ts::Cube FrameSolver::lift_predecessor(const std::vector<bool>& state,
-                                       const std::vector<bool>& inputs,
-                                       const ts::Cube& target,
-                                       bool respect_assumed) {
-  // Refutation clause: act -> (some target literal fails next
-  //                            OR some design constraint fails now
-  //                            OR some assumed property fails now).
-  // Assuming the full (state, inputs) must make this UNSAT; the core over
-  // the state literals is the lifted cube.
-  sat::Lit act = fresh_activation();
-  std::vector<sat::Lit> clause{~act};
-  for (const ts::StateLit& l : target) {
-    clause.push_back(~next_assumption(l));
+void MonolithicFrameSolver::ensure_frame(int k) {
+  assert(k >= 0 && k != kFrameInf);
+  while (static_cast<int>(frame_acts_.size()) <= k) {
+    int j = static_cast<int>(frame_acts_.size());
+    sat::Lit act = sat::Lit::make(solver_.new_var());
+    // Frame acts are excluded from branching: they are only ever set by
+    // assumptions or chain propagation, and any act left unassigned at a
+    // full assignment can be completed to false (acts occur positively
+    // only in chain clauses, which a false lower act satisfies), so
+    // deciding them is pure waste. Polarity false keeps any residual
+    // propagation biased toward deactivation.
+    solver_.set_polarity(act.var(), false);
+    solver_.set_decision_var(act.var(), false);
+    frame_acts_.push_back(act);
+    if (j == 0) {
+      // Initial-state units live behind act_0; only frame-0 queries (which
+      // assume act_0) see them.
+      const aig::Aig& aig = ts_.aig();
+      for (std::size_t i = 0; i < aig.num_latches(); ++i) {
+        switch (aig.latches()[i].reset) {
+          case Ternary::False:
+            solver_.add_binary(~act, ~latch_lits_[i]);
+            break;
+          case Ternary::True:
+            solver_.add_binary(~act, latch_lits_[i]);
+            break;
+          case Ternary::X:
+            break;  // free initial value
+        }
+      }
+    } else {
+      // Chain link: assuming act_k propagates act_j for every j >= k, so
+      // one assumption activates all delta levels a frame query needs
+      // (solver k of the per-frame topology holds levels >= k).
+      solver_.add_binary(~frame_acts_[j - 1], act);
+    }
   }
-  for (sat::Lit c : constraint_lits_) clause.push_back(~c);
-  if (respect_assumed) {
-    clause.push_back(~prop_lit_);  // non-final step: target holds too
-    for (sat::Lit a : assumed_lits_) clause.push_back(~a);
-  }
-  solver_.add_clause(clause);
+}
 
-  std::vector<sat::Lit> assumptions{act};
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    assumptions.push_back(input_lits_[i] ^ !inputs[i]);
+sat::Lit MonolithicFrameSolver::frame_act(int k) {
+  ensure_frame(k);
+  return frame_acts_[k];
+}
+
+sat::SolveResult MonolithicFrameSolver::query_bad(int k) {
+  return solver_.solve({frame_act(k), ~prop_lit_});
+}
+
+sat::SolveResult MonolithicFrameSolver::query_consecution(
+    int k, const ts::Cube& cube, bool add_negation,
+    std::vector<std::size_t>* core) {
+  std::vector<sat::Lit> assumptions;
+  sat::Lit act = sat::kUndefLit;
+  if (add_negation) {
+    act = fresh_activation();
+    std::vector<sat::Lit> clause{~act};
+    for (const ts::StateLit& l : cube) {
+      clause.push_back(~state_assumption(l));
+    }
+    solver_.add_clause(clause);
+    assumptions.push_back(act);
   }
-  for (std::size_t i = 0; i < state.size(); ++i) {
-    assumptions.push_back(latch_lits_[i] ^ !state[i]);
+  // kFrameInf: no frame literal — only the permanent (F_inf) clauses
+  // constrain the present state, exactly the per-frame inf context.
+  if (k != kFrameInf) assumptions.push_back(frame_act(k));
+  assumptions.push_back(assumed_act_);
+  std::size_t next_base = assumptions.size();
+  for (const ts::StateLit& l : cube) {
+    assumptions.push_back(next_assumption(l));
   }
 
   sat::SolveResult res = solver_.solve(assumptions);
-  retire_activation(act);
-  if (res != sat::SolveResult::Unsat) {
-    // Budget expiry mid-lift, or (should not happen) a satisfiable lift
-    // query; fall back to the full state cube, which is always sound.
-    ts::Cube full;
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      full.push_back(ts::StateLit{static_cast<int>(i), state[i]});
-    }
-    return full;
-  }
-  ts::Cube cube = lift_core_to_cube();
-  if (cube.empty()) {
-    // Degenerate (target reachable from every state under these inputs);
-    // keep the concrete state so the obligation machinery stays sound.
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      cube.push_back(ts::StateLit{static_cast<int>(i), state[i]});
+  if (res == sat::SolveResult::Unsat && core != nullptr) {
+    core->clear();
+    const auto& conflict = solver_.conflict_core();
+    for (std::size_t i = 0; i < cube.size(); ++i) {
+      sat::Lit a = assumptions[next_base + i];
+      for (sat::Lit c : conflict) {
+        if (c == a) {
+          core->push_back(i);
+          break;
+        }
+      }
     }
   }
-  return cube;
+  if (add_negation) retire_activation(act);
+  return res;
 }
 
-ts::Cube FrameSolver::lift_bad(const std::vector<bool>& state,
-                               const std::vector<bool>& inputs) {
-  // Refutation clause: act -> (property holds OR a design constraint
-  // fails). UNSAT core over state literals = states that, under these
-  // inputs, violate the property while satisfying the constraints.
-  sat::Lit act = fresh_activation();
-  std::vector<sat::Lit> clause{~act, prop_lit_};
-  for (sat::Lit c : constraint_lits_) clause.push_back(~c);
+void MonolithicFrameSolver::add_blocking_clause(const ts::Cube& cube,
+                                                int level) {
+  std::vector<sat::Lit> clause;
+  clause.reserve(cube.size() + 1);
+  if (level != kFrameInf) clause.push_back(~frame_act(level));
+  for (const ts::StateLit& l : cube) {
+    clause.push_back(~state_assumption(l));
+  }
   solver_.add_clause(clause);
-
-  std::vector<sat::Lit> assumptions{act};
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    assumptions.push_back(input_lits_[i] ^ !inputs[i]);
-  }
-  for (std::size_t i = 0; i < state.size(); ++i) {
-    assumptions.push_back(latch_lits_[i] ^ !state[i]);
-  }
-
-  sat::SolveResult res = solver_.solve(assumptions);
-  retire_activation(act);
-  if (res != sat::SolveResult::Unsat) {
-    ts::Cube full;
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      full.push_back(ts::StateLit{static_cast<int>(i), state[i]});
-    }
-    return full;
-  }
-  ts::Cube cube = lift_core_to_cube();
-  if (cube.empty()) {
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      cube.push_back(ts::StateLit{static_cast<int>(i), state[i]});
-    }
-  }
-  return cube;
-}
-
-std::vector<bool> FrameSolver::model_state() const {
-  std::vector<bool> s(latch_lits_.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    s[i] = solver_.model_value(latch_lits_[i]) == sat::kTrue;
-  }
-  return s;
-}
-
-std::vector<bool> FrameSolver::model_inputs() const {
-  std::vector<bool> x(input_lits_.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    x[i] = solver_.model_value(input_lits_[i]) == sat::kTrue;
-  }
-  return x;
 }
 
 }  // namespace javer::ic3

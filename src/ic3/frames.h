@@ -1,11 +1,25 @@
-// FrameSolver: one incremental SAT context used by IC3 for a single frame
-// F_k (or for lifting). It encodes, over one time step:
+// The SAT-query layer beneath IC3: one-step transition-relation contexts.
+//
+// StepContext is the shared machinery — it encodes (or, given a
+// cnf::CnfTemplate, replays) over one time step:
 //   * present-state latch variables and input variables,
 //   * the next-state function literal of every latch (functional T),
 //   * the target property cone and the assumed-property cones,
 //   * design invariant constraints (asserted as units),
-//   * optionally the initial-state units (frame 0),
-//   * the blocking clauses of the frame.
+// and owns lifting, model extraction, and UNSAT-core-to-cube mapping.
+//
+// Two backends derive from it:
+//   * FrameSolver — the classic topology: one incremental SAT context per
+//     frame F_k (plus dedicated lift and F_inf contexts), each holding its
+//     frame's blocking clauses outright.
+//   * MonolithicFrameSolver — one SAT context for *every* frame: each F_k
+//     gets an activation literal act_k with an implication chain
+//     act_k → act_{k+1}, blocking clauses are added as (¬act_k ∨ ¬cube),
+//     consecution queries assume {act_k, ...}, and F_inf clauses are
+//     permanent (untagged). Learned clauses transfer across frames for
+//     free and the transition relation is encoded exactly once. The
+//     engine pairs it with one blocking-clause-free lift context (see
+//     the class comment below for why lifting must not live here).
 //
 // Assumed properties ("just assume" constraints, Section 7-A of the paper)
 // are attached behind one activation literal so that consecution queries
@@ -18,14 +32,14 @@
 #include <vector>
 
 #include "base/timer.h"
-#include "cnf/tseitin.h"
+#include "cnf/template.h"
 #include "sat/simp/preprocessor.h"
 #include "sat/solver.h"
 #include "ts/transition_system.h"
 
 namespace javer::ic3 {
 
-class FrameSolver {
+class StepContext {
  public:
   struct Config {
     std::size_t target_prop = 0;
@@ -33,32 +47,19 @@ class FrameSolver {
     bool init_units = false;           // assert initial state (frame 0)
     // Preprocess the transition-relation CNF (subsumption + bounded
     // variable elimination over the Tseitin auxiliaries) before solving.
-    // Interface literals (latches, inputs, next-state functions,
-    // properties, constraints) are frozen, so incremental use is unchanged.
+    // Only used on the direct-encode path (tmpl == nullptr); a template
+    // arrives already simplified.
     bool simplify = false;
-    // Optional memoization shared by contexts that encode the same
-    // transition relation (IC3 passes one cache for all its frames).
+    // Optional memoization shared by direct-encode contexts that encode
+    // the same transition relation (legacy; subsumed by `tmpl`).
     sat::simp::BatchCache* simp_cache = nullptr;
+    // Pre-encoded transition relation (cnf/template.h). When set, the
+    // context is a bulk replay of the template — no Tseitin run, no
+    // simplification. Must encode the target and every assumed property.
+    const cnf::CnfTemplate* tmpl = nullptr;
     const Deadline* deadline = nullptr;
     std::uint64_t conflict_budget = 0;
   };
-
-  FrameSolver(const ts::TransitionSystem& ts, const Config& config);
-
-  // Adds the permanent blocking clause ¬cube to this frame.
-  void add_blocking_clause(const ts::Cube& cube);
-
-  // SAT?[F ∧ design-constraints ∧ ¬P]: looks for a bad state in the frame.
-  // Assumed properties are *not* asserted (the failing state need not
-  // satisfy them).
-  sat::SolveResult query_bad();
-
-  // SAT?[F ∧ constraints ∧ assumed ∧ (¬cube)? ∧ T ∧ cube'].
-  // On UNSAT, when `core` is non-null it receives the indices into `cube`
-  // of the literals that appear in the assumption core (a sufficient
-  // subset for unreachability).
-  sat::SolveResult query_consecution(const ts::Cube& cube, bool add_negation,
-                                     std::vector<std::size_t>* core);
 
   // Lifting (Section 7-A). Both return a cube over the latches such that
   // every state in it, under `inputs`, (a) transitions into `target`
@@ -80,7 +81,13 @@ class FrameSolver {
   const sat::SolverStats& stats() const { return solver_.stats(); }
   const sat::simp::SimpStats& simp_stats() const { return pre_.stats(); }
 
- private:
+ protected:
+  // Encodes the one-step cone (template replay or direct Tseitin), asserts
+  // the constraint units, and builds the assumed-property activation.
+  // Initial-state handling is left to the derived class.
+  StepContext(const ts::TransitionSystem& ts, const Config& config);
+  ~StepContext() = default;
+
   sat::Lit state_assumption(const ts::StateLit& l) const;
   sat::Lit next_assumption(const ts::StateLit& l) const;
   sat::Lit fresh_activation();
@@ -89,9 +96,7 @@ class FrameSolver {
 
   const ts::TransitionSystem& ts_;
   sat::Solver solver_;
-  sat::simp::Preprocessor pre_;  // sits between the encoder and the solver
-  cnf::Encoder encoder_;
-  cnf::Encoder::Frame frame_;
+  sat::simp::Preprocessor pre_;  // direct-encode path only; else disabled
 
   std::vector<sat::Lit> latch_lits_;
   std::vector<sat::Lit> input_lits_;
@@ -109,6 +114,84 @@ class FrameSolver {
   std::vector<int> var_to_latch_;
 
   int retired_activations_ = 0;
+};
+
+// One incremental SAT context used by IC3 for a single frame F_k (or for
+// lifting): the per-frame backend.
+class FrameSolver : public StepContext {
+ public:
+  using Config = StepContext::Config;
+
+  FrameSolver(const ts::TransitionSystem& ts, const Config& config);
+
+  // Adds the permanent blocking clause ¬cube to this frame.
+  void add_blocking_clause(const ts::Cube& cube);
+
+  // SAT?[F ∧ design-constraints ∧ ¬P]: looks for a bad state in the frame.
+  // Assumed properties are *not* asserted (the failing state need not
+  // satisfy them).
+  sat::SolveResult query_bad();
+
+  // SAT?[F ∧ constraints ∧ assumed ∧ (¬cube)? ∧ T ∧ cube'].
+  // On UNSAT, when `core` is non-null it receives the indices into `cube`
+  // of the literals that appear in the assumption core (a sufficient
+  // subset for unreachability).
+  sat::SolveResult query_consecution(const ts::Cube& cube, bool add_negation,
+                                     std::vector<std::size_t>* core);
+};
+
+// The monolithic backend: one SAT context whose frame membership is a set
+// of assumptions. Frame F_k is addressed by its activation literal; the
+// implication chain act_k → act_{k+1} makes one assumption activate every
+// delta level >= k (matching the per-frame solvers, where solver k holds
+// the clauses of all levels >= k). Initial-state units sit behind act_0;
+// F_inf clauses are permanent (every frame query includes them, exactly
+// as every per-frame solver holds them outright), so this one context
+// subsumes the whole frame vector plus the dedicated F_inf context.
+//
+// Lifting stays in a separate blocking-clause-free context (the engine
+// keeps its lift FrameSolver in monolithic mode too), for two reasons.
+// Soundness: counterexample reconstruction relies on the *unconditional*
+// universal-cube property (every state in a lifted cube steps into the
+// target), and F_inf clauses are only invariant relative to the path
+// constraints, so a lifted cube conditioned on them could break the
+// obligation chain under relaxed lifting. Performance: a lift query
+// assumes the full latch valuation, which would falsify a watched
+// literal in essentially every (inactive) tagged blocking clause and
+// park the watches on activation literals, only for the next frame query
+// to migrate them all back — a watch-list ping-pong quadratic in the
+// clause count (measured 10x on clause-reuse-heavy runs).
+class MonolithicFrameSolver : public StepContext {
+ public:
+  using Config = StepContext::Config;
+  // Frame index addressing F_inf (permanent clauses, no activation).
+  static constexpr int kFrameInf = INT32_MAX;
+
+  // `config.init_units` is ignored: the initial state is always encoded,
+  // behind act_0.
+  MonolithicFrameSolver(const ts::TransitionSystem& ts, const Config& config);
+
+  // Allocates activation literals for frames 0..k and their chain links.
+  void ensure_frame(int k);
+  int num_frames() const { return static_cast<int>(frame_acts_.size()); }
+
+  // SAT?[F_k ∧ design-constraints ∧ ¬P].
+  sat::SolveResult query_bad(int k);
+
+  // SAT?[F_k ∧ constraints ∧ assumed ∧ (¬cube)? ∧ T ∧ cube'].
+  // k == kFrameInf queries relative to F_inf alone.
+  sat::SolveResult query_consecution(int k, const ts::Cube& cube,
+                                     bool add_negation,
+                                     std::vector<std::size_t>* core);
+
+  // Adds ¬cube to delta level `level` (active for every frame <= level),
+  // or permanently when level == kFrameInf.
+  void add_blocking_clause(const ts::Cube& cube, int level);
+
+ private:
+  sat::Lit frame_act(int k);
+
+  std::vector<sat::Lit> frame_acts_;
 };
 
 }  // namespace javer::ic3

@@ -38,9 +38,9 @@ ts::Cube Ic3::repair_init_intersection(const ts::Cube& shrunk,
   return original;
 }
 
-ts::Cube Ic3::mic(ts::Cube cube, FrameSolver& checker) {
+ts::Cube Ic3::mic(ts::Cube cube, int level) {
   // Try to drop each literal once; accept a drop when the weakened cube is
-  // still init-disjoint and relatively inductive on `checker` (the UNSAT
+  // still init-disjoint and relatively inductive at `level` (the UNSAT
   // core shrinks it further for free).
   std::size_t i = 0;
   while (i < cube.size() && cube.size() > 1) {
@@ -56,7 +56,7 @@ ts::Cube Ic3::mic(ts::Cube cube, FrameSolver& checker) {
     std::vector<std::size_t> core;
     stats_.mic_queries++;
     sat::SolveResult r = checked(
-        checker.query_consecution(cand, /*add_negation=*/true, &core));
+        consecution(level, cand, /*add_negation=*/true, &core));
     if (r == sat::SolveResult::Unsat) {
       ts::Cube next = shrink_with_core(cand, core);
       next = repair_init_intersection(next, cand);
@@ -79,7 +79,7 @@ int Ic3::push_forward(const ts::Cube& cube, int from_level) {
   while (level < top_frame_) {
     stats_.consecution_queries++;
     sat::SolveResult r = checked(
-        ctx(level).query_consecution(cube, /*add_negation=*/true, nullptr));
+        consecution(level, cube, /*add_negation=*/true, nullptr));
     if (r != sat::SolveResult::Unsat) break;
     level++;
   }

@@ -32,26 +32,84 @@ Ic3::Ic3(const ts::TransitionSystem& ts, std::size_t target_prop,
 
 Ic3::~Ic3() = default;
 
-std::unique_ptr<FrameSolver> Ic3::make_solver(int k) const {
-  FrameSolver::Config config;
+// --- encode reuse -----------------------------------------------------------
+
+const cnf::CnfTemplate* Ic3::acquire_template() {
+  if (!opts_.use_template) return nullptr;
+  if (tmpl_) return tmpl_.get();
+  cnf::CnfTemplate::Spec spec;
+  spec.props = opts_.assumed;
+  spec.props.push_back(target_prop_);
+  spec.simplify = opts_.simplify;
+  cnf::TemplateCache* cache = opts_.template_cache;
+  if (cache == nullptr) {
+    // No shared cache: a private one still collapses this engine's
+    // per-frame/per-rebuild encodings into one.
+    own_cache_ = std::make_unique<cnf::TemplateCache>(ts_);
+    cache = own_cache_.get();
+  }
+  bool built = false;
+  tmpl_ = cache->get_or_build(std::move(spec), &built);
+  if (built) {
+    stats_.template_builds++;
+    stats_.encode_seconds += tmpl_->encode_seconds();
+    const sat::simp::SimpStats& s = tmpl_->simp_stats();
+    stats_.simp_vars_eliminated += s.vars_eliminated;
+    stats_.simp_clauses_in += s.clauses_in;
+    stats_.simp_clauses_out += s.clauses_out;
+  }
+  return tmpl_.get();
+}
+
+StepContext::Config Ic3::base_config(bool init_units) {
+  StepContext::Config config;
   config.target_prop = target_prop_;
   config.assumed = opts_.assumed;
-  config.init_units = (k == 0);
+  config.init_units = init_units;
   config.simplify = opts_.simplify;
-  config.simp_cache = opts_.simplify ? &simp_cache_ : nullptr;
+  config.tmpl = acquire_template();
+  config.simp_cache =
+      (opts_.simplify && config.tmpl == nullptr) ? &simp_cache_ : nullptr;
   // The slice deadline is the effective one (overall ∧ slice); a Deadline
   // with budget 0 never expires, so unbudgeted runs are unaffected.
   config.deadline = &slice_deadline_;
   config.conflict_budget = opts_.conflict_budget_per_query;
-  return std::make_unique<FrameSolver>(ts_, config);
+  return config;
 }
+
+void Ic3::note_context_created(double seconds, bool templated,
+                               std::uint64_t extra_live) {
+  stats_.solver_contexts_created++;
+  stats_.encode_seconds += seconds;
+  if (templated) stats_.template_instantiations++;
+  std::uint64_t live = extra_live + solvers_.size() +
+                       (lift_solver_ ? 1 : 0) + (inf_solver_ ? 1 : 0) +
+                       (mono_ ? 1 : 0);
+  stats_.peak_live_solvers = std::max(stats_.peak_live_solvers, live);
+}
+
+std::unique_ptr<FrameSolver> Ic3::make_solver(int k) {
+  StepContext::Config config = base_config(k == 0);
+  Timer timer;
+  auto fs = std::make_unique<FrameSolver>(ts_, config);
+  // The new context is still in our hands, not in a member yet: +1 live.
+  note_context_created(timer.seconds(), config.tmpl != nullptr, 1);
+  return fs;
+}
+
+std::unique_ptr<FrameSolver> Ic3::make_checker() {
+  // Same shape as a lift context: no init units, no frame clauses.
+  return make_solver(-1);
+}
+
+// --- statistics -------------------------------------------------------------
 
 namespace {
 
 // Folds one solver context's SAT/simp counters into `into` — shared by
 // retiring contexts (absorb_stats) and the per-slice cumulative report
 // (finalize_stats) so the two can never disagree field-for-field.
-void fold_solver_stats(Ic3Stats& into, const FrameSolver& fs) {
+void fold_solver_stats(Ic3Stats& into, const StepContext& fs) {
   const sat::SolverStats& s = fs.stats();
   into.sat_propagations += s.propagations;
   into.sat_conflicts += s.conflicts;
@@ -64,7 +122,7 @@ void fold_solver_stats(Ic3Stats& into, const FrameSolver& fs) {
 
 }  // namespace
 
-void Ic3::absorb_stats(const FrameSolver& fs) {
+void Ic3::absorb_stats(const StepContext& fs) {
   fold_solver_stats(stats_, fs);
 }
 
@@ -76,6 +134,7 @@ Ic3Stats Ic3::finalize_stats() const {
   for (const auto& fs : solvers_) fold_solver_stats(out, *fs);
   if (lift_solver_) fold_solver_stats(out, *lift_solver_);
   if (inf_solver_) fold_solver_stats(out, *inf_solver_);
+  if (mono_) fold_solver_stats(out, *mono_);
   return out;
 }
 
@@ -84,8 +143,11 @@ std::uint64_t Ic3::total_conflicts() const {
   for (const auto& fs : solvers_) total += fs->stats().conflicts;
   if (lift_solver_) total += lift_solver_->stats().conflicts;
   if (inf_solver_) total += inf_solver_->stats().conflicts;
+  if (mono_) total += mono_->stats().conflicts;
   return total;
 }
+
+// --- budget slicing ---------------------------------------------------------
 
 void Ic3::begin_slice(const Ic3Budget& budget) {
   slicing_ =
@@ -116,7 +178,10 @@ void Ic3::poll_budget() const {
   }
 }
 
+// --- solver contexts --------------------------------------------------------
+
 FrameSolver& Ic3::ctx(int k) {
+  assert(!monolithic());
   assert(k >= 0 && k < static_cast<int>(solvers_.size()));
   FrameSolver& fs = *solvers_[k];
   if (fs.retired_activations() <= opts_.rebuild_threshold) return fs;
@@ -143,6 +208,7 @@ FrameSolver& Ic3::lift_ctx() {
     if (lift_solver_) {
       stats_.solver_rebuilds++;
       absorb_stats(*lift_solver_);
+      lift_solver_.reset();
     }
     lift_solver_ = make_solver(-1);  // no init units, no frame clauses
   }
@@ -150,16 +216,111 @@ FrameSolver& Ic3::lift_ctx() {
 }
 
 FrameSolver& Ic3::inf_ctx() {
+  assert(!monolithic());
   if (!inf_solver_ ||
       inf_solver_->retired_activations() > opts_.rebuild_threshold) {
     if (inf_solver_) {
       stats_.solver_rebuilds++;
       absorb_stats(*inf_solver_);
+      inf_solver_.reset();
     }
     inf_solver_ = make_solver(-1);
     for (const ts::Cube& c : inf_cubes_) inf_solver_->add_blocking_clause(c);
   }
   return *inf_solver_;
+}
+
+MonolithicFrameSolver& Ic3::mono() {
+  assert(monolithic());
+  if (!mono_) {
+    install_mono(0);
+  } else if (mono_->retired_activations() >
+             static_cast<long long>(opts_.rebuild_threshold) *
+                 (mono_->num_frames() + 2)) {
+    // The single context absorbs the retirement churn of every frame plus
+    // the F_inf role, so its garbage budget is the per-frame topology's
+    // total: threshold × (frames + companion contexts).
+    rebuild_mono();
+  }
+  return *mono_;
+}
+
+// (Re)creates the monolithic context and replays the current F_inf and
+// delta-frame clause lists into it — on first creation these carry the
+// validated seed clauses (installed at context birth in the per-frame
+// topology), on a rebuild everything blocked so far.
+void Ic3::install_mono(int frames) {
+  mono_.reset();
+  StepContext::Config config = base_config(false);
+  Timer timer;
+  mono_ = std::make_unique<MonolithicFrameSolver>(ts_, config);
+  note_context_created(timer.seconds(), config.tmpl != nullptr, 0);
+  if (frames > 0) mono_->ensure_frame(frames - 1);
+  for (const ts::Cube& c : inf_cubes_) {
+    mono_->add_blocking_clause(c, MonolithicFrameSolver::kFrameInf);
+  }
+  for (int lvl = 1; lvl < static_cast<int>(frame_cubes_.size()); ++lvl) {
+    for (const ts::Cube& c : frame_cubes_[lvl]) {
+      mono_->add_blocking_clause(c, lvl);
+    }
+  }
+}
+
+void Ic3::rebuild_mono() {
+  // One rebuild replaces the per-frame topology's N separate rebuilds:
+  // re-instantiate the template and replay the frame/F_inf clause lists
+  // (dropping retired activation garbage and stale pushed copies).
+  stats_.solver_rebuilds++;
+  absorb_stats(*mono_);
+  install_mono(mono_->num_frames());
+}
+
+// --- backend dispatch -------------------------------------------------------
+
+sat::SolveResult Ic3::consecution(int k, const ts::Cube& cube,
+                                  bool add_negation,
+                                  std::vector<std::size_t>* core) {
+  if (monolithic()) return mono().query_consecution(k, cube, add_negation, core);
+  if (k == kLevelInf) return inf_ctx().query_consecution(cube, add_negation, core);
+  return ctx(k).query_consecution(cube, add_negation, core);
+}
+
+sat::SolveResult Ic3::bad_query(int k) {
+  if (monolithic()) return mono().query_bad(k);
+  return ctx(k).query_bad();
+}
+
+std::vector<bool> Ic3::model_state(int k) const {
+  return monolithic() ? mono_->model_state() : solvers_[k]->model_state();
+}
+
+std::vector<bool> Ic3::model_inputs(int k) const {
+  return monolithic() ? mono_->model_inputs() : solvers_[k]->model_inputs();
+}
+
+ts::Cube Ic3::lift_predecessor(const std::vector<bool>& state,
+                               const std::vector<bool>& inputs,
+                               const ts::Cube& target, bool respect_assumed) {
+  return lift_ctx().lift_predecessor(state, inputs, target, respect_assumed);
+}
+
+ts::Cube Ic3::lift_bad(const std::vector<bool>& state,
+                       const std::vector<bool>& inputs) {
+  return lift_ctx().lift_bad(state, inputs);
+}
+
+void Ic3::solver_add_blocking(const ts::Cube& cube, int level,
+                              int from_level) {
+  if (monolithic()) {
+    mono().add_blocking_clause(
+        cube, level == kLevelInf ? MonolithicFrameSolver::kFrameInf : level);
+    return;
+  }
+  assert(level != kLevelInf);
+  int hi = std::min(level, static_cast<int>(solvers_.size()) - 1);
+  for (int j = std::max(from_level, 1); j <= hi; ++j) {
+    solvers_[j]->add_blocking_clause(cube);
+  }
 }
 
 void Ic3::add_inf_cube(const ts::Cube& cube) {
@@ -172,9 +333,13 @@ void Ic3::add_inf_cube(const ts::Cube& cube) {
                 level.end());
   }
   inf_cubes_.push_back(cube);
-  inf_ctx().add_blocking_clause(cube);
-  for (std::size_t k = 1; k < solvers_.size(); ++k) {
-    solvers_[k]->add_blocking_clause(cube);
+  if (monolithic()) {
+    mono().add_blocking_clause(cube, MonolithicFrameSolver::kFrameInf);
+  } else {
+    inf_ctx().add_blocking_clause(cube);
+    for (std::size_t k = 1; k < solvers_.size(); ++k) {
+      solvers_[k]->add_blocking_clause(cube);
+    }
   }
   stats_.clauses_added++;
 }
@@ -182,6 +347,10 @@ void Ic3::add_inf_cube(const ts::Cube& cube) {
 void Ic3::ensure_frame(int k) {
   while (static_cast<int>(frame_cubes_.size()) <= k) {
     frame_cubes_.emplace_back();
+  }
+  if (monolithic()) {
+    mono().ensure_frame(k);
+    return;
   }
   while (static_cast<int>(solvers_.size()) <= k) {
     int idx = static_cast<int>(solvers_.size());
@@ -224,30 +393,23 @@ void Ic3::validate_seed_clauses() {
   }
 
   while (!candidates.empty()) {
-    FrameSolver::Config config;
-    config.target_prop = target_prop_;
-    config.assumed = opts_.assumed;
-    config.simplify = opts_.simplify;
-    config.simp_cache = opts_.simplify ? &simp_cache_ : nullptr;
-    config.deadline = &slice_deadline_;
-    config.conflict_budget = opts_.conflict_budget_per_query;
-    FrameSolver checker(ts_, config);
-    for (const ts::Cube& c : candidates) checker.add_blocking_clause(c);
+    std::unique_ptr<FrameSolver> checker = make_checker();
+    for (const ts::Cube& c : candidates) checker->add_blocking_clause(c);
 
     std::vector<ts::Cube> survivors;
     for (const ts::Cube& c : candidates) {
       // ¬c is already part of the clause set, so consecution relative to
       // the candidate set is exactly query R ∧ T ∧ c' (no extra negation).
       sat::SolveResult r =
-          checked(checker.query_consecution(c, /*add_negation=*/false,
-                                            nullptr));
+          checked(checker->query_consecution(c, /*add_negation=*/false,
+                                             nullptr));
       if (r == sat::SolveResult::Unsat) {
         survivors.push_back(c);
       } else {
         stats_.seed_clauses_dropped++;
       }
     }
-    absorb_stats(checker);
+    absorb_stats(*checker);
     if (survivors.size() == candidates.size()) break;  // fixpoint
     candidates = std::move(survivors);
   }
@@ -295,8 +457,7 @@ void Ic3::absorb_lemma_candidates() {
       continue;
     }
     stats_.consecution_queries++;
-    if (checked(inf_ctx().query_consecution(c, /*add_negation=*/true,
-                                            nullptr)) ==
+    if (checked(consecution(kLevelInf, c, /*add_negation=*/true, nullptr)) ==
         sat::SolveResult::Unsat) {
       add_inf_cube(c);
       stats_.lemmas_imported++;
@@ -322,9 +483,8 @@ void Ic3::mine_singleton_invariants() {
         }
         if (known) continue;
         stats_.consecution_queries++;
-        if (checked(inf_ctx().query_consecution(c, /*add_negation=*/true,
-                                                nullptr)) ==
-            sat::SolveResult::Unsat) {
+        if (checked(consecution(kLevelInf, c, /*add_negation=*/true,
+                                nullptr)) == sat::SolveResult::Unsat) {
           add_inf_cube(c);
           stats_.mined_invariants++;
           changed = true;
@@ -362,9 +522,7 @@ void Ic3::add_blocked_cube(const ts::Cube& cube, int level) {
                list.end());
   }
   frame_cubes_[level].push_back(cube);
-  for (int j = 1; j <= level; ++j) {
-    solvers_[j]->add_blocking_clause(cube);
-  }
+  solver_add_blocking(cube, level, 1);
   stats_.clauses_added++;
 }
 
@@ -419,10 +577,9 @@ void Ic3::build_cex(const std::vector<bool>& init_state,
 }
 
 bool Ic3::block_from_bad_state() {
-  FrameSolver& top = ctx(top_frame_);
-  std::vector<bool> state = top.model_state();
-  std::vector<bool> inputs = top.model_inputs();
-  ts::Cube cube = lift_ctx().lift_bad(state, inputs);
+  std::vector<bool> state = model_state(top_frame_);
+  std::vector<bool> inputs = model_inputs(top_frame_);
+  ts::Cube cube = lift_bad(state, inputs);
 
   if (!ts_.cube_disjoint_from_init(cube)) {
     // A bad (initial) state: length-0 counterexample.
@@ -465,12 +622,12 @@ bool Ic3::block_obligation(int root_index) {
     // (the paper's Example 1 and Table X shapes).
     stats_.consecution_queries++;
     std::vector<std::size_t> inf_core;
-    sat::SolveResult inf_res = checked(inf_ctx().query_consecution(
-        pool_[oi].cube, /*add_negation=*/true, &inf_core));
+    sat::SolveResult inf_res = checked(consecution(
+        kLevelInf, pool_[oi].cube, /*add_negation=*/true, &inf_core));
     if (inf_res == sat::SolveResult::Unsat) {
       ts::Cube c = shrink_with_core(pool_[oi].cube, inf_core);
       c = repair_init_intersection(c, pool_[oi].cube);
-      c = mic(std::move(c), inf_ctx());
+      c = mic(std::move(c), kLevelInf);
       add_inf_cube(c);
       continue;  // blocked at every frame; obligation discharged
     }
@@ -478,20 +635,18 @@ bool Ic3::block_obligation(int root_index) {
     std::vector<std::size_t> core;
     stats_.consecution_queries++;
     sat::SolveResult res = checked(
-        ctx(k - 1).query_consecution(pool_[oi].cube, /*add_negation=*/true,
-                                     &core));
+        consecution(k - 1, pool_[oi].cube, /*add_negation=*/true, &core));
     if (res == sat::SolveResult::Unsat) {
       // Blockable: shrink by the core, repair init intersection, MIC, push.
       ts::Cube c = shrink_with_core(pool_[oi].cube, core);
       c = repair_init_intersection(c, pool_[oi].cube);
-      c = mic(std::move(c), ctx(k - 1));
+      c = mic(std::move(c), k - 1);
       // The MIC-generalized cube is frequently inductive relative to the
       // path constraints alone even when the raw obligation cube was not;
       // promote it to F_inf when it is.
       stats_.consecution_queries++;
-      if (checked(inf_ctx().query_consecution(c, /*add_negation=*/true,
-                                              nullptr)) ==
-          sat::SolveResult::Unsat) {
+      if (checked(consecution(kLevelInf, c, /*add_negation=*/true,
+                              nullptr)) == sat::SolveResult::Unsat) {
         add_inf_cube(c);
         continue;
       }
@@ -502,13 +657,13 @@ bool Ic3::block_obligation(int root_index) {
         enqueue(oi);
       }
     } else {
-      // A predecessor exists; lift it and recurse one frame down.
-      FrameSolver& fs = ctx(k - 1);
-      std::vector<bool> pstate = fs.model_state();
-      std::vector<bool> pinputs = fs.model_inputs();
-      ts::Cube pcube = lift_ctx().lift_predecessor(
-          pstate, pinputs, pool_[oi].cube,
-          opts_.lifting_respects_constraints);
+      // A predecessor exists; lift it and recurse one frame down. The
+      // model is copied before the lift query (which reuses the solver in
+      // monolithic mode) can clobber it.
+      std::vector<bool> pstate = model_state(k - 1);
+      std::vector<bool> pinputs = model_inputs(k - 1);
+      ts::Cube pcube = lift_predecessor(pstate, pinputs, pool_[oi].cube,
+                                        opts_.lifting_respects_constraints);
 
       if (!ts_.cube_disjoint_from_init(pcube)) {
         // The lifted predecessor cube contains an initial state: a full
@@ -539,9 +694,8 @@ void Ic3::propagate_and_check_fixpoint() {
       stats_.consecution_queries++;
       sat::SolveResult r;
       try {
-        r = checked(ctx(lvl).query_consecution(cubes[i],
-                                               /*add_negation=*/false,
-                                               nullptr));
+        r = checked(consecution(lvl, cubes[i], /*add_negation=*/false,
+                                nullptr));
       } catch (...) {
         // Budget expiry mid-level: commit the partition so far (already
         // pushed cubes leave F_lvl, the unprocessed tail stays) instead
@@ -553,7 +707,7 @@ void Ic3::propagate_and_check_fixpoint() {
       }
       if (r == sat::SolveResult::Unsat) {
         frame_cubes_[lvl + 1].push_back(cubes[i]);
-        solvers_[lvl + 1]->add_blocking_clause(cubes[i]);
+        solver_add_blocking(cubes[i], lvl + 1, lvl + 1);
       } else {
         keep.push_back(cubes[i]);
       }
@@ -599,8 +753,8 @@ Ic3Result Ic3::run(const Ic3Budget& budget) {
     absorb_lemma_candidates();
     if (phase_ == Phase::Depth0) {
       // Depth-0 check: an initial state violating the property.
-      if (checked(ctx(0).query_bad()) == sat::SolveResult::Sat) {
-        build_cex(ctx(0).model_state(), ctx(0).model_inputs(), -1);
+      if (checked(bad_query(0)) == sat::SolveResult::Sat) {
+        build_cex(model_state(0), model_inputs(0), -1);
         phase_ = Phase::Done;
         final_status_ = CheckStatus::Fails;
         result.status = CheckStatus::Fails;
@@ -616,7 +770,7 @@ Ic3Result Ic3::run(const Ic3Budget& budget) {
 
     while (true) {
       // Clear all bad states reachable within top_frame_ steps.
-      while (checked(ctx(top_frame_).query_bad()) == sat::SolveResult::Sat) {
+      while (checked(bad_query(top_frame_)) == sat::SolveResult::Sat) {
         poll_budget();
         if (!block_from_bad_state()) {
           phase_ = Phase::Done;

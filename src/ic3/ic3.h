@@ -17,7 +17,9 @@
 
 #include "base/status.h"
 #include "base/timer.h"
+#include "cnf/template.h"
 #include "ic3/frames.h"
+#include "ic3/solver_mode.h"
 #include "ts/trace.h"
 #include "ts/transition_system.h"
 
@@ -39,6 +41,20 @@ struct Ic3Options {
   // + bounded variable elimination, sat/simp/) before solving.
   bool simplify = false;
 
+  // Solver topology: one SAT context per frame (classic) or one
+  // activation-literal context for every frame plus a lift companion
+  // (encode once, learn once).
+  Ic3SolverMode solver_mode = Ic3SolverMode::Monolithic;
+  // Encode the transition relation once into a cnf::CnfTemplate and replay
+  // it into every context this engine creates (frames, lift, F_inf, seed
+  // checkers, rebuilds) instead of re-running the Tseitin encoder.
+  bool use_template = true;
+  // Optional shared template memo (cnf/template.h). The schedulers pass
+  // one per run so sibling engines with the same {target} ∪ assumed set
+  // share the encoding; null = the engine keeps a private one. Must
+  // outlive the engine; thread-safe.
+  cnf::TemplateCache* template_cache = nullptr;
+
   double time_limit_seconds = 0.0;
   std::uint64_t conflict_budget_per_query = 0;
   int max_frames = 100000;
@@ -55,6 +71,16 @@ struct Ic3Stats {
   std::uint64_t seed_clauses_dropped = 0;
   std::uint64_t solver_rebuilds = 0;
   std::uint64_t mined_invariants = 0;
+  // Encode-reuse accounting (cnf/template.h + the monolithic solver).
+  // A "context" is any SAT solver this engine constructed (frame, lift,
+  // F_inf, monolithic, seed checker — including rebuilds); encode_seconds
+  // is the wall-clock spent constructing them (Tseitin or template
+  // replay) plus template builds this engine performed.
+  std::uint64_t solver_contexts_created = 0;
+  std::uint64_t peak_live_solvers = 0;
+  std::uint64_t template_builds = 0;          // encoded from scratch
+  std::uint64_t template_instantiations = 0;  // contexts replayed from one
+  double encode_seconds = 0.0;
   // Cross-engine lemma exchange (mp/exchange): candidates offered via
   // add_lemma_candidates that survived re-validation and were installed
   // at F_inf, candidates that failed it, and candidates that were already
@@ -156,10 +182,58 @@ class Ic3 {
   };
 
   // --- solver contexts ---
-  FrameSolver& ctx(int k);
+  // Level addressing F_inf in the dispatchers below.
+  static constexpr int kLevelInf = MonolithicFrameSolver::kFrameInf;
+
+  // Backend dispatch (per-frame FrameSolver vector vs one monolithic
+  // activation-literal solver). All engine logic goes through these;
+  // only construction/rebuild code touches a backend directly.
+  sat::SolveResult consecution(int k, const ts::Cube& cube,
+                               bool add_negation,
+                               std::vector<std::size_t>* core);
+  sat::SolveResult bad_query(int k);
+  // Model extraction for the last Sat query at frame k. Never triggers a
+  // rebuild (the model must survive the query that produced it).
+  std::vector<bool> model_state(int k) const;
+  std::vector<bool> model_inputs(int k) const;
+  ts::Cube lift_predecessor(const std::vector<bool>& state,
+                            const std::vector<bool>& inputs,
+                            const ts::Cube& target, bool respect_assumed);
+  ts::Cube lift_bad(const std::vector<bool>& state,
+                    const std::vector<bool>& inputs);
+  // Adds ¬cube at delta levels from_level..level (per-frame: one clause
+  // per solver in that range; monolithic: one clause tagged `level`).
+  // level == kLevelInf adds it permanently everywhere.
+  void solver_add_blocking(const ts::Cube& cube, int level, int from_level);
+
+  bool monolithic() const {
+    return opts_.solver_mode == Ic3SolverMode::Monolithic;
+  }
+  FrameSolver& ctx(int k);   // per-frame backend only
+  // Lifting context, used by BOTH backends: lift queries need a context
+  // free of blocking clauses (see the MonolithicFrameSolver header note),
+  // so even the monolithic engine keeps this one companion solver.
   FrameSolver& lift_ctx();
-  FrameSolver& inf_ctx();
-  std::unique_ptr<FrameSolver> make_solver(int k) const;
+  FrameSolver& inf_ctx();    // per-frame backend only
+  MonolithicFrameSolver& mono();  // monolithic backend only
+  // (Re)creates mono_ with `frames` frames and replays the F_inf and
+  // delta-frame clause lists into it.
+  void install_mono(int frames);
+  StepContext::Config base_config(bool init_units);
+  std::unique_ptr<FrameSolver> make_solver(int k);
+  // Throwaway context for seed-clause validation (template-backed when
+  // templates are on, so the fixpoint iterations stay cheap).
+  std::unique_ptr<FrameSolver> make_checker();
+  void rebuild_mono();
+  // The engine's transition-relation template: fetched from the shared
+  // cache (or a private one) on first use; null when templates are off.
+  const cnf::CnfTemplate* acquire_template();
+  // Folds construction cost/counters of a just-created context into
+  // stats_. `extra_live` covers contexts not (yet) stored in a member —
+  // a solver still in the caller's hands or a throwaway seed checker —
+  // so peak_live_solvers counts every simultaneously-live context.
+  void note_context_created(double seconds, bool templated,
+                            std::uint64_t extra_live);
   void ensure_frame(int k);
 
   // --- blocking ---
@@ -181,9 +255,9 @@ class Ic3 {
                             const std::vector<std::size_t>& core) const;
   ts::Cube repair_init_intersection(const ts::Cube& shrunk,
                                     const ts::Cube& original) const;
-  // MIC literal dropping with consecution checked on `checker` (a frame
-  // context or the F_inf context).
-  ts::Cube mic(ts::Cube cube, FrameSolver& checker);
+  // MIC literal dropping with consecution checked at `level` (a frame
+  // index, or kLevelInf for the F_inf context).
+  ts::Cube mic(ts::Cube cube, int level);
   int push_forward(const ts::Cube& cube, int from_level);
 
   // --- counterexamples ---
@@ -220,7 +294,7 @@ class Ic3 {
 
   // --- statistics ---
   // Folds a retiring solver context's SAT/simp counters into stats_.
-  void absorb_stats(const FrameSolver& fs);
+  void absorb_stats(const StepContext& fs);
   // stats_ plus the counters of the still-live solver contexts; pure, so
   // every slice can report cumulative totals.
   Ic3Stats finalize_stats() const;
@@ -237,12 +311,20 @@ class Ic3 {
   Phase phase_ = Phase::SeedValidation;
   CheckStatus final_status_ = CheckStatus::Unknown;
   // One simplification of the transition relation serves every frame
-  // context this run creates (they encode identically).
+  // context this run creates (they encode identically). Direct-encode
+  // (template-off) path only.
   mutable sat::simp::BatchCache simp_cache_;
+  // Encode-once transition relation shared by every context this engine
+  // creates; from opts_.template_cache or the private own_cache_.
+  std::shared_ptr<const cnf::CnfTemplate> tmpl_;
+  std::unique_ptr<cnf::TemplateCache> own_cache_;
 
+  // Per-frame backend state (solver_mode == PerFrame).
   std::vector<std::unique_ptr<FrameSolver>> solvers_;
   std::unique_ptr<FrameSolver> lift_solver_;
   std::unique_ptr<FrameSolver> inf_solver_;
+  // Monolithic backend state (solver_mode == Monolithic).
+  std::unique_ptr<MonolithicFrameSolver> mono_;
   std::vector<std::vector<ts::Cube>> frame_cubes_;  // delta encoding
   std::vector<ts::Cube> inf_cubes_;  // F_inf: seeds + globally inductive
   std::vector<ts::Cube> lemma_queue_;   // candidates pending re-validation

@@ -1,0 +1,27 @@
+// Solver-topology knob for the IC3 engine, shared by Ic3Options and the
+// multi-property EngineOptions (kept in its own tiny header so the
+// scheduler options need not pull in the whole engine).
+#ifndef JAVER_IC3_SOLVER_MODE_H
+#define JAVER_IC3_SOLVER_MODE_H
+
+#include <cstdint>
+
+namespace javer::ic3 {
+
+enum class Ic3SolverMode : std::uint8_t {
+  // One FrameSolver per frame F_k plus dedicated lift and F_inf contexts;
+  // every context encodes the transition relation (the classic topology).
+  PerFrame,
+  // One MonolithicFrameSolver for every frame: frame membership is an
+  // activation-literal assumption, the transition relation is encoded
+  // once, and learned clauses transfer across frames for free.
+  Monolithic,
+};
+
+inline const char* to_string(Ic3SolverMode m) {
+  return m == Ic3SolverMode::PerFrame ? "per-frame" : "monolithic";
+}
+
+}  // namespace javer::ic3
+
+#endif  // JAVER_IC3_SOLVER_MODE_H

@@ -90,6 +90,8 @@ MultiResult ClusteredJointVerifier::run() {
   so.base.num_threads = 1;
   so.base.engine.total_time_limit = opts_.total_time_limit;
   so.base.engine.simplify = opts_.simplify;
+  so.base.engine.ic3_solver = opts_.ic3_solver;
+  so.base.engine.ic3_use_template = opts_.ic3_use_template;
   so.clustering = opts_.clustering;
   so.time_limit_per_shard = opts_.time_limit_per_cluster;
   so.exchange = exchange::ExchangeMode::Off;

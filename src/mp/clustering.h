@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "ic3/solver_mode.h"
 #include "mp/report.h"
 #include "ts/transition_system.h"
 
@@ -32,6 +33,10 @@ struct ClusteredJointOptions {
   double time_limit_per_cluster = 0.0;
   // Preprocess each IC3 context's transition-relation CNF (sat/simp/).
   bool simplify = false;
+  // IC3 solver topology + encode-once template (ic3/solver_mode.h,
+  // cnf/template.h), forwarded to each cluster's aggregate engine.
+  ic3::Ic3SolverMode ic3_solver = ic3::Ic3SolverMode::Monolithic;
+  bool ic3_use_template = true;
 };
 
 // The grouping baseline: joint verification per cluster (each cluster's

@@ -10,11 +10,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "ic3/solver_mode.h"
+
 namespace javer::mp::sched {
 
 struct EngineOptions {
   // Accumulate/seed strengthening clauses through a ClauseDb (§6-B/§7-B).
   bool clause_reuse = true;
+  // IC3 solver topology: one activation-literal solver for every frame
+  // (default) vs the classic one-context-per-frame vector.
+  ic3::Ic3SolverMode ic3_solver = ic3::Ic3SolverMode::Monolithic;
+  // Encode each transition relation once into a cnf::CnfTemplate and
+  // replay it into every SAT context (frames, rebuilds, sibling tasks
+  // with the same assumed set) instead of re-running the Tseitin encoder.
+  bool ic3_use_template = true;
+  // Rebuild a frame context once this many activation literals retired
+  // (garbage accumulates in the solver until then).
+  int ic3_rebuild_threshold = 500;
   // §7-A: lifting respects the assumed-property constraints from the
   // start (no spurious local CEXs) instead of the detect-and-retry loop.
   bool lifting_respects_constraints = false;

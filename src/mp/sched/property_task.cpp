@@ -46,6 +46,10 @@ void PropertyTask::ensure_engine(ClauseDb* db) {
   opts.assumed = assumed_;
   opts.lifting_respects_constraints = strict_lifting_;
   opts.simplify = engine_opts_.simplify;
+  opts.solver_mode = engine_opts_.ic3_solver;
+  opts.use_template = engine_opts_.ic3_use_template;
+  opts.rebuild_threshold = engine_opts_.ic3_rebuild_threshold;
+  opts.template_cache = templates_;
   opts.conflict_budget_per_query = engine_opts_.conflict_budget_per_query;
   // Time budgeting is the task's job: the internal engine deadline would
   // tick in wall-clock while *other* tasks hold the engine pool.
@@ -80,6 +84,10 @@ void PropertyTask::attach_exchange(exchange::LemmaBus* bus,
                                    std::size_t shard) {
   bus_ = bus;
   shard_ = shard;
+}
+
+void PropertyTask::attach_templates(cnf::TemplateCache* templates) {
+  templates_ = templates;
 }
 
 void PropertyTask::resolve_fails(ts::Trace cex, int frames) {

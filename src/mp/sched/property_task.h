@@ -80,6 +80,12 @@ class PropertyTask {
   // engine's fresh F_inf cubes. Call before the first slice.
   void attach_exchange(exchange::LemmaBus* bus, std::size_t shard);
 
+  // Points this task's engine at a shared transition-relation template
+  // memo (cnf/template.h): sibling tasks whose {target} ∪ assumed sets
+  // coincide then encode the one-step cone once per run instead of once
+  // each. The cache must outlive the task. Call before the first slice.
+  void attach_templates(cnf::TemplateCache* templates);
+
   // Runs one engine slice (respecting the per-property time budget). When
   // `db` is non-null and clause re-use is on, the engine is seeded from it
   // and completed proofs publish their strengthenings back.
@@ -116,6 +122,8 @@ class PropertyTask {
   // Adaptive slice sizing: multiplier applied to budgeted slices, driven
   // by per-slice progress (see EngineOptions::adaptive_slicing).
   double slice_scale_ = 1.0;
+  // Shared template memo (null = the engine keeps a private one).
+  cnf::TemplateCache* templates_ = nullptr;
   // Lemma exchange plumbing (null = not attached).
   exchange::LemmaBus* bus_ = nullptr;
   std::size_t shard_ = 0;

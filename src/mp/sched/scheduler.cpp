@@ -46,10 +46,16 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   result.per_property.resize(ts_.num_properties());
 
   const bool local = opts_.proof_mode == ProofMode::Local;
+  // One template memo for the whole run: in local mode every non-ETF
+  // target's {target} ∪ assumed set is the same property set, so all those
+  // tasks replay a single transition-relation encoding (thread-safe, so
+  // the worker pool shares it freely).
+  cnf::TemplateCache templates(ts_);
   std::vector<std::unique_ptr<PropertyTask>> tasks;
   for (std::size_t p : resolve_order()) {
     tasks.push_back(std::make_unique<PropertyTask>(
         ts_, p, assumptions_for(p), opts_.engine, local));
+    tasks.back()->attach_templates(&templates);
   }
 
   ClauseDb* db_ptr = &db;  // tasks gate on clause_reuse themselves
@@ -130,6 +136,11 @@ MultiResult Scheduler::run_joint() {
     engine_opts.lifting_respects_constraints =
         opts_.engine.lifting_respects_constraints;
     engine_opts.simplify = opts_.engine.simplify;
+    engine_opts.solver_mode = opts_.engine.ic3_solver;
+    engine_opts.use_template = opts_.engine.ic3_use_template;
+    engine_opts.rebuild_threshold = opts_.engine.ic3_rebuild_threshold;
+    // No shared cache: each iteration checks a fresh aggregate TS, but the
+    // engine's private template still collapses its per-frame encodings.
 
     Timer iteration;
     ic3::Ic3 engine(agg_ts, agg_index, engine_opts);

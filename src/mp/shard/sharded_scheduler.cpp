@@ -73,6 +73,13 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   if (external != nullptr && opts_.base.engine.clause_reuse) {
     dbs.seed_all(external->snapshot());
   }
+  // One template memo for the whole run, shared by every shard's tasks:
+  // templates are keyed by {target} ∪ assumed (which in local mode is the
+  // same property set for every non-ETF target design-wide, regardless of
+  // cluster), so sibling tasks — within a shard and across shards — stop
+  // re-encoding the transition relation. Thread-safe; the work-stealing
+  // pool hits it concurrently.
+  cnf::TemplateCache templates(ts_);
 
   // One shard per cluster: its own task pool, ClauseDb shard, and (for
   // the hybrid policy) its own shared-unrolling BMC sweep.
@@ -95,6 +102,7 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
                 : std::vector<std::size_t>{},
           opts_.base.engine, local);
       if (bus.enabled()) task->attach_exchange(&bus, i);
+      task->attach_templates(&templates);
       s.tasks.push_back(std::move(task));
     }
     if (hybrid) {

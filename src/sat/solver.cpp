@@ -40,6 +40,27 @@ double luby(double y, int x) {
 
 Solver::Solver() = default;
 
+void Solver::reserve(int vars, std::size_t clauses, std::size_t literals) {
+  if (vars <= 0) return;
+  std::size_t n = assign_.size() + static_cast<std::size_t>(vars);
+  assign_.reserve(n);
+  level_.reserve(n);
+  reason_.reserve(n);
+  activity_.reserve(n);
+  heap_pos_.reserve(n);
+  polarity_.reserve(n);
+  decision_.reserve(n);
+  seen_.reserve(n);
+  model_.reserve(n);
+  watches_.reserve(2 * n);
+  heap_.reserve(n);
+  trail_.reserve(n);
+  // Arena layout: 3 header words per clause plus one word per literal
+  // (clause_arena.h); units and binaries never reach the arena, so this
+  // bounds the bulk load from above.
+  ca_.reserve(ca_.size() + 3 * clauses + literals);
+}
+
 Var Solver::new_var() {
   Var v = static_cast<Var>(assign_.size());
   assign_.push_back(kUndef);

@@ -42,6 +42,13 @@ class Solver : public ClauseSink {
   Var new_var() override;
   int num_vars() const { return static_cast<int>(assign_.size()); }
 
+  // Bulk-load fast path: pre-reserves every per-variable array, the watch
+  // lists, and the clause arena for `vars` additional variables and
+  // `clauses` clauses totalling `literals` literals, eliminating the
+  // incremental realloc churn when a cnf::CnfTemplate (which knows its
+  // counts up front) is replayed into a fresh solver.
+  void reserve(int vars, std::size_t clauses, std::size_t literals);
+
   // Adds a clause over existing variables. Returns false if the formula
   // became trivially unsatisfiable (empty clause at level 0).
   bool add_clause(std::span<const Lit> lits) override;
