@@ -1,0 +1,253 @@
+// Warm-start ablation (this repo's extension; ROADMAP "template-aware
+// clause-DB persistence" + "persist per-shard ClauseDbs"): the sharded
+// scheduler on the Table II/XII many-properties family, four ways —
+//   baseline    no cache directory (the historical cold-process cost),
+//   first       cache directory attached (populates or reuses it),
+//   warm        same directory again: the encode+simplify pass must not
+//               run at all (template_builds == 0) and every shard seeds
+//               from the previous run's proven invariants,
+//   corrupted   every cache file bit-flipped: entries are rejected
+//               (logged + counted), the run degrades to a cold one, and
+//               verdicts still match the baseline with certified proofs.
+//
+// Usage: table13_warm_start [--cache-dir DIR]   (default: table13_cache)
+// Exit code 1 on any hard failure — warm run built a template, a verdict
+// diverged, or a proof failed certification — so the CI smoke run doubles
+// as the warm-start regression gate.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/synthetic.h"
+#include "ic3/certify.h"
+#include "mp/shard/sharded_scheduler.h"
+
+using namespace javer;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+mp::MultiResult run_once(const ts::TransitionSystem& ts,
+                         const std::string& cache_dir) {
+  mp::shard::ShardedOptions opts;
+  opts.base.proof_mode = mp::sched::ProofMode::Local;
+  opts.base.dispatch = mp::sched::DispatchPolicy::RunToCompletion;
+  opts.base.num_threads = 2;
+  opts.base.engine.time_limit_per_property = bench::budget(5.0);
+  opts.base.engine.cache_dir = cache_dir;
+  // Isolate persistence: no lemma traffic, so every cross-run effect in
+  // the table is the cache's.
+  opts.exchange = mp::exchange::ExchangeMode::Off;
+  mp::shard::ShardedScheduler sched(ts, opts);
+  return sched.run();
+}
+
+// Sum of the per-engine template builds (zero on a fully warm run).
+unsigned long long template_builds(const mp::MultiResult& r) {
+  unsigned long long builds = 0;
+  for (const mp::PropertyResult& pr : r.per_property) {
+    builds += pr.engine_stats.template_builds;
+  }
+  return builds;
+}
+
+// Seed candidates the run's engines looked at / kept (clause re-use).
+unsigned long long seeds_seen(const mp::MultiResult& r) {
+  unsigned long long seen = 0;
+  for (const mp::PropertyResult& pr : r.per_property) {
+    seen += pr.engine_stats.seed_clauses_kept +
+            pr.engine_stats.seed_clauses_dropped;
+  }
+  return seen;
+}
+
+bool same_verdicts(const ts::TransitionSystem& ts, const mp::MultiResult& a,
+                   const mp::MultiResult& b, const char* what) {
+  bool equal = true;
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    if (a.per_property[p].verdict != b.per_property[p].verdict) {
+      equal = false;
+      std::printf("  verdict mismatch on P%zu (%s): %s vs %s\n", p, what,
+                  mp::to_string(a.per_property[p].verdict),
+                  mp::to_string(b.per_property[p].verdict));
+    }
+  }
+  return equal;
+}
+
+bool certify_all(const ts::TransitionSystem& ts, const mp::MultiResult& r,
+                 const char* what) {
+  bool ok = true;
+  cnf::TemplateCache certifier_templates(ts);
+  for (std::size_t p = 0; p < ts.num_properties(); ++p) {
+    const mp::PropertyResult& pr = r.per_property[p];
+    if (pr.verdict != mp::PropertyVerdict::HoldsLocally &&
+        pr.verdict != mp::PropertyVerdict::HoldsGlobally) {
+      continue;
+    }
+    std::vector<std::size_t> assumed;
+    if (pr.verdict == mp::PropertyVerdict::HoldsLocally) {
+      for (std::size_t j = 0; j < ts.num_properties(); ++j) {
+        if (j != p && !ts.expected_to_fail(j)) assumed.push_back(j);
+      }
+    }
+    ic3::CertificateCheck check = ic3::certify_strengthening(
+        ts, p, assumed, pr.invariant, &certifier_templates);
+    if (!check.ok()) {
+      ok = false;
+      std::printf("  certification FAILED (%s, P%zu): %s\n", what, p,
+                  check.failure.c_str());
+    }
+  }
+  return ok;
+}
+
+// Flips one payload byte in every cache entry (and truncation-proofs
+// nothing: the checksum/size checks must reject each file wholesale).
+std::size_t corrupt_cache(const std::string& dir) {
+  std::size_t corrupted = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".jvpc") continue;
+    std::string bytes;
+    {
+      std::ifstream in(entry.path(), std::ios::binary);
+      bytes.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+    }
+    if (bytes.size() < 2) continue;
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xff);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    corrupted++;
+  }
+  return corrupted;
+}
+
+void record_run(const char* name, const mp::MultiResult& r) {
+  const persist::PersistStats& cs = r.cache_stats;
+  bench::record_metric(std::string(name) + "_template_builds",
+                       static_cast<double>(template_builds(r)));
+  bench::record_metric(std::string(name) + "_templates_loaded",
+                       static_cast<double>(cs.templates_loaded));
+  bench::record_metric(std::string(name) + "_dbs_loaded",
+                       static_cast<double>(cs.dbs_loaded));
+  bench::record_metric(std::string(name) + "_cubes_loaded",
+                       static_cast<double>(cs.cubes_loaded));
+  bench::record_metric(std::string(name) + "_load_errors",
+                       static_cast<double>(cs.load_errors));
+  bench::record_metric(std::string(name) + "_seeds_seen",
+                       static_cast<double>(seeds_seen(r)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cache_dir = "table13_cache";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: table13_warm_start [--cache-dir DIR]\n");
+      return 3;
+    }
+  }
+
+  bench::BenchJson json("table13");
+  bench::print_title(
+      "Table XIII",
+      "Warm-start ablation on the many-properties family: cold process vs "
+      "warm process (templates + shard ClauseDbs from " + cache_dir +
+      ") vs corrupted cache. Warm runs must skip the encode+simplify pass "
+      "and seed shards from prior invariants; corruption must only cost "
+      "warmth.");
+
+  gen::SyntheticSpec spec;  // Table II "6s400-like", sized for 4 runs
+  spec.seed = 400;
+  spec.wrap_counter_bits = 11;
+  spec.sat_counter_bits = 7;
+  spec.rings = 4;
+  spec.ring_size = 7;
+  spec.ring_props = 28;
+  spec.pair_props = 16;
+  spec.unreachable_props = 16;
+  spec.unreachable_stride = 2;
+  spec.det_fail_props = 1;
+  spec.input_fail_props = 2;
+  spec.masked_fail_props = 2;
+  const std::size_t k = static_cast<std::size_t>(18 * bench::scale());
+  aig::Aig design = bench::truncate_properties(gen::make_synthetic(spec), k);
+  ts::TransitionSystem ts(design);
+
+  mp::MultiResult baseline = run_once(ts, "");
+  mp::MultiResult first = run_once(ts, cache_dir);
+  mp::MultiResult warm = run_once(ts, cache_dir);
+  const std::size_t corrupted_files = corrupt_cache(cache_dir);
+  mp::MultiResult corrupted = run_once(ts, cache_dir);
+
+  struct Row {
+    const char* name;
+    const mp::MultiResult* r;
+  };
+  const std::vector<Row> rows{{"baseline-nocache", &baseline},
+                              {"cache-first", &first},
+                              {"cache-warm", &warm},
+                              {"cache-corrupted", &corrupted}};
+  std::printf("%18s %8s %7s %10s %8s %8s %7s %9s\n", "config", "#unsolved",
+              "builds", "tmpl-load", "db-load", "cubes", "ignored", "time");
+  for (const Row& row : rows) {
+    bench::Summary s = bench::summarize(*row.r);
+    bench::record_row("syn-w400", row.name, s);
+    record_run(row.name, *row.r);
+    const persist::PersistStats& cs = row.r->cache_stats;
+    std::printf("%18s %8zu %7llu %10llu %8llu %8llu %7llu %9s\n", row.name,
+                s.num_unsolved, template_builds(*row.r),
+                static_cast<unsigned long long>(cs.templates_loaded),
+                static_cast<unsigned long long>(cs.dbs_loaded),
+                static_cast<unsigned long long>(cs.cubes_loaded),
+                static_cast<unsigned long long>(cs.load_errors),
+                bench::fmt_time(s.seconds).c_str());
+  }
+  bench::record_metric("corrupted_files",
+                       static_cast<double>(corrupted_files));
+  bench::record_metric("warm_template_builds",
+                       static_cast<double>(template_builds(warm)));
+
+  const bool warm_skips_encode = template_builds(warm) == 0 &&
+                                 warm.cache_stats.templates_loaded > 0;
+  bench::print_shape(
+      "warm re-run skips the encode+simplify pass entirely "
+      "(template_builds == 0, template served from disk)",
+      warm_skips_encode);
+  bench::print_shape(
+      "warm re-run seeds every shard from the previous run's invariants",
+      warm.cache_stats.dbs_loaded > 0 && warm.cache_stats.cubes_loaded > 0);
+  // Compare against the no-cache baseline, not the "first" cached run:
+  // under a shared CI cache directory the first run may itself already be
+  // warm.
+  bench::print_shape(
+      "warm run sees strictly more seed candidates than a cacheless run",
+      seeds_seen(warm) > seeds_seen(baseline));
+  const bool verdicts_ok =
+      same_verdicts(ts, baseline, first, "baseline vs first") &&
+      same_verdicts(ts, baseline, warm, "baseline vs warm") &&
+      same_verdicts(ts, baseline, corrupted, "baseline vs corrupted");
+  bench::print_shape("verdicts identical across baseline/first/warm/corrupted",
+                     verdicts_ok);
+  const bool corrupt_ok = corrupted.cache_stats.load_errors > 0 &&
+                          template_builds(corrupted) > 0;
+  bench::print_shape(
+      "corrupted cache entries are rejected and the run degrades to cold",
+      corrupt_ok);
+  const bool certified = certify_all(ts, warm, "warm") &&
+                         certify_all(ts, corrupted, "corrupted");
+  bench::print_shape("every warm/corrupted proof certifies", certified);
+
+  if (!warm_skips_encode || !verdicts_ok || !certified) return 1;
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "aig/aiger_io.h"
 #include "base/timer.h"
 #include "ic3/certify.h"
+#include "persist/persist.h"
 #include "mp/clustering.h"
 #include "mp/ja_verifier.h"
 #include "mp/joint_verifier.h"
@@ -36,6 +37,7 @@ struct CliOptions {
   std::string path;
   std::string order = "design";
   std::string clause_db_path;
+  std::string cache_dir;
   double time_limit = 60.0;
   unsigned threads = 0;  // 0 = hardware concurrency (parallel/hybrid)
   int bmc_depth = 64;    // hybrid/sharded: cap on the shared BMC unrolling
@@ -126,6 +128,14 @@ void usage(std::FILE* out) {
 "input/output:\n"
 "  --clause-db FILE     load/save the clause database (the paper's\n"
 "                       external clauseDB)\n"
+"  --cache-dir DIR      warm-start cache (src/persist): persist the\n"
+"                       design's CNF templates and per-shard clause-db\n"
+"                       snapshots, keyed by design fingerprint, so a\n"
+"                       re-run of an unchanged design skips the\n"
+"                       encode+simplify pass and seeds shards from the\n"
+"                       previous run's invariants (everything loaded is\n"
+"                       re-validated; corrupt caches degrade to a cold\n"
+"                       run). Not supported for joint/clustered engines.\n"
 "  --witness            print AIGER witnesses for failed properties on\n"
 "                       stdout (report moves to stderr)\n"
 "  --certify            re-check every proof with independent SAT queries\n"
@@ -250,6 +260,14 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = next("--clause-db");
       if (v == nullptr) return false;
       opts.clause_db_path = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next("--cache-dir");
+      if (v == nullptr) return false;
+      if (*v == '\0') {
+        std::fprintf(stderr, "javer_cli: --cache-dir wants a directory\n");
+        return false;
+      }
+      opts.cache_dir = v;
     } else if (arg == "--no-reuse") {
       opts.reuse = false;
     } else if (arg == "--strict-lifting") {
@@ -316,6 +334,25 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  if (!cli.cache_dir.empty()) {
+    if (cli.engine == "joint" || cli.engine == "clustered") {
+      // The aggregate policies build a fresh per-iteration TS and export
+      // no per-property invariants, so there is nothing to persist.
+      std::fprintf(stderr,
+                   "javer_cli: --cache-dir is not supported with --engine "
+                   "%s\n", cli.engine.c_str());
+      return 3;
+    }
+    try {
+      // Probe now (creates the directory) so an unusable cache is a loud
+      // usage error instead of a silently cold run.
+      persist::PersistCache probe(cli.cache_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "javer_cli: %s\n", e.what());
+      return 3;
+    }
+  }
+
   ts::TransitionSystem ts(design);
   if (!cli.quiet) {
     std::printf("%s: %zu inputs, %zu latches, %zu ands, %zu properties\n",
@@ -357,6 +394,7 @@ int main(int argc, char** argv) {
     opts.simplify = cli.simplify;
     opts.ic3_solver = cli.ic3_solver;
     opts.ic3_use_template = cli.ic3_template;
+    opts.cache_dir = cli.cache_dir;
     opts.order = order;
     result = mp::JaVerifier(ts, opts).run(db);
   } else if (cli.engine == "separate" || cli.engine == "separate-global") {
@@ -366,6 +404,7 @@ int main(int argc, char** argv) {
     opts.simplify = cli.simplify;
     opts.ic3_solver = cli.ic3_solver;
     opts.ic3_use_template = cli.ic3_template;
+    opts.cache_dir = cli.cache_dir;
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
     result = mp::SeparateVerifier(ts, opts).run(db);
@@ -385,6 +424,7 @@ int main(int argc, char** argv) {
     opts.simplify = cli.simplify;
     opts.ic3_solver = cli.ic3_solver;
     opts.ic3_use_template = cli.ic3_template;
+    opts.cache_dir = cli.cache_dir;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
   } else if (cli.engine == "hybrid") {
     mp::sched::SchedulerOptions opts;
@@ -398,6 +438,7 @@ int main(int argc, char** argv) {
     opts.engine.simplify = cli.simplify;
     opts.engine.ic3_solver = cli.ic3_solver;
     opts.engine.ic3_use_template = cli.ic3_template;
+    opts.engine.cache_dir = cli.cache_dir;
     opts.engine.order = order;
     result = mp::sched::Scheduler(ts, opts).run(db);
   } else if (cli.engine == "sharded") {
@@ -412,6 +453,7 @@ int main(int argc, char** argv) {
     opts.base.engine.simplify = cli.simplify;
     opts.base.engine.ic3_solver = cli.ic3_solver;
     opts.base.engine.ic3_use_template = cli.ic3_template;
+    opts.base.engine.cache_dir = cli.cache_dir;
     opts.base.engine.order = order;
     opts.clustering.min_similarity = cli.cluster_threshold;
     opts.clustering.max_cluster_size = cli.max_cluster_size;
@@ -483,6 +525,22 @@ int main(int argc, char** argv) {
                  mp::format_duration(encode_seconds).c_str(),
                  ic3::to_string(cli.ic3_solver), contexts, builds, replays,
                  rebuilds, peak);
+  }
+  if (!cli.cache_dir.empty()) {
+    const persist::PersistStats& cs = result.cache_stats;
+    std::fprintf(info,
+                 "cache: %s: %llu template(s) loaded, %llu stored, %llu "
+                 "clause-db(s) loaded (%llu cube(s)), %llu stored, %llu "
+                 "ignored entr%s, %llu store error(s)\n",
+                 cli.cache_dir.c_str(),
+                 static_cast<unsigned long long>(cs.templates_loaded),
+                 static_cast<unsigned long long>(cs.templates_stored),
+                 static_cast<unsigned long long>(cs.dbs_loaded),
+                 static_cast<unsigned long long>(cs.cubes_loaded),
+                 static_cast<unsigned long long>(cs.dbs_stored),
+                 static_cast<unsigned long long>(cs.load_errors),
+                 cs.load_errors == 1 ? "y" : "ies",
+                 static_cast<unsigned long long>(cs.store_errors));
   }
 
   if (cli.witness) {

@@ -140,4 +140,43 @@ void Aig::check_well_formed() const {
   for (Lit o : outputs_) check_lit(o, "output");
 }
 
+std::uint64_t fingerprint(const Aig& aig) {
+  // FNV-1a over a canonical serialization of the verification-relevant
+  // structure. Mixing a tag byte before each section keeps e.g. "one more
+  // latch" and "one more input" from colliding.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(0xA16'0001);
+  mix(aig.num_nodes());
+  for (Var v = 0; v < aig.num_nodes(); ++v) {
+    const Node& n = aig.node(v);
+    mix(static_cast<std::uint64_t>(n.type));
+    if (n.type == NodeType::And) {
+      mix(n.fanin0.code());
+      mix(n.fanin1.code());
+    }
+  }
+  mix(0xA16'0002);
+  for (Var v : aig.inputs()) mix(v);
+  mix(0xA16'0003);
+  for (const Latch& l : aig.latches()) {
+    mix(l.var);
+    mix(l.next.code());
+    mix(static_cast<std::uint64_t>(l.reset));
+  }
+  mix(0xA16'0004);
+  for (const Property& p : aig.properties()) {
+    mix(p.lit.code());
+    mix(p.expected_to_fail ? 1 : 0);
+  }
+  mix(0xA16'0005);
+  for (Lit c : aig.constraints()) mix(c.code());
+  return h;
+}
+
 }  // namespace javer::aig

@@ -145,6 +145,18 @@ class Aig {
   std::size_t num_ands_ = 0;
 };
 
+// 64-bit structural fingerprint (FNV-1a) of everything that affects
+// verification: node structure, latches (next + reset), inputs,
+// properties (literal and the ETF flag, which changes assumption sets)
+// and invariant constraints. Names and outputs are excluded. Any change
+// to the verification semantics changes the fingerprint, which is what
+// the warm-start persistence layer (src/persist) and the
+// cnf::TemplateCache key on. Note the usual hash caveat: FNV-1a is not
+// collision-resistant, so equal fingerprints make identity overwhelmingly
+// likely for accidental reuse but do not prove it — see the soundness
+// discussion in persist/persist.h.
+std::uint64_t fingerprint(const Aig& aig);
+
 }  // namespace javer::aig
 
 #endif  // JAVER_AIG_AIG_H

@@ -4,6 +4,7 @@
 #include <future>
 #include <stdexcept>
 
+#include "aig/aig.h"
 #include "base/timer.h"
 #include "cnf/tseitin.h"
 #include "sat/clause_sink.h"
@@ -94,6 +95,28 @@ CnfTemplate::CnfTemplate(const ts::TransitionSystem& ts, Spec spec)
   encode_seconds_ = timer.seconds();
 }
 
+CnfTemplate::CnfTemplate(Spec spec, Restored parts)
+    : spec_(std::move(spec)),
+      true_lit_(parts.true_lit),
+      latch_lits_(std::move(parts.latch_lits)),
+      input_lits_(std::move(parts.input_lits)),
+      next_lits_(std::move(parts.next_lits)),
+      prop_lits_(std::move(parts.prop_lits)),
+      constraint_lits_(std::move(parts.constraint_lits)),
+      num_vars_(parts.num_vars),
+      clauses_(std::move(parts.clauses)),
+      eliminated_(std::move(parts.eliminated)) {
+  std::sort(spec_.props.begin(), spec_.props.end());
+  spec_.props.erase(std::unique(spec_.props.begin(), spec_.props.end()),
+                    spec_.props.end());
+  if (prop_lits_.size() != spec_.props.size()) {
+    throw std::invalid_argument(
+        "cnf template: restored pivot table does not match the spec");
+  }
+  num_literals_ = 0;
+  for (const auto& c : clauses_) num_literals_ += c.size();
+}
+
 sat::Lit CnfTemplate::property_lit(std::size_t prop) const {
   auto it = std::lower_bound(spec_.props.begin(), spec_.props.end(), prop);
   if (it == spec_.props.end() || *it != prop) {
@@ -118,12 +141,25 @@ bool CnfTemplate::instantiate(sat::Solver& solver) const {
   return solver.ok();
 }
 
+TemplateCache::TemplateCache(const ts::TransitionSystem& ts)
+    : ts_(ts), fingerprint_(aig::fingerprint(ts.aig())) {}
+
 std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
     CnfTemplate::Spec spec, bool* built) {
+  return get_or_build(ts_, std::move(spec), built);
+}
+
+std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
+    const ts::TransitionSystem& ts, CnfTemplate::Spec spec, bool* built) {
   std::sort(spec.props.begin(), spec.props.end());
   spec.props.erase(std::unique(spec.props.begin(), spec.props.end()),
                    spec.props.end());
-  auto key = std::make_pair(spec.props, spec.simplify);
+  // The cache's own design gets the precomputed fingerprint; a foreign TS
+  // (JointAggregate's per-iteration aggregate, a caller sharing one cache
+  // across designs) is hashed per call — trivial next to an encode.
+  const std::uint64_t fp =
+      (&ts == &ts_) ? fingerprint_ : aig::fingerprint(ts.aig());
+  auto key = std::make_tuple(fp, spec.props, spec.simplify);
 
   // Per-entry future so that (a) concurrent first requests for the same
   // spec build it exactly once (waiters block on the entry, not on the
@@ -146,18 +182,29 @@ std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
       builder = true;
     }
   }
-  if (built != nullptr) *built = builder;
+  if (built != nullptr) *built = false;
   if (!builder) return future.get();
 
+  std::shared_ptr<const CnfTemplate> tmpl;
+  bool loaded = false;
   try {
-    auto tmpl = std::make_shared<const CnfTemplate>(ts_, std::move(spec));
+    // A store hit is as good as a memo hit: the caller is not charged a
+    // build (built stays false) and encode_seconds stays untouched.
+    if (store_ != nullptr) tmpl = store_->load_template(ts, fp, spec);
+    loaded = tmpl != nullptr;
+    if (!loaded) {
+      tmpl = std::make_shared<const CnfTemplate>(ts, std::move(spec));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stats_.builds++;
-      stats_.encode_seconds += tmpl->encode_seconds();
+      if (loaded) {
+        stats_.store_loads++;
+      } else {
+        stats_.builds++;
+        stats_.encode_seconds += tmpl->encode_seconds();
+      }
     }
     promise.set_value(tmpl);
-    return tmpl;
   } catch (...) {
     // Drop the poisoned entry so a later request retries the build;
     // current waiters observe the exception through the future.
@@ -168,6 +215,18 @@ std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
     promise.set_exception(std::current_exception());
     throw;
   }
+  // Past this point the promise is satisfied, so nothing may re-enter the
+  // catch above. The store offer is best-effort by contract: a failure to
+  // persist must not disturb the successfully built (and already
+  // published) template.
+  if (!loaded && store_ != nullptr) {
+    try {
+      store_->store_template(fp, *tmpl);
+    } catch (...) {
+    }
+  }
+  if (built != nullptr) *built = !loaded;
+  return tmpl;
 }
 
 TemplateCacheStats TemplateCache::stats() const {

@@ -49,7 +49,10 @@ const cnf::CnfTemplate* Ic3::acquire_template() {
     cache = own_cache_.get();
   }
   bool built = false;
-  tmpl_ = cache->get_or_build(std::move(spec), &built);
+  // Design-aware lookup: a shared cache may serve engines over different
+  // transition systems (the cache keys by design fingerprint), so this
+  // engine must ask for *its* design, not the cache's default.
+  tmpl_ = cache->get_or_build(ts_, std::move(spec), &built);
   if (built) {
     stats_.template_builds++;
     stats_.encode_seconds += tmpl_->encode_seconds();

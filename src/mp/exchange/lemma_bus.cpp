@@ -72,9 +72,17 @@ std::vector<Lemma> LemmaBus::poll(std::size_t shard, Cursor& cursor,
 
 void LemmaBus::record_import(std::uint64_t imported, std::uint64_t rejected,
                              std::uint64_t redundant) {
+  if (mode_ == ExchangeMode::Off) return;
   imported_ += imported;
   rejected_ += rejected;
   redundant_ += redundant;
+}
+
+std::size_t LemmaBus::log_size(std::size_t shard) const {
+  if (shard >= channels_.size()) return 0;
+  Channel& ch = *channels_[shard];
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  return ch.log.size();
 }
 
 ExchangeStats LemmaBus::stats() const {

@@ -103,9 +103,16 @@ class LemmaBus {
                               std::nullopt);
 
   // Consumers report their re-validation outcome here so stats() can
-  // expose the hit rate.
+  // expose the hit rate. Ignored in Off mode: a disabled bus delivers
+  // nothing, so no report can be about bus traffic — letting one through
+  // would make the bench hit-rate metrics claim imports for a bus that
+  // was off.
   void record_import(std::uint64_t imported, std::uint64_t rejected,
                      std::uint64_t redundant = 0);
+
+  // Entries in `shard`'s append-only log (diagnostics/tests; delivered or
+  // not — the log never shrinks).
+  std::size_t log_size(std::size_t shard) const;
 
   ExchangeStats stats() const;
 

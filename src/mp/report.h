@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ic3/ic3.h"
+#include "persist/persist.h"
 #include "ts/trace.h"
 
 namespace javer::mp {
@@ -45,6 +46,9 @@ struct PropertyResult {
 struct MultiResult {
   std::vector<PropertyResult> per_property;
   double total_seconds = 0.0;
+  // Warm-start cache traffic (src/persist): all-zero unless the run had
+  // EngineOptions::cache_dir set and used a task-based dispatch.
+  persist::PersistStats cache_stats;
 
   std::size_t count(PropertyVerdict v) const;
   std::size_t num_unsolved() const { return count(PropertyVerdict::Unknown); }

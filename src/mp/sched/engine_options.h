@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ic3/solver_mode.h"
@@ -27,6 +28,14 @@ struct EngineOptions {
   // Rebuild a frame context once this many activation literals retired
   // (garbage accumulates in the solver until then).
   int ic3_rebuild_threshold = 500;
+  // Warm-start persistence (src/persist): directory for the on-disk cache
+  // of CNF templates and shard ClauseDb snapshots, keyed by design
+  // fingerprint. Empty = no persistence. A re-run of an unchanged design
+  // skips the encode+simplify pass and seeds shards from the previous
+  // run's proven invariants; everything loaded is re-validated, so a
+  // stale or corrupted cache degrades to a cold run, never a wrong
+  // verdict.
+  std::string cache_dir;
   // §7-A: lifting respects the assumed-property constraints from the
   // start (no spurious local CEXs) instead of the detect-and-retry loop.
   bool lifting_respects_constraints = false;

@@ -28,6 +28,28 @@ std::vector<std::size_t> local_assumptions(const ts::TransitionSystem& ts,
   return assumed;
 }
 
+double next_slice_scale(const EngineOptions& opts, double scale, bool budgeted,
+                        const ic3::Ic3Result& er, int frames_before,
+                        std::uint64_t clauses_before,
+                        std::uint64_t obligations_before) {
+  if (!budgeted || !opts.adaptive_slicing) return scale;
+  // Only a suspended slice sizes the next one: terminal verdicts have no
+  // next slice, and a non-resumable slice's counters reflect a hard stop,
+  // not slice-shaped progress.
+  if (er.status != CheckStatus::Unknown || !er.resumable) return scale;
+  if (er.frames > frames_before) {
+    return std::min(scale * 2.0, opts.slice_scale_max);
+  }
+  // Stalled = no clause landed AND no obligation was processed. A slice
+  // that popped obligations but suspended mid-generalization is making
+  // progress the clause counter has not seen yet.
+  if (er.stats.clauses_added == clauses_before &&
+      er.stats.obligations == obligations_before) {
+    return std::max(scale / 2.0, opts.slice_scale_min);
+  }
+  return scale;
+}
+
 PropertyTask::PropertyTask(const ts::TransitionSystem& ts, std::size_t prop,
                            std::vector<std::size_t> assumed,
                            const EngineOptions& engine, bool local_mode)
@@ -64,6 +86,7 @@ void PropertyTask::ensure_engine(ClauseDb* db) {
 void PropertyTask::close_holds(std::vector<ts::Cube> invariant,
                                ClauseDb* db) {
   state_ = TaskState::Holds;
+  slice_scale_ = 1.0;
   result_.verdict = local_mode_ ? PropertyVerdict::HoldsLocally
                                 : PropertyVerdict::HoldsGlobally;
   result_.invariant = std::move(invariant);
@@ -75,6 +98,7 @@ void PropertyTask::close_holds(std::vector<ts::Cube> invariant,
 
 void PropertyTask::finish_fails(ts::Trace cex) {
   state_ = TaskState::Fails;
+  slice_scale_ = 1.0;
   result_.verdict = local_mode_ ? PropertyVerdict::FailsLocally
                                 : PropertyVerdict::FailsGlobally;
   result_.cex = std::move(cex);
@@ -99,6 +123,7 @@ void PropertyTask::resolve_fails(ts::Trace cex, int frames) {
 void PropertyTask::close_unknown() {
   if (!open()) return;
   state_ = TaskState::Unknown;
+  slice_scale_ = 1.0;
   result_.verdict = PropertyVerdict::Unknown;
 }
 
@@ -144,8 +169,13 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
     slice.time_slice_seconds = remaining;
   }
 
-  const int frames_before = result_.frames;
-  const std::uint64_t clauses_before = result_.engine_stats.clauses_added;
+  // Baselines from the *current* engine's previous slice (zero for a
+  // fresh engine); result_.engine_stats would be wrong here right after a
+  // strict-lifting retry, when it still holds the discarded engine's
+  // cumulative counters.
+  const int frames_before = last_frames_;
+  const std::uint64_t clauses_before = last_clauses_;
+  const std::uint64_t obligations_before = last_obligations_;
 
   Timer timer;
   ic3::Ic3Result er = engine_->run(slice);
@@ -158,6 +188,9 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   // which report the final engine's stats).
   result_.engine_stats = er.stats;
   result_.slices++;
+  last_frames_ = er.frames;
+  last_clauses_ = er.stats.clauses_added;
+  last_obligations_ = er.stats.obligations;
   state_ = TaskState::Running;
 
   // Outgoing lemma traffic + import accounting for the bus hit rate.
@@ -180,17 +213,10 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   }
 
   // Adaptive slice sizing: frames advanced => the slice is paying off,
-  // grow it; a slice that could not even add a clause is stalled, shrink.
-  if (budgeted && engine_opts_.adaptive_slicing &&
-      er.status == CheckStatus::Unknown && er.resumable) {
-    if (er.frames > frames_before) {
-      slice_scale_ =
-          std::min(slice_scale_ * 2.0, engine_opts_.slice_scale_max);
-    } else if (er.stats.clauses_added == clauses_before) {
-      slice_scale_ =
-          std::max(slice_scale_ / 2.0, engine_opts_.slice_scale_min);
-    }
-  }
+  // grow it; a slice that did nothing measurable is stalled, shrink.
+  slice_scale_ =
+      next_slice_scale(engine_opts_, slice_scale_, budgeted, er,
+                       frames_before, clauses_before, obligations_before);
   result_.slice_scale = slice_scale_;
 
   switch (er.status) {
@@ -209,6 +235,13 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
         engine_.reset();
         engine_seconds_ = 0.0;
         reported_imported_ = reported_rejected_ = reported_known_ = 0;
+        // The fresh engine starts from scratch: its counters restart at
+        // zero (so do the slice baselines) and it earns its own slice
+        // scale rather than inheriting one sized for the old engine.
+        last_frames_ = 0;
+        last_clauses_ = last_obligations_ = 0;
+        slice_scale_ = 1.0;
+        result_.slice_scale = slice_scale_;
         // Rewind the channel too: lemmas the discarded engine consumed
         // (or still had queued) must reach the fresh strict engine.
         bus_cursor_ = {};

@@ -57,6 +57,25 @@ struct TaskBudget {
   std::uint64_t conflicts = 0;
 };
 
+// The adaptive slice-sizing decision (EngineOptions::adaptive_slicing),
+// pure so tests can pin its transitions. Returns the multiplier for the
+// *next* budgeted slice given what this slice achieved:
+//  * only budgeted slices that suspended (Unknown + resumable) adjust the
+//    scale — terminal and non-resumable slices have no next slice to
+//    size, so their (often partial) counters must not be classified;
+//  * frame progress doubles the scale (up to slice_scale_max);
+//  * a slice that neither added a clause nor processed an obligation is
+//    genuinely stalled and halves it (down to slice_scale_min). A slice
+//    that popped obligations but suspended mid-generalization is slow
+//    progress, not a stall: shrinking it would only make the next slice
+//    less likely to finish the same generalization.
+// The *_before baselines must come from the same engine that produced
+// `er` (PropertyTask resets them when it discards an engine).
+double next_slice_scale(const EngineOptions& opts, double scale, bool budgeted,
+                        const ic3::Ic3Result& er, int frames_before,
+                        std::uint64_t clauses_before,
+                        std::uint64_t obligations_before);
+
 class PropertyTask {
  public:
   // `local_mode` selects the verdict labels (Locally/Globally) and enables
@@ -101,6 +120,10 @@ class PropertyTask {
   // task is closed.
   PropertyResult& result() { return result_; }
 
+  // Current adaptive slice multiplier; 1.0 again once the task closes (a
+  // recycled task must not inherit a shrunken slice).
+  double slice_scale() const { return slice_scale_; }
+
  private:
   void ensure_engine(ClauseDb* db);
   void close_holds(std::vector<ts::Cube> invariant, ClauseDb* db);
@@ -122,6 +145,13 @@ class PropertyTask {
   // Adaptive slice sizing: multiplier applied to budgeted slices, driven
   // by per-slice progress (see EngineOptions::adaptive_slicing).
   double slice_scale_ = 1.0;
+  // Progress baselines of the *current* engine at the end of its previous
+  // slice. Kept separately from result_.engine_stats, which survives a
+  // strict-lifting engine reset and would otherwise compare the fresh
+  // engine's counters against the discarded engine's.
+  int last_frames_ = 0;
+  std::uint64_t last_clauses_ = 0;
+  std::uint64_t last_obligations_ = 0;
   // Shared template memo (null = the engine keeps a private one).
   cnf::TemplateCache* templates_ = nullptr;
   // Lemma exchange plumbing (null = not attached).

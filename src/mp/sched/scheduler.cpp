@@ -1,6 +1,8 @@
 #include "mp/sched/scheduler.h"
 
 #include <algorithm>
+#include <memory>
+#include <numeric>
 
 #include "aig/sim.h"
 #include "base/log.h"
@@ -8,6 +10,7 @@
 #include "mp/joint_verifier.h"
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/worker_pool.h"
+#include "persist/persist.h"
 
 namespace javer::mp::sched {
 
@@ -51,6 +54,35 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   // tasks replay a single transition-relation encoding (thread-safe, so
   // the worker pool shares it freely).
   cnf::TemplateCache templates(ts_);
+
+  // Warm-start persistence (EngineOptions::cache_dir): templates replay
+  // from disk through the TemplateCache's store hook, and the run-wide
+  // ClauseDb is seeded with the previous run's strengthenings (the "one
+  // shard" of the unsharded scheduler, keyed by the full property set).
+  // Loaded cubes are ordinary seed candidates — engines re-validate them —
+  // so a stale or corrupted cache degrades to a cold run.
+  std::unique_ptr<persist::PersistCache> cache;
+  std::uint64_t fp = 0;
+  std::uint64_t sig = 0;
+  if (!opts_.engine.cache_dir.empty()) {
+    try {
+      cache = std::make_unique<persist::PersistCache>(opts_.engine.cache_dir);
+    } catch (const std::exception& e) {
+      JAVER_LOG(Info) << "sched: warm-start cache unusable, running cold: "
+                      << e.what();
+    }
+  }
+  if (cache) {
+    templates.attach_store(cache.get());
+    if (opts_.engine.clause_reuse) {
+      fp = aig::fingerprint(ts_.aig());
+      std::vector<std::size_t> all(ts_.num_properties());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      sig = persist::index_set_signature(std::move(all));
+      if (auto cubes = cache->load_clause_db(ts_, fp, sig)) db.add(*cubes);
+    }
+  }
+
   std::vector<std::unique_ptr<PropertyTask>> tasks;
   for (std::size_t p : resolve_order()) {
     tasks.push_back(std::make_unique<PropertyTask>(
@@ -101,6 +133,12 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
 
   for (auto& task : tasks) {
     result.per_property[task->prop()] = std::move(task->result());
+  }
+  if (cache) {
+    if (opts_.engine.clause_reuse && db.size() > 0) {
+      cache->store_clause_db(fp, sig, db.snapshot());
+    }
+    result.cache_stats = cache->stats();
   }
   result.total_seconds = total.seconds();
   return result;

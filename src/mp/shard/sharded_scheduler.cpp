@@ -5,10 +5,12 @@
 #include <utility>
 
 #include "aig/aig.h"
+#include "base/log.h"
 #include "base/timer.h"
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/property_task.h"
 #include "mp/sched/worker_pool.h"
+#include "persist/persist.h"
 
 namespace javer::mp::shard {
 
@@ -74,12 +76,43 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
     dbs.seed_all(external->snapshot());
   }
   // One template memo for the whole run, shared by every shard's tasks:
-  // templates are keyed by {target} ∪ assumed (which in local mode is the
-  // same property set for every non-ETF target design-wide, regardless of
-  // cluster), so sibling tasks — within a shard and across shards — stop
-  // re-encoding the transition relation. Thread-safe; the work-stealing
-  // pool hits it concurrently.
+  // templates are keyed by (design fingerprint, {target} ∪ assumed) —
+  // which in local mode is the same property set for every non-ETF target
+  // design-wide, regardless of cluster — so sibling tasks within a shard
+  // and across shards stop re-encoding the transition relation.
+  // Thread-safe; the work-stealing pool hits it concurrently.
   cnf::TemplateCache templates(ts_);
+
+  // Warm-start persistence (EngineOptions::cache_dir): the shared
+  // template replays from disk, and every shard's ClauseDb is seeded from
+  // the previous run's snapshot for the same (design, cluster-member-set)
+  // key, so an unchanged design with unchanged clustering starts each
+  // shard from its proven invariants. Engines re-validate every seeded
+  // cube, so cache corruption can only cost warmth, never soundness.
+  std::unique_ptr<persist::PersistCache> cache;
+  std::uint64_t fp = 0;
+  std::vector<std::uint64_t> sigs(clusters.size(), 0);
+  if (!opts_.base.engine.cache_dir.empty()) {
+    try {
+      cache =
+          std::make_unique<persist::PersistCache>(opts_.base.engine.cache_dir);
+    } catch (const std::exception& e) {
+      JAVER_LOG(Info) << "shard: warm-start cache unusable, running cold: "
+                      << e.what();
+    }
+  }
+  if (cache) {
+    templates.attach_store(cache.get());
+    if (opts_.base.engine.clause_reuse) {
+      fp = aig::fingerprint(ts_.aig());
+      for (std::size_t i = 0; i < clusters.size(); ++i) {
+        sigs[i] = persist::index_set_signature(clusters[i]);
+        if (auto cubes = cache->load_clause_db(ts_, fp, sigs[i])) {
+          dbs.import_shard(i, *cubes);
+        }
+      }
+    }
+  }
 
   // One shard per cluster: its own task pool, ClauseDb shard, and (for
   // the hybrid policy) its own shared-unrolling BMC sweep.
@@ -228,6 +261,15 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
 
   if (external != nullptr && opts_.base.engine.clause_reuse) {
     external->add(dbs.merged_snapshot());
+  }
+  if (cache) {
+    if (opts_.base.engine.clause_reuse) {
+      for (std::size_t i = 0; i < clusters.size(); ++i) {
+        std::vector<ts::Cube> snap = dbs.shard_snapshot(i);
+        if (!snap.empty()) cache->store_clause_db(fp, sigs[i], snap);
+      }
+    }
+    result.cache_stats = cache->stats();
   }
   exchange_stats_ = bus.stats();
   result.total_seconds = total.seconds();

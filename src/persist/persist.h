@@ -1,0 +1,121 @@
+// Warm-start persistence (ROADMAP "template-aware clause-DB persistence"
+// + "persist per-shard ClauseDbs"): a versioned on-disk cache that lets a
+// *process* start where the previous one left off, the way the in-memory
+// TemplateCache/ClauseDb let one run amortize work across properties.
+//
+// Two entry kinds, both keyed by the design fingerprint
+// (aig::fingerprint):
+//  * templates — the simplified cnf::CnfTemplate clause list + pivot
+//    table, keyed by (fingerprint, sorted property set, simplify flag); a
+//    warm re-run skips even the single encode+simplify pass of a cold one
+//    (template_builds == 0).
+//  * shard clause DBs — a ClauseDb snapshot keyed by (fingerprint,
+//    cluster signature), so a re-run with the same clustering seeds every
+//    shard's F_inf candidates from the previous run's proven invariants.
+//
+// Soundness story (same as the LemmaBus): nothing loaded is trusted.
+// Seeded cubes go through ic3::Ic3's seed/lemma re-validation
+// (init-disjointness + consecution) before use, and templates are only
+// served when magic, version, payload checksum, embedded fingerprint and
+// the structural pivot counts all match the requesting design. Any
+// mismatch — truncated file, version bump, bit flip, wrong design — is
+// counted, logged and ignored: a damaged or stale cache degrades to a
+// cold run. The one residual risk is the fingerprint itself: templates
+// (unlike cubes) are not semantically re-validated, so two *different*
+// designs colliding on the 64-bit FNV-1a fingerprint AND the
+// property-set key could serve each other's encodings. FNV-1a is not
+// adversarially collision-resistant; for accidental reuse the collision
+// odds are birthday-bound negligible, and --certify independently
+// re-checks every proof for the paranoid.
+//
+// File format (little-endian): "JVPC" magic, u16 format version, u16
+// entry kind, u64 payload size, payload, u64 FNV-1a checksum of the
+// payload. Writes go to a temp file renamed into place, so readers never
+// observe a half-written entry.
+#ifndef JAVER_PERSIST_PERSIST_H
+#define JAVER_PERSIST_PERSIST_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnf/template.h"
+#include "ts/transition_system.h"
+
+namespace javer::persist {
+
+// 64-bit FNV-1a over raw bytes (payload checksums and key hashes).
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+
+// Signature of a property-index set (sorted + deduplicated internally):
+// the cluster key for shard ClauseDb entries. Two runs whose clustering
+// produces the same member set share one entry regardless of order.
+std::uint64_t index_set_signature(std::vector<std::size_t> indices);
+
+struct PersistStats {
+  std::uint64_t templates_loaded = 0;  // served from disk
+  std::uint64_t templates_stored = 0;
+  std::uint64_t dbs_loaded = 0;        // shard ClauseDb snapshots
+  std::uint64_t dbs_stored = 0;
+  std::uint64_t cubes_loaded = 0;      // cubes across all loaded snapshots
+  std::uint64_t load_errors = 0;       // corrupt/mismatched entries ignored
+  std::uint64_t store_errors = 0;      // failed writes (cache left as-is)
+};
+
+// The on-disk cache over one directory. Thread-safe: the schedulers hand
+// it to a TemplateCache that worker threads hit concurrently.
+class PersistCache final : public cnf::TemplateStore {
+ public:
+  // Creates `dir` (and parents) when missing. Throws std::runtime_error
+  // when the directory cannot be created or written to.
+  explicit PersistCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // --- cnf::TemplateStore ---
+  std::shared_ptr<const cnf::CnfTemplate> load_template(
+      const ts::TransitionSystem& ts, std::uint64_t fingerprint,
+      const cnf::CnfTemplate::Spec& spec) override;
+  void store_template(std::uint64_t fingerprint,
+                      const cnf::CnfTemplate& tmpl) override;
+
+  // --- shard ClauseDb snapshots ---
+  // The stored cube set for (fingerprint, signature), or nullopt (missing
+  // entry, or any corruption/mismatch — counted in load_errors). Latch
+  // indices are validated against `ts`.
+  std::optional<std::vector<ts::Cube>> load_clause_db(
+      const ts::TransitionSystem& ts, std::uint64_t fingerprint,
+      std::uint64_t signature);
+  void store_clause_db(std::uint64_t fingerprint, std::uint64_t signature,
+                       const std::vector<ts::Cube>& cubes);
+
+  PersistStats stats() const;
+
+  // Entry file names within dir() — exposed so tests (and curious
+  // operators) can address individual entries.
+  static std::string template_file_name(std::uint64_t fingerprint,
+                                        const cnf::CnfTemplate::Spec& spec);
+  static std::string clause_db_file_name(std::uint64_t fingerprint,
+                                         std::uint64_t signature);
+
+ private:
+  bool write_entry(const std::string& name, std::uint16_t kind,
+                   const std::string& payload);
+  // Reads a whole entry file and verifies magic/version/kind/size/
+  // checksum; returns the verified file bytes (payload in the middle —
+  // see payload_reader in the .cpp), nullopt for a missing file, and
+  // counts a load_error (returning nullopt) for anything malformed.
+  std::optional<std::string> read_entry(const std::string& name,
+                                        std::uint16_t kind);
+
+  std::string dir_;
+  mutable std::mutex mu_;  // guards stats_ and temp-file staging
+  PersistStats stats_;
+};
+
+}  // namespace javer::persist
+
+#endif  // JAVER_PERSIST_PERSIST_H

@@ -136,6 +136,32 @@ TEST(LemmaBus, OffModeAcceptsNothing) {
   EXPECT_TRUE(bus.poll(0, c).empty());
 }
 
+TEST(LemmaBus, OffModeIgnoresImportReportsAndKeepsChannelsEmpty) {
+  // A disabled bus delivers nothing, so no re-validation report can be
+  // about bus traffic; stray reports must not drift the hit-rate
+  // counters (bench/table11 reads them as "imports for this bus").
+  exchange::LemmaBus bus(2, exchange::ExchangeMode::Off);
+  bus.publish(0, exchange::LemmaKind::BmcUnit, exchange::kBmcProducer,
+              {unit_cube(0, true)});
+  bus.record_import(3, 2, 1);
+  exchange::ExchangeStats s = bus.stats();
+  EXPECT_EQ(s.published, 0u);
+  EXPECT_EQ(s.delivered, 0u);
+  EXPECT_EQ(s.imported, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.redundant, 0u);
+  EXPECT_EQ(bus.log_size(0), 0u);
+  EXPECT_EQ(bus.log_size(1), 0u);
+
+  // The same report is counted once the bus is actually on.
+  exchange::LemmaBus on(1, exchange::ExchangeMode::Units);
+  on.record_import(3, 2, 1);
+  exchange::ExchangeStats t = on.stats();
+  EXPECT_EQ(t.imported, 3u);
+  EXPECT_EQ(t.rejected, 2u);
+  EXPECT_EQ(t.redundant, 1u);
+}
+
 TEST(LemmaBus, KindAndProducerFilters) {
   exchange::LemmaBus bus(1, exchange::ExchangeMode::All);
   bus.publish(0, exchange::LemmaKind::BmcUnit, exchange::kBmcProducer,
@@ -432,6 +458,137 @@ TEST(AdaptiveSlice, DisabledKeepsScaleAtOne) {
     ASSERT_LT(++guard, 100000) << "sliced run failed to converge";
   }
   EXPECT_EQ(task.result().verdict, PropertyVerdict::HoldsGlobally);
+}
+
+// Pin the pure slice-sizing decision (mp/sched/property_task.h): grow on
+// frame progress, shrink only on a genuinely stalled slice, no adjustment
+// for slices with no next slice to size.
+TEST(AdaptiveSlice, NextSliceScaleTransitions) {
+  sched::EngineOptions opts;
+  ASSERT_TRUE(opts.adaptive_slicing);
+
+  auto slice_result = [](CheckStatus status, bool resumable, int frames,
+                         std::uint64_t clauses, std::uint64_t obligations) {
+    ic3::Ic3Result er;
+    er.status = status;
+    er.resumable = resumable;
+    er.frames = frames;
+    er.stats.clauses_added = clauses;
+    er.stats.obligations = obligations;
+    return er;
+  };
+  const auto suspended = [&](int frames, std::uint64_t clauses,
+                             std::uint64_t obligations) {
+    return slice_result(CheckStatus::Unknown, true, frames, clauses,
+                        obligations);
+  };
+
+  // Frame progress doubles, saturating at slice_scale_max.
+  EXPECT_EQ(sched::next_slice_scale(opts, 1.0, true, suspended(3, 10, 5), 2,
+                                    10, 5),
+            2.0);
+  EXPECT_EQ(sched::next_slice_scale(opts, 4.0, true, suspended(3, 10, 5), 2,
+                                    10, 5),
+            opts.slice_scale_max);
+  // Stalled (no clause, no obligation) halves, saturating at the floor.
+  EXPECT_EQ(sched::next_slice_scale(opts, 1.0, true, suspended(2, 10, 5), 2,
+                                    10, 5),
+            0.5);
+  EXPECT_EQ(sched::next_slice_scale(opts, 0.25, true, suspended(2, 10, 5), 2,
+                                    10, 5),
+            opts.slice_scale_min);
+  // Suspended mid-generalization (obligations moved, clause counter did
+  // not): progress, not a stall — the scale must hold.
+  EXPECT_EQ(sched::next_slice_scale(opts, 1.0, true, suspended(2, 10, 9), 2,
+                                    10, 5),
+            1.0);
+  // Clause progress without a new frame: steady state, no change.
+  EXPECT_EQ(sched::next_slice_scale(opts, 1.0, true, suspended(2, 14, 9), 2,
+                                    10, 5),
+            1.0);
+  // Terminal and non-resumable slices have no next slice to size; their
+  // counters (often mid-flight) must not be classified.
+  EXPECT_EQ(sched::next_slice_scale(opts, 1.0, true,
+                                    slice_result(CheckStatus::Holds, false, 3,
+                                                 10, 5),
+                                    2, 10, 5),
+            1.0);
+  EXPECT_EQ(sched::next_slice_scale(opts, 1.0, true,
+                                    slice_result(CheckStatus::Unknown, false,
+                                                 2, 10, 5),
+                                    2, 10, 5),
+            1.0);
+  // Unbudgeted slices and disabled adaptivity never adjust.
+  EXPECT_EQ(sched::next_slice_scale(opts, 2.0, false, suspended(3, 10, 5), 2,
+                                    10, 5),
+            2.0);
+  sched::EngineOptions off = opts;
+  off.adaptive_slicing = false;
+  EXPECT_EQ(sched::next_slice_scale(off, 2.0, true, suspended(3, 10, 5), 2,
+                                    10, 5),
+            2.0);
+}
+
+TEST(AdaptiveSlice, ScaleResetsWhenTaskCloses) {
+  // Drive a budgeted task until it closes; whatever the scale did along
+  // the way, a closed task must read 1.0 again so a recycled task cannot
+  // inherit a shrunken (or inflated) slice.
+  aig::Aig aig = gen::make_counter({.bits = 8, .buggy = false});
+  ts::TransitionSystem ts(aig);
+  sched::EngineOptions engine;
+  sched::PropertyTask task(ts, 1, {}, engine, /*local_mode=*/false);
+  sched::TaskBudget budget;
+  budget.conflicts = 4;
+  bool scale_moved = false;
+  int guard = 0;
+  while (task.open()) {
+    task.run_slice(budget, nullptr);
+    if (task.open() && task.slice_scale() != 1.0) scale_moved = true;
+    ASSERT_LT(++guard, 100000) << "sliced run failed to converge";
+  }
+  EXPECT_TRUE(scale_moved) << "adaptive scale never left 1.0";
+  EXPECT_EQ(task.slice_scale(), 1.0);
+
+  // External closes reset too.
+  sched::PropertyTask unknown_task(ts, 1, {}, engine, false);
+  unknown_task.run_slice(budget, nullptr);
+  unknown_task.close_unknown();
+  EXPECT_EQ(unknown_task.slice_scale(), 1.0);
+}
+
+// The sharded scheduler with exchange Off must leave the bus untouched
+// across however many hybrid rounds it runs: no publishes, no deliveries,
+// and no import/rejection drift for table11's hit-rate metrics.
+TEST(Sharded, ExchangeOffKeepsEveryBusCounterZero) {
+  gen::SyntheticSpec spec;
+  spec.seed = 77;
+  spec.rings = 2;
+  spec.ring_size = 5;
+  spec.ring_props = 6;
+  spec.pair_props = 4;
+  spec.unreachable_props = 2;
+  spec.det_fail_props = 1;
+  aig::Aig aig = gen::make_synthetic(spec);
+  ts::TransitionSystem ts(aig);
+
+  ShardedOptions so = sharded_opts(exchange::ExchangeMode::Off);
+  ShardedScheduler sched(ts, so);
+  MultiResult r = sched.run();
+  ASSERT_EQ(r.per_property.size(), ts.num_properties());
+  for (const PropertyResult& pr : r.per_property) {
+    EXPECT_EQ(pr.engine_stats.lemmas_imported, 0u);
+    EXPECT_EQ(pr.engine_stats.lemmas_rejected, 0u);
+    EXPECT_EQ(pr.engine_stats.lemmas_known, 0u);
+  }
+  exchange::ExchangeStats xs = sched.exchange_stats();
+  EXPECT_EQ(xs.published, 0u);
+  EXPECT_EQ(xs.duplicates, 0u);
+  EXPECT_EQ(xs.mode_filtered, 0u);
+  EXPECT_EQ(xs.delivered, 0u);
+  EXPECT_EQ(xs.imported, 0u);
+  EXPECT_EQ(xs.rejected, 0u);
+  EXPECT_EQ(xs.redundant, 0u);
+  EXPECT_EQ(xs.hit_rate(), 0.0);
 }
 
 }  // namespace

@@ -161,6 +161,79 @@ TEST(CnfTemplate, CacheSharesOneBuildPerSpec) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(CnfTemplate, DistinctDesignsSharingOneCacheGetDistinctTemplates) {
+  // Regression (cache-keying soundness): the cache key folds the design
+  // fingerprint, so a cache handed to a run that checks a *different*
+  // transition system (JointAggregate builds a fresh aggregate TS per
+  // iteration) can never replay the first design's template for it.
+  gen::RandomDesignSpec spec_a;
+  spec_a.seed = 61;
+  gen::RandomDesignSpec spec_b;
+  spec_b.seed = 62;
+  aig::Aig a = gen::make_random_design(spec_a);
+  aig::Aig b = gen::make_random_design(spec_b);
+  ts::TransitionSystem ts_a(a);
+  ts::TransitionSystem ts_b(b);
+  ASSERT_NE(aig::fingerprint(a), aig::fingerprint(b));
+
+  cnf::TemplateCache cache(ts_a);
+  bool built = false;
+  auto ta = cache.get_or_build({{0, 1}, false}, &built);
+  EXPECT_TRUE(built);
+  auto tb = cache.get_or_build(ts_b, {{0, 1}, false}, &built);
+  EXPECT_TRUE(built);  // a fresh build, not a (wrong) hit
+  EXPECT_NE(ta.get(), tb.get());
+  // The foreign design's entry is exactly what a direct build produces.
+  cnf::CnfTemplate direct(ts_b, {{0, 1}, false});
+  EXPECT_EQ(tb->clauses(), direct.clauses());
+  EXPECT_EQ(tb->num_vars(), direct.num_vars());
+  // Both designs' entries keep hitting independently.
+  auto ta2 = cache.get_or_build(ts_a, {{0, 1}, false}, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(ta.get(), ta2.get());
+  auto tb2 = cache.get_or_build(ts_b, {{0, 1}, false}, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(tb.get(), tb2.get());
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(CnfTemplate, EngineWithForeignCacheMatchesPrivateEncoding) {
+  // An Ic3 engine handed a cache built over another design must produce
+  // the same verdicts and certificates as one with no shared cache.
+  for (std::uint64_t seed = 71; seed <= 76; ++seed) {
+    gen::RandomDesignSpec spec;
+    spec.seed = seed;
+    spec.num_latches = 4;
+    spec.num_inputs = 2;
+    spec.num_ands = 18;
+    spec.num_properties = 2;
+    aig::Aig a = gen::make_random_design(spec);
+    spec.seed = seed + 100;
+    aig::Aig b = gen::make_random_design(spec);
+    ts::TransitionSystem ts_a(a);
+    ts::TransitionSystem ts_b(b);
+    cnf::TemplateCache cache(ts_a);
+
+    for (std::size_t p = 0; p < ts_b.num_properties(); ++p) {
+      ic3::Ic3Options with_cache;
+      with_cache.time_limit_seconds = 30.0;
+      with_cache.template_cache = &cache;
+      ic3::Ic3Result shared = ic3::Ic3(ts_b, p, with_cache).run();
+
+      ic3::Ic3Options without;
+      without.time_limit_seconds = 30.0;
+      ic3::Ic3Result private_run = ic3::Ic3(ts_b, p, without).run();
+
+      ASSERT_EQ(shared.status, private_run.status)
+          << "seed " << seed << " P" << p;
+      if (shared.status == CheckStatus::Holds) {
+        testutil::expect_valid_invariant(ts_b, p, {}, shared.invariant);
+      }
+    }
+  }
+}
+
 TEST(CnfTemplate, InstantiateRequiresFreshSolver) {
   gen::RandomDesignSpec spec;
   spec.seed = 4;
