@@ -11,6 +11,7 @@
 //  * sharded verdicts match plain JA verdict-for-verdict;
 //  * the exchange reports non-trivial traffic (hit-rate metrics).
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench_util.h"
@@ -18,6 +19,7 @@
 #include "mp/exchange/lemma_bus.h"
 #include "mp/sched/scheduler.h"
 #include "mp/shard/sharded_scheduler.h"
+#include "obs/trace.h"
 #include "ts/transition_system.h"
 
 using namespace javer;
@@ -61,7 +63,23 @@ std::vector<bench::NamedDesign> multi_cone_family() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out FILE records every sharded run into one Chrome trace (CI
+  // smokes the observability layer through this; tools/check_trace.py
+  // validates the artifact).
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  obs::Tracer tracer;
+  obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
+
   bench::BenchJson json("table11");
   bench::print_title(
       "Table XI",
@@ -123,6 +141,7 @@ int main() {
       so.base.dispatch = mp::sched::DispatchPolicy::HybridBmcIc3;
       so.base.engine.time_limit_per_property = prop_limit;
       so.base.engine.clause_reuse = reuse;
+      so.base.engine.tracer = tracer_ptr;
       so.clustering.min_similarity = 0.5;
       so.exchange = mode;
       mp::shard::ShardedScheduler sched(ts, so);
@@ -214,5 +233,17 @@ int main() {
       "with the ClauseDb channel off, the bus alone carries re-usable "
       "strengthenings between sibling tasks (imports > 0)",
       bus_imports > 0);
+
+  if (tracer_ptr != nullptr) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    tracer.write_chrome_trace(out);
+    std::printf("trace: %zu event(s) -> %s\n", tracer.event_count(),
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -9,13 +9,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "aig/aiger_io.h"
+#include "base/log.h"
 #include "base/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ic3/certify.h"
 #include "persist/persist.h"
 #include "mp/clustering.h"
@@ -38,6 +42,9 @@ struct CliOptions {
   std::string order = "design";
   std::string clause_db_path;
   std::string cache_dir;
+  std::string trace_out;
+  std::string metrics_out;
+  javer::LogLevel log_level = javer::LogLevel::Silent;
   double time_limit = 60.0;
   unsigned threads = 0;  // 0 = hardware concurrency (parallel/hybrid)
   int bmc_depth = 64;    // hybrid/sharded: cap on the shared BMC unrolling
@@ -136,6 +143,16 @@ void usage(std::FILE* out) {
 "                       previous run's invariants (everything loaded is\n"
 "                       re-validated; corrupt caches degrade to a cold\n"
 "                       run). Not supported for joint/clustered engines.\n"
+"  --trace-out FILE     write a Chrome trace-event JSON timeline of the\n"
+"                       run (scheduler rounds, per-slice IC3 spans, BMC\n"
+"                       sweeps, lemma exchange, persist I/O) — load it in\n"
+"                       chrome://tracing or https://ui.perfetto.dev. Not\n"
+"                       supported for the clustered engine.\n"
+"  --metrics-out FILE   write the run's counter registry as JSONL: one\n"
+"                       \"heartbeat\" snapshot per scheduler round plus a\n"
+"                       \"final\" line. Not supported for clustered.\n"
+"  --log-level L        silent | info | verbose | debug (or 0..3): engine\n"
+"                       logging on stderr           (default: silent)\n"
 "  --witness            print AIGER witnesses for failed properties on\n"
 "                       stdout (report moves to stderr)\n"
 "  --certify            re-check every proof with independent SAT queries\n"
@@ -268,6 +285,33 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.cache_dir = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return false;
+      if (*v == '\0') {
+        std::fprintf(stderr, "javer_cli: --trace-out wants a file name\n");
+        return false;
+      }
+      opts.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next("--metrics-out");
+      if (v == nullptr) return false;
+      if (*v == '\0') {
+        std::fprintf(stderr, "javer_cli: --metrics-out wants a file name\n");
+        return false;
+      }
+      opts.metrics_out = v;
+    } else if (arg == "--log-level") {
+      const char* v = next("--log-level");
+      if (v == nullptr) return false;
+      auto level = javer::parse_log_level(v);
+      if (!level) {
+        std::fprintf(stderr,
+                     "javer_cli: --log-level wants silent|info|verbose|debug "
+                     "(or 0..3), got '%s'\n", v);
+        return false;
+      }
+      opts.log_level = *level;
     } else if (arg == "--no-reuse") {
       opts.reuse = false;
     } else if (arg == "--strict-lifting") {
@@ -314,6 +358,7 @@ int main(int argc, char** argv) {
     usage(stdout);
     return 0;
   }
+  set_log_level(cli.log_level);
 
   aig::Aig design;
   try {
@@ -331,6 +376,16 @@ int main(int argc, char** argv) {
   }
   if (design.num_properties() == 0) {
     std::fprintf(stderr, "javer_cli: design has no properties\n");
+    return 3;
+  }
+
+  if ((!cli.trace_out.empty() || !cli.metrics_out.empty()) &&
+      cli.engine == "clustered") {
+    // ClusteredJointOptions predates EngineOptions and has no
+    // observability plumbing; fail loudly instead of writing empty files.
+    std::fprintf(stderr,
+                 "javer_cli: --trace-out/--metrics-out are not supported "
+                 "with --engine clustered\n");
     return 3;
   }
 
@@ -384,6 +439,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability handles (src/obs); the engines only record into them
+  // when the pointers are set, i.e. when an output file was requested.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::Tracer* tracer_ptr = cli.trace_out.empty() ? nullptr : &tracer;
+  obs::MetricsRegistry* metrics_ptr =
+      cli.metrics_out.empty() ? nullptr : &metrics;
+
   Timer timer;
   mp::MultiResult result;
   if (cli.engine == "ja") {
@@ -396,6 +459,8 @@ int main(int argc, char** argv) {
     opts.ic3_use_template = cli.ic3_template;
     opts.cache_dir = cli.cache_dir;
     opts.order = order;
+    opts.tracer = tracer_ptr;
+    opts.metrics = metrics_ptr;
     result = mp::JaVerifier(ts, opts).run(db);
   } else if (cli.engine == "separate" || cli.engine == "separate-global") {
     mp::SeparateOptions opts;
@@ -407,6 +472,8 @@ int main(int argc, char** argv) {
     opts.cache_dir = cli.cache_dir;
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
+    opts.tracer = tracer_ptr;
+    opts.metrics = metrics_ptr;
     result = mp::SeparateVerifier(ts, opts).run(db);
   } else if (cli.engine == "joint") {
     mp::JointOptions opts;
@@ -414,6 +481,8 @@ int main(int argc, char** argv) {
     opts.simplify = cli.simplify;
     opts.ic3_solver = cli.ic3_solver;
     opts.ic3_use_template = cli.ic3_template;
+    opts.tracer = tracer_ptr;
+    opts.metrics = metrics_ptr;
     result = mp::JointVerifier(ts, opts).run();
   } else if (cli.engine == "parallel") {
     mp::ParallelJaOptions opts;
@@ -425,6 +494,8 @@ int main(int argc, char** argv) {
     opts.ic3_solver = cli.ic3_solver;
     opts.ic3_use_template = cli.ic3_template;
     opts.cache_dir = cli.cache_dir;
+    opts.tracer = tracer_ptr;
+    opts.metrics = metrics_ptr;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
   } else if (cli.engine == "hybrid") {
     mp::sched::SchedulerOptions opts;
@@ -440,6 +511,8 @@ int main(int argc, char** argv) {
     opts.engine.ic3_use_template = cli.ic3_template;
     opts.engine.cache_dir = cli.cache_dir;
     opts.engine.order = order;
+    opts.engine.tracer = tracer_ptr;
+    opts.engine.metrics = metrics_ptr;
     result = mp::sched::Scheduler(ts, opts).run(db);
   } else if (cli.engine == "sharded") {
     mp::shard::ShardedOptions opts;
@@ -455,6 +528,8 @@ int main(int argc, char** argv) {
     opts.base.engine.ic3_use_template = cli.ic3_template;
     opts.base.engine.cache_dir = cli.cache_dir;
     opts.base.engine.order = order;
+    opts.base.engine.tracer = tracer_ptr;
+    opts.base.engine.metrics = metrics_ptr;
     opts.clustering.min_similarity = cli.cluster_threshold;
     opts.clustering.max_cluster_size = cli.max_cluster_size;
     opts.exchange = cli.lemma_exchange;
@@ -541,6 +616,32 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.load_errors),
                  cs.load_errors == 1 ? "y" : "ies",
                  static_cast<unsigned long long>(cs.store_errors));
+  }
+
+  if (!cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out, std::ios::trunc);
+    tracer.write_chrome_trace(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "javer_cli: writing trace to %s failed\n",
+                   cli.trace_out.c_str());
+    } else {
+      std::fprintf(info, "trace: %zu event(s) -> %s\n", tracer.event_count(),
+                   cli.trace_out.c_str());
+    }
+  }
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out, std::ios::trunc);
+    metrics.write_jsonl(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "javer_cli: writing metrics to %s failed\n",
+                   cli.metrics_out.c_str());
+    } else {
+      std::fprintf(info, "metrics: %zu counter(s), %zu heartbeat(s) -> %s\n",
+                   result.metrics.counters.size(),
+                   metrics.heartbeats().size(), cli.metrics_out.c_str());
+    }
   }
 
   if (cli.witness) {

@@ -19,6 +19,14 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  if (text == "silent" || text == "0") return LogLevel::Silent;
+  if (text == "info" || text == "1") return LogLevel::Info;
+  if (text == "verbose" || text == "2") return LogLevel::Verbose;
+  if (text == "debug" || text == "3") return LogLevel::Debug;
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (log_level() < level) return;
   std::lock_guard<std::mutex> lock(g_log_mutex);

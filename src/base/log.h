@@ -3,6 +3,7 @@
 #ifndef JAVER_BASE_LOG_H
 #define JAVER_BASE_LOG_H
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,10 @@ enum class LogLevel : int { Silent = 0, Info = 1, Verbose = 2, Debug = 3 };
 // Process-wide log level; defaults to Silent so library users opt in.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses "silent" / "info" / "verbose" / "debug" or the numeric levels
+// "0".."3"; nullopt for anything else (CLI --log-level plumbing).
+std::optional<LogLevel> parse_log_level(const std::string& text);
 
 void log_line(LogLevel level, const std::string& message);
 

@@ -7,8 +7,35 @@
 
 #include "aig/sim.h"
 #include "base/log.h"
+#include "obs/metrics.h"
 
 namespace javer::ic3 {
+
+void fold_stats(obs::MetricsRegistry& metrics, const Ic3Stats& stats) {
+  metrics.add("ic3.obligations", stats.obligations);
+  metrics.add("ic3.clauses_added", stats.clauses_added);
+  metrics.add("ic3.consecution_queries", stats.consecution_queries);
+  metrics.add("ic3.mic_queries", stats.mic_queries);
+  metrics.add("ic3.seed_clauses_kept", stats.seed_clauses_kept);
+  metrics.add("ic3.seed_clauses_dropped", stats.seed_clauses_dropped);
+  metrics.add("ic3.solver_rebuilds", stats.solver_rebuilds);
+  metrics.add("ic3.mined_invariants", stats.mined_invariants);
+  metrics.add("ic3.solver_contexts_created", stats.solver_contexts_created);
+  metrics.add("ic3.template_builds", stats.template_builds);
+  metrics.add("ic3.template_instantiations", stats.template_instantiations);
+  metrics.add("ic3.lemmas_imported", stats.lemmas_imported);
+  metrics.add("ic3.lemmas_rejected", stats.lemmas_rejected);
+  metrics.add("ic3.lemmas_known", stats.lemmas_known);
+  metrics.add("sat.propagations", stats.sat_propagations);
+  metrics.add("sat.conflicts", stats.sat_conflicts);
+  metrics.add("sat.decisions", stats.sat_decisions);
+  metrics.add("simp.vars_eliminated", stats.simp_vars_eliminated);
+  metrics.add("simp.clauses_in", stats.simp_clauses_in);
+  metrics.add("simp.clauses_out", stats.simp_clauses_out);
+  metrics.add_gauge("ic3.encode_seconds", stats.encode_seconds);
+  metrics.max_gauge("ic3.peak_live_solvers",
+                    static_cast<double>(stats.peak_live_solvers));
+}
 
 Ic3::Ic3(const ts::TransitionSystem& ts, std::size_t target_prop,
          Ic3Options opts)
@@ -192,6 +219,7 @@ FrameSolver& Ic3::ctx(int k) {
   // Too many dead activation literals: rebuild this frame's solver from
   // the transition system plus the cubes blocked at levels >= k.
   stats_.solver_rebuilds++;
+  opts_.trace.instant("ic3", "rebuild_frame");
   absorb_stats(*solvers_[k]);
   solvers_[k] = make_solver(k);
   if (k > 0) {
@@ -210,6 +238,7 @@ FrameSolver& Ic3::lift_ctx() {
       lift_solver_->retired_activations() > opts_.rebuild_threshold) {
     if (lift_solver_) {
       stats_.solver_rebuilds++;
+      opts_.trace.instant("ic3", "rebuild_lift");
       absorb_stats(*lift_solver_);
       lift_solver_.reset();
     }
@@ -224,6 +253,7 @@ FrameSolver& Ic3::inf_ctx() {
       inf_solver_->retired_activations() > opts_.rebuild_threshold) {
     if (inf_solver_) {
       stats_.solver_rebuilds++;
+      opts_.trace.instant("ic3", "rebuild_inf");
       absorb_stats(*inf_solver_);
       inf_solver_.reset();
     }
@@ -274,6 +304,7 @@ void Ic3::rebuild_mono() {
   // re-instantiate the template and replay the frame/F_inf clause lists
   // (dropping retired activation garbage and stale pushed copies).
   stats_.solver_rebuilds++;
+  opts_.trace.instant("ic3", "rebuild_mono");
   absorb_stats(*mono_);
   install_mono(mono_->num_frames());
 }
@@ -464,6 +495,7 @@ void Ic3::absorb_lemma_candidates() {
         sat::SolveResult::Unsat) {
       add_inf_cube(c);
       stats_.lemmas_imported++;
+      opts_.trace.instant("ic3", "lemma_install");
     } else {
       stats_.lemmas_rejected++;
     }

@@ -20,8 +20,13 @@
 #include "cnf/template.h"
 #include "ic3/frames.h"
 #include "ic3/solver_mode.h"
+#include "obs/trace.h"
 #include "ts/trace.h"
 #include "ts/transition_system.h"
+
+namespace javer::obs {
+class MetricsRegistry;
+}  // namespace javer::obs
 
 namespace javer::ic3 {
 
@@ -60,6 +65,11 @@ struct Ic3Options {
   int max_frames = 100000;
   std::size_t max_obligations = 2u << 20;
   int rebuild_threshold = 500;
+  // Observability (src/obs): instant events for solver rebuilds and
+  // F_inf lemma installs, tagged with the caller's (shard, property). A
+  // default (disabled) sink costs one branch per would-be event; the
+  // heavyweight per-query counters stay in Ic3Stats regardless.
+  obs::TraceSink trace;
 };
 
 struct Ic3Stats {
@@ -98,6 +108,13 @@ struct Ic3Stats {
   std::uint64_t simp_clauses_in = 0;
   std::uint64_t simp_clauses_out = 0;
 };
+
+// Folds one engine's cumulative stats into an obs::MetricsRegistry under
+// the canonical "ic3." / "sat." / "simp." counter names. The schedulers
+// call this exactly once per closed PropertyTask (and once per joint
+// iteration), so the registry's totals reconcile exactly with the summed
+// per-property Ic3Stats of the MultiResult.
+void fold_stats(obs::MetricsRegistry& metrics, const Ic3Stats& stats);
 
 // A resource slice for one resumable run() call. Zero fields are
 // unlimited. Time is wall-clock for this slice; conflicts count SAT

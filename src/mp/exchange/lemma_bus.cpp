@@ -30,26 +30,38 @@ std::size_t LemmaBus::publish(std::size_t shard, LemmaKind kind,
                               std::size_t producer,
                               const std::vector<ts::Cube>& cubes) {
   if (cubes.empty() || shard >= channels_.size()) return 0;
+  Channel& ch = *channels_[shard];
   if (mode_ == ExchangeMode::Off ||
       (mode_ == ExchangeMode::Units && kind != LemmaKind::BmcUnit)) {
     mode_filtered_ += cubes.size();
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.stats.mode_filtered += cubes.size();
     return 0;
   }
-  Channel& ch = *channels_[shard];
   std::size_t accepted = 0;
-  std::lock_guard<std::mutex> lock(ch.mutex);
-  for (const ts::Cube& c : cubes) {
-    if (c.empty()) continue;
-    ts::Cube sorted = c;
-    ts::sort_cube(sorted);
-    if (!ch.seen.insert(sorted).second) {
-      duplicates_++;
-      continue;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    for (const ts::Cube& c : cubes) {
+      if (c.empty()) continue;
+      ts::Cube sorted = c;
+      ts::sort_cube(sorted);
+      if (!ch.seen.insert(sorted).second) {
+        duplicates_++;
+        ch.stats.duplicates++;
+        continue;
+      }
+      ch.log.push_back(Lemma{std::move(sorted), kind, producer});
+      accepted++;
     }
-    ch.log.push_back(Lemma{std::move(sorted), kind, producer});
-    accepted++;
+    ch.stats.published += accepted;
   }
   published_ += accepted;
+  if (accepted > 0) {
+    trace_.with_shard(static_cast<int>(shard))
+        .instant("exchange", kind == LemmaKind::BmcUnit
+                                 ? "publish_bmc_units"
+                                 : "publish_ic3_strengthening");
+  }
   return accepted;
 }
 
@@ -59,23 +71,35 @@ std::vector<Lemma> LemmaBus::poll(std::size_t shard, Cursor& cursor,
   std::vector<Lemma> out;
   if (shard >= channels_.size()) return out;
   Channel& ch = *channels_[shard];
-  std::lock_guard<std::mutex> lock(ch.mutex);
-  for (; cursor.next < ch.log.size(); ++cursor.next) {
-    const Lemma& l = ch.log[cursor.next];
-    if (kind && l.kind != *kind) continue;
-    if (exclude_producer && l.producer == *exclude_producer) continue;
-    out.push_back(l);
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    for (; cursor.next < ch.log.size(); ++cursor.next) {
+      const Lemma& l = ch.log[cursor.next];
+      if (kind && l.kind != *kind) continue;
+      if (exclude_producer && l.producer == *exclude_producer) continue;
+      out.push_back(l);
+    }
+    ch.stats.delivered += out.size();
   }
   delivered_ += out.size();
+  if (!out.empty()) {
+    trace_.with_shard(static_cast<int>(shard)).instant("exchange", "deliver");
+  }
   return out;
 }
 
-void LemmaBus::record_import(std::uint64_t imported, std::uint64_t rejected,
-                             std::uint64_t redundant) {
+void LemmaBus::record_import(std::size_t shard, std::uint64_t imported,
+                             std::uint64_t rejected, std::uint64_t redundant) {
   if (mode_ == ExchangeMode::Off) return;
   imported_ += imported;
   rejected_ += rejected;
   redundant_ += redundant;
+  if (shard >= channels_.size()) return;
+  Channel& ch = *channels_[shard];
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  ch.stats.imported += imported;
+  ch.stats.rejected += rejected;
+  ch.stats.redundant += redundant;
 }
 
 std::size_t LemmaBus::log_size(std::size_t shard) const {
@@ -95,6 +119,13 @@ ExchangeStats LemmaBus::stats() const {
   s.rejected = rejected_.load();
   s.redundant = redundant_.load();
   return s;
+}
+
+ExchangeStats LemmaBus::channel_stats(std::size_t shard) const {
+  if (shard >= channels_.size()) return {};
+  Channel& ch = *channels_[shard];
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  return ch.stats;
 }
 
 }  // namespace javer::mp::exchange

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "ts/transition_system.h"
 
 namespace javer::mp::exchange {
@@ -102,28 +103,39 @@ class LemmaBus {
                           std::optional<std::size_t> exclude_producer =
                               std::nullopt);
 
-  // Consumers report their re-validation outcome here so stats() can
-  // expose the hit rate. Ignored in Off mode: a disabled bus delivers
-  // nothing, so no report can be about bus traffic — letting one through
-  // would make the bench hit-rate metrics claim imports for a bus that
-  // was off.
-  void record_import(std::uint64_t imported, std::uint64_t rejected,
-                     std::uint64_t redundant = 0);
+  // Consumers report their re-validation outcome for `shard`'s channel
+  // here so stats()/channel_stats() can expose the hit rate. Ignored in
+  // Off mode: a disabled bus delivers nothing, so no report can be about
+  // bus traffic — letting one through would make the bench hit-rate
+  // metrics claim imports for a bus that was off.
+  void record_import(std::size_t shard, std::uint64_t imported,
+                     std::uint64_t rejected, std::uint64_t redundant = 0);
 
   // Entries in `shard`'s append-only log (diagnostics/tests; delivered or
   // not — the log never shrinks).
   std::size_t log_size(std::size_t shard) const;
 
+  // Process-wide totals across every channel.
   ExchangeStats stats() const;
+  // One channel's own traffic (per-shard exchange summary in
+  // print_report). Out-of-range shards report all-zero.
+  ExchangeStats channel_stats(std::size_t shard) const;
+
+  // Publish/deliver instant events land on `sink`'s tracer, retagged with
+  // the channel's shard. The sink is copied; pass a default-constructed
+  // one (or never call this) to keep the bus silent.
+  void set_trace(const obs::TraceSink& sink) { trace_ = sink; }
 
  private:
   struct Channel {
     std::mutex mutex;
     std::vector<Lemma> log;       // append-only
     std::set<ts::Cube> seen;      // per-channel dedup
+    ExchangeStats stats;          // this channel's share of the totals
   };
 
   ExchangeMode mode_;
+  obs::TraceSink trace_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> duplicates_{0};

@@ -40,6 +40,10 @@ std::string format_duration(double seconds) {
     out << std::fixed << std::setprecision(1) << seconds / 3600.0 << " h";
   } else if (seconds >= 1.0) {
     out << std::fixed << std::setprecision(1) << seconds << " s";
+  } else if (seconds >= 0.01) {
+    // Sub-second runs are common on the regression designs; "0.42 s"
+    // reads better than the old "0.4 s" rounding.
+    out << std::fixed << std::setprecision(2) << seconds << " s";
   } else {
     out << std::fixed << std::setprecision(3) << seconds << " s";
   }
@@ -62,6 +66,15 @@ void print_report(std::ostream& out, const ts::TransitionSystem& ts,
       out << ", " << r.spurious_restarts << " strict-lifting restart(s)";
     }
     out << "]\n";
+  }
+  for (std::size_t s = 0; s < result.exchange_per_shard.size(); ++s) {
+    const exchange::ExchangeStats& xs = result.exchange_per_shard[s];
+    out << "  exchange shard " << s << ": published " << xs.published << " (+"
+        << xs.duplicates << " dup, " << xs.mode_filtered
+        << " filtered), delivered " << xs.delivered << ", imported "
+        << xs.imported << ", rejected " << xs.rejected << ", redundant "
+        << xs.redundant << " [hit rate "
+        << static_cast<int>(xs.hit_rate() * 100.0 + 0.5) << "%]\n";
   }
   auto dbg = result.debugging_set();
   out << "  summary: " << result.num_proved() << " proved, "

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "ic3/ic3.h"
+#include "mp/exchange/lemma_bus.h"
+#include "obs/metrics.h"
 #include "persist/persist.h"
 #include "ts/trace.h"
 
@@ -49,6 +51,12 @@ struct MultiResult {
   // Warm-start cache traffic (src/persist): all-zero unless the run had
   // EngineOptions::cache_dir set and used a task-based dispatch.
   persist::PersistStats cache_stats;
+  // Per-shard LemmaBus channel traffic; empty unless the run was sharded.
+  std::vector<exchange::ExchangeStats> exchange_per_shard;
+  // Final counter/gauge state when EngineOptions::metrics was set; empty
+  // (no entries) otherwise. By construction the "ic3." / "sat." / "simp."
+  // totals here equal the summed per_property engine_stats.
+  obs::MetricsSnapshot metrics;
 
   std::size_t count(PropertyVerdict v) const;
   std::size_t num_unsolved() const { return count(PropertyVerdict::Unknown); }
@@ -68,7 +76,9 @@ struct MultiResult {
 void print_report(std::ostream& out, const ts::TransitionSystem& ts,
                   const MultiResult& result);
 
-// "1,686 s" / "2.4 h" style durations as used in the paper's tables.
+// "1,686 s" / "2.4 h" style durations as used in the paper's tables,
+// with two-decimal sub-second handling ("0.42 s") below 1 s and three
+// decimals below 0.01 s so short runs don't all print as "0.0 s".
 std::string format_duration(double seconds);
 
 }  // namespace javer::mp

@@ -1,9 +1,12 @@
 #include "mp/sched/bmc_sweep.h"
 
 #include <algorithm>
+#include <string>
 
 #include "base/log.h"
 #include "base/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace javer::mp::sched {
 
@@ -23,6 +26,9 @@ BmcSweep::BmcSweep(const ts::TransitionSystem& ts,
 std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
                             double remaining_seconds) {
   if (exhausted_) return 0;
+  const obs::TraceSink sink(opts_.engine.tracer, trace_shard_);
+  const std::uint64_t span_begin = sink.begin();
+  const int window_begin = depth_done_;
   std::vector<std::size_t> targets;
   std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
   for (PropertyTask* task : tasks) {
@@ -87,6 +93,17 @@ std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
   if (depth_done_ >= opts_.bmc_max_depth ||
       empty_streak_ >= opts_.bmc_empty_sweeps_to_stop) {
     exhausted_ = true;
+  }
+  if (obs::MetricsRegistry* m = opts_.engine.metrics) {
+    m->add("bmc.sweeps");
+    m->add("bmc.cex_found", closed);
+    m->max_gauge("bmc.depth", static_cast<double>(depth_done_));
+  }
+  if (sink.enabled()) {
+    std::string args = "\"window_begin\":" + std::to_string(window_begin) +
+                       ",\"depth_done\":" + std::to_string(depth_done_) +
+                       ",\"closed\":" + std::to_string(closed);
+    sink.complete("bmc", "sweep", span_begin, -1, std::move(args));
   }
   return closed;
 }

@@ -48,6 +48,10 @@ class BmcSweep {
   // that before calling. No-op once the sweep is exhausted.
   std::size_t install_invariant_cubes(const std::vector<ts::Cube>& cubes);
 
+  // Shard tag for this sweep's trace events and counters (src/obs); -1 =
+  // unsharded. The tracer/metrics handles come from the engine options.
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
+
  private:
   const ts::TransitionSystem& ts_;
   SchedulerOptions opts_;  // copied: a sweep may outlive a caller's round
@@ -56,6 +60,7 @@ class BmcSweep {
   int depth_done_ = 0;    // completed bounds of the shared unrolling
   int empty_streak_ = 0;  // consecutive sweeps without a counterexample
   bool exhausted_ = false;
+  int trace_shard_ = -1;
 };
 
 }  // namespace javer::mp::sched

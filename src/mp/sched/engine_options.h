@@ -13,6 +13,11 @@
 
 #include "ic3/solver_mode.h"
 
+namespace javer::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace javer::obs
+
 namespace javer::mp::sched {
 
 struct EngineOptions {
@@ -56,6 +61,15 @@ struct EngineOptions {
   // paper's default ("properties are verified in the order they are
   // given").
   std::vector<std::size_t> order;
+  // Observability (src/obs), both non-owning and optional. `tracer`
+  // collects per-slice timeline spans and instant events (Chrome-trace /
+  // JSONL export); `metrics` absorbs the run's counters (Ic3Stats, SAT
+  // backend, LemmaBus, persist, worker pool) behind one snapshot API and
+  // receives a heartbeat snapshot per scheduler round. Null = off: every
+  // instrumentation site reduces to one pointer test. Must outlive the
+  // run.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace javer::mp::sched

@@ -73,6 +73,8 @@ void PropertyTask::ensure_engine(ClauseDb* db) {
   opts.rebuild_threshold = engine_opts_.ic3_rebuild_threshold;
   opts.template_cache = templates_;
   opts.conflict_budget_per_query = engine_opts_.conflict_budget_per_query;
+  opts.trace = obs::TraceSink(engine_opts_.tracer, obs_shard_,
+                              static_cast<long long>(prop_));
   // Time budgeting is the task's job: the internal engine deadline would
   // tick in wall-clock while *other* tasks hold the engine pool.
   opts.time_limit_seconds = 0.0;
@@ -94,6 +96,7 @@ void PropertyTask::close_holds(std::vector<ts::Cube> invariant,
       !result_.invariant.empty()) {
     db->add(result_.invariant);
   }
+  fold_final_metrics();
 }
 
 void PropertyTask::finish_fails(ts::Trace cex) {
@@ -102,6 +105,18 @@ void PropertyTask::finish_fails(ts::Trace cex) {
   result_.verdict = local_mode_ ? PropertyVerdict::FailsLocally
                                 : PropertyVerdict::FailsGlobally;
   result_.cex = std::move(cex);
+  fold_final_metrics();
+}
+
+void PropertyTask::fold_final_metrics() {
+  if (metrics_folded_) return;
+  metrics_folded_ = true;
+  if (engine_opts_.metrics == nullptr) return;
+  ic3::fold_stats(*engine_opts_.metrics, result_.engine_stats);
+  engine_opts_.metrics->add("task.closed");
+  engine_opts_.metrics->add(
+      "task.spurious_restarts",
+      static_cast<std::uint64_t>(result_.spurious_restarts));
 }
 
 void PropertyTask::attach_exchange(exchange::LemmaBus* bus,
@@ -125,6 +140,7 @@ void PropertyTask::close_unknown() {
   state_ = TaskState::Unknown;
   slice_scale_ = 1.0;
   result_.verdict = PropertyVerdict::Unknown;
+  fold_final_metrics();
 }
 
 void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
@@ -135,6 +151,12 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
     close_unknown();
     return;
   }
+
+  const obs::TraceSink sink(engine_opts_.tracer, obs_shard_,
+                            static_cast<long long>(prop_));
+  const int slice_index = result_.slices;  // ordinal of the slice we run now
+  const double applied_scale = slice_scale_;
+  const std::uint64_t span_begin = sink.begin();
 
   ensure_engine(db);
 
@@ -204,7 +226,7 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
                       fresh);
       }
     }
-    bus_->record_import(er.stats.lemmas_imported - reported_imported_,
+    bus_->record_import(shard_, er.stats.lemmas_imported - reported_imported_,
                         er.stats.lemmas_rejected - reported_rejected_,
                         er.stats.lemmas_known - reported_known_);
     reported_imported_ = er.stats.lemmas_imported;
@@ -219,10 +241,12 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
                        frames_before, clauses_before, obligations_before);
   result_.slice_scale = slice_scale_;
 
+  const char* outcome = nullptr;
   switch (er.status) {
     case CheckStatus::Holds:
       close_holds(std::move(er.invariant), db);
-      return;
+      outcome = "holds";
+      break;
     case CheckStatus::Fails:
       if (local_mode_ && !strict_lifting_ && !assumed_.empty() &&
           !ts::is_local_cex(ts_, er.cex, prop_, assumed_)) {
@@ -246,16 +270,33 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
         // (or still had queued) must reach the fresh strict engine.
         bus_cursor_ = {};
         result_.spurious_restarts++;
-        return;  // still open; the next slice drives the strict engine
+        sink.instant("task", "spurious_restart", slice_index);
+        outcome = "spurious_restart";  // still open; next slice is strict
+        break;
       }
       finish_fails(std::move(er.cex));
-      return;
+      outcome = "fails";
+      break;
     default:
       if (!er.resumable ||
           (per_prop > 0 && engine_seconds_ >= per_prop)) {
         close_unknown();
+        outcome = "unknown";
+      } else {
+        outcome = "suspended";
       }
-      return;
+      break;
+  }
+
+  if (engine_opts_.metrics != nullptr) {
+    engine_opts_.metrics->add("task.slices");
+  }
+  if (sink.enabled()) {
+    std::string args = "\"outcome\":\"";
+    args += outcome;
+    args += "\",\"slice_scale\":";
+    args += std::to_string(applied_scale);
+    sink.complete("task", "slice", span_begin, slice_index, std::move(args));
   }
 }
 

@@ -105,6 +105,11 @@ class PropertyTask {
   // each. The cache must outlive the task. Call before the first slice.
   void attach_templates(cnf::TemplateCache* templates);
 
+  // Shard tag stamped onto this task's trace events (src/obs); -1 (the
+  // default) means unsharded. Call before the first slice so the engine's
+  // own events inherit it.
+  void set_shard_tag(int shard) { obs_shard_ = shard; }
+
   // Runs one engine slice (respecting the per-property time budget). When
   // `db` is non-null and clause re-use is on, the engine is seeded from it
   // and completed proofs publish their strengthenings back.
@@ -128,6 +133,13 @@ class PropertyTask {
   void ensure_engine(ClauseDb* db);
   void close_holds(std::vector<ts::Cube> invariant, ClauseDb* db);
   void finish_fails(ts::Trace cex);
+  // Folds the final engine's Ic3Stats into EngineOptions::metrics, once
+  // per task lifetime. Every close path funnels through this, which is
+  // what makes the registry totals reconcile exactly with the summed
+  // per-property engine_stats: a task closes exactly once, and engines
+  // discarded by the strict-lifting retry (whose stats never reach
+  // result_.engine_stats) are never folded either.
+  void fold_final_metrics();
 
   const ts::TransitionSystem& ts_;
   std::size_t prop_;
@@ -163,6 +175,9 @@ class PropertyTask {
   std::uint64_t reported_imported_ = 0;
   std::uint64_t reported_rejected_ = 0;
   std::uint64_t reported_known_ = 0;
+  // Observability: shard tag for trace events and the fold-once latch.
+  int obs_shard_ = -1;
+  bool metrics_folded_ = false;
   PropertyResult result_;
 };
 

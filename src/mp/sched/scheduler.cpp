@@ -10,6 +10,8 @@
 #include "mp/joint_verifier.h"
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/persist.h"
 
 namespace javer::mp::sched {
@@ -48,6 +50,8 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   MultiResult result;
   result.per_property.resize(ts_.num_properties());
 
+  const obs::TraceSink sink(opts_.engine.tracer);
+  obs::MetricsRegistry* metrics = opts_.engine.metrics;
   const bool local = opts_.proof_mode == ProofMode::Local;
   // One template memo for the whole run: in local mode every non-ETF
   // target's {target} ∪ assumed set is the same property set, so all those
@@ -73,6 +77,7 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
     }
   }
   if (cache) {
+    cache->set_trace(sink);
     templates.attach_store(cache.get());
     if (opts_.engine.clause_reuse) {
       fp = aig::fingerprint(ts_.aig());
@@ -97,6 +102,7 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   };
 
   WorkerPool pool(effective_threads());
+  pool.set_observability(sink, metrics);
 
   if (opts_.dispatch == DispatchPolicy::RunToCompletion) {
     // With one thread the pool drains on the caller in index order, so
@@ -111,7 +117,9 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
     for (auto& task : tasks) task_ptrs.push_back(task.get());
     const TaskBudget slice{opts_.ic3_slice_seconds,
                            opts_.ic3_slice_conflicts};
+    int round = 0;
     while (!out_of_time()) {
+      const std::uint64_t round_begin = sink.begin();
       double remaining =
           total_limit > 0 ? total_limit - total.seconds() : 0.0;
       sweep.sweep(task_ptrs, remaining);
@@ -125,6 +133,16 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
       pool.run(open.size(), [&](std::size_t i) {
         tasks[open[i]]->run_slice(slice, db_ptr);
       });
+      if (metrics != nullptr) {
+        metrics->add("sched.rounds");
+        metrics->heartbeat(total.seconds());
+      }
+      if (sink.enabled()) {
+        sink.complete("sched", "round", round_begin, -1,
+                      "\"round\":" + std::to_string(round) +
+                          ",\"open\":" + std::to_string(open.size()));
+      }
+      round++;
     }
     for (auto& task : tasks) {
       if (task->open()) task->close_unknown();
@@ -139,8 +157,14 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
       cache->store_clause_db(fp, sig, db.snapshot());
     }
     result.cache_stats = cache->stats();
+    if (metrics != nullptr) {
+      persist::fold_stats(*metrics, result.cache_stats);
+    }
   }
   result.total_seconds = total.seconds();
+  if (metrics != nullptr) {
+    result.metrics = metrics->snapshot(result.total_seconds);
+  }
   return result;
 }
 
@@ -149,6 +173,8 @@ MultiResult Scheduler::run_joint() {
   MultiResult result;
   result.per_property.resize(ts_.num_properties());
 
+  const obs::TraceSink sink(opts_.engine.tracer);
+  obs::MetricsRegistry* metrics = opts_.engine.metrics;
   std::vector<std::size_t> unsolved;
   for (std::size_t i = 0; i < ts_.num_properties(); ++i) unsolved.push_back(i);
 
@@ -177,13 +203,20 @@ MultiResult Scheduler::run_joint() {
     engine_opts.solver_mode = opts_.engine.ic3_solver;
     engine_opts.use_template = opts_.engine.ic3_use_template;
     engine_opts.rebuild_threshold = opts_.engine.ic3_rebuild_threshold;
+    engine_opts.trace = sink;
     // No shared cache: each iteration checks a fresh aggregate TS, but the
     // engine's private template still collapses its per-frame encodings.
 
+    const std::uint64_t iter_begin = sink.begin();
     Timer iteration;
     ic3::Ic3 engine(agg_ts, agg_index, engine_opts);
     ic3::Ic3Result er = engine.run();
     double spent = iteration.seconds();
+    if (sink.enabled()) {
+      sink.complete("sched", "joint_iteration", iter_begin, -1,
+                    "\"unsolved\":" + std::to_string(unsolved.size()));
+    }
+    if (metrics != nullptr) metrics->heartbeat(total.seconds());
 
     if (er.status == CheckStatus::Holds) {
       for (std::size_t p : unsolved) {
@@ -193,8 +226,10 @@ MultiResult Scheduler::run_joint() {
         pr.frames = er.frames;
       }
       // The iteration's engine stats go to one property only, so summing
-      // engine_stats over per_property counts each IC3 run once.
+      // engine_stats over per_property counts each IC3 run once. The fold
+      // mirrors that, which keeps the registry totals equal to the sum.
       result.per_property[unsolved.front()].engine_stats = er.stats;
+      if (metrics != nullptr) ic3::fold_stats(*metrics, er.stats);
       unsolved.clear();
       break;
     }
@@ -223,6 +258,7 @@ MultiResult Scheduler::run_joint() {
       pr.cex = er.cex;
     }
     result.per_property[refuted.front()].engine_stats = er.stats;
+    if (metrics != nullptr) ic3::fold_stats(*metrics, er.stats);
     std::vector<std::size_t> next;
     for (std::size_t p : unsolved) {
       if (std::find(refuted.begin(), refuted.end(), p) == refuted.end()) {
@@ -235,6 +271,9 @@ MultiResult Scheduler::run_joint() {
   }
 
   result.total_seconds = total.seconds();
+  if (metrics != nullptr) {
+    result.metrics = metrics->snapshot(result.total_seconds);
+  }
   return result;
 }
 

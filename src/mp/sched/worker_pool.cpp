@@ -1,6 +1,9 @@
 #include "mp/sched/worker_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace javer::mp::sched {
 
@@ -30,9 +33,12 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::drain() {
+void WorkerPool::drain(bool caller) {
+  const std::uint64_t begin = trace_.begin();
+  std::uint64_t executed = 0;
   std::size_t i;
   while ((i = next_.fetch_add(1)) < count_) {
+    executed++;
     try {
       (*fn_)(i);
     } catch (...) {
@@ -40,6 +46,16 @@ void WorkerPool::drain() {
       if (!error_) error_ = std::current_exception();
       next_.store(count_);  // skip the remaining items
     }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add(caller ? "pool.items_caller" : "pool.items_stolen",
+                  executed);
+    if (!caller && executed == 0) metrics_->add("pool.idle_wakeups");
+  }
+  if (executed > 0 && trace_.enabled()) {
+    std::string args = "\"items\":" + std::to_string(executed) +
+                       ",\"caller\":" + (caller ? "true" : "false");
+    trace_.complete("pool", "drain", begin, -1, std::move(args));
   }
 }
 
@@ -53,7 +69,7 @@ void WorkerPool::worker_loop() {
       if (shutdown_) return;
       seen = generation_;
     }
-    drain();
+    drain(/*caller=*/false);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       active_--;
@@ -75,7 +91,7 @@ void WorkerPool::run(std::size_t n,
     generation_++;
   }
   start_cv_.notify_all();
-  drain();  // the caller is a worker too
+  drain(/*caller=*/true);  // the caller is a worker too
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;

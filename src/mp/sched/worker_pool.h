@@ -19,6 +19,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
+namespace javer::obs {
+class MetricsRegistry;
+}  // namespace javer::obs
+
 namespace javer::mp::sched {
 
 // Resolves a requested worker count: 0 means all hardware threads,
@@ -45,9 +51,22 @@ class WorkerPool {
   // skipped and the first exception is rethrown here.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Observability (src/obs): per-drain "pool" spans on `sink`'s tracer
+  // and pool.items_caller / pool.items_stolen / pool.idle_wakeups
+  // counters on `metrics` (either may be disabled/null). Call between
+  // run() calls, not during one.
+  void set_observability(const obs::TraceSink& sink,
+                         obs::MetricsRegistry* metrics) {
+    trace_ = sink;
+    metrics_ = metrics;
+  }
+
  private:
   void worker_loop();
-  void drain();
+  // One participant's share of the current job; `caller` distinguishes
+  // the calling thread from the spawned (stealing) workers in the
+  // counters.
+  void drain(bool caller);
 
   std::mutex mutex_;
   std::condition_variable start_cv_;
@@ -63,6 +82,10 @@ class WorkerPool {
   std::uint64_t generation_ = 0;
   bool shutdown_ = false;
   std::exception_ptr error_;
+
+  // Observability handles (value sink; null tracer/metrics = off).
+  obs::TraceSink trace_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace javer::mp::sched

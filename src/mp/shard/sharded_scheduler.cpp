@@ -10,6 +10,8 @@
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/property_task.h"
 #include "mp/sched/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/persist.h"
 
 namespace javer::mp::shard {
@@ -66,11 +68,14 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   auto clusters = make_clusters();
   num_shards_ = clusters.size();
   exchange_stats_ = {};
+  const obs::TraceSink sink(opts_.base.engine.tracer);
+  obs::MetricsRegistry* metrics = opts_.base.engine.metrics;
   const bool local = opts_.base.proof_mode == sched::ProofMode::Local;
   const bool hybrid =
       opts_.base.dispatch == sched::DispatchPolicy::HybridBmcIc3;
 
   exchange::LemmaBus bus(clusters.size(), opts_.exchange);
+  bus.set_trace(sink);
   ShardedClauseDb dbs(clusters.size());
   if (external != nullptr && opts_.base.engine.clause_reuse) {
     dbs.seed_all(external->snapshot());
@@ -102,6 +107,7 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
     }
   }
   if (cache) {
+    cache->set_trace(sink);
     templates.attach_store(cache.get());
     if (opts_.base.engine.clause_reuse) {
       fp = aig::fingerprint(ts_.aig());
@@ -136,10 +142,12 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
           opts_.base.engine, local);
       if (bus.enabled()) task->attach_exchange(&bus, i);
       task->attach_templates(&templates);
+      task->set_shard_tag(static_cast<int>(i));
       s.tasks.push_back(std::move(task));
     }
     if (hybrid) {
       s.sweep = std::make_unique<sched::BmcSweep>(ts_, opts_.base, local);
+      s.sweep->set_trace_shard(static_cast<int>(i));
     }
   }
 
@@ -175,6 +183,7 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   };
 
   sched::WorkerPool pool(effective_threads());
+  pool.set_observability(sink, metrics);
 
   if (!hybrid) {  // RunToCompletion: every task drains on the pool
     std::vector<std::pair<Shard*, sched::PropertyTask*>> items;
@@ -189,7 +198,9 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   } else {  // HybridBmcIc3 rounds, two pool passes per round
     const sched::TaskBudget slice{opts_.base.ic3_slice_seconds,
                                   opts_.base.ic3_slice_conflicts};
+    int round = 0;
     while (!out_of_time()) {
+      const std::uint64_t round_begin = sink.begin();
       std::vector<Shard*> live;
       for (Shard& s : shards) {
         if (!open_in(s).empty()) live.push_back(&s);
@@ -226,7 +237,7 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
             // Incompatible producers are rejections; compatible lemmas
             // the unrolling already had (or could no longer use) are
             // redundant deliveries.
-            bus.record_import(installed, lemmas.size() - cubes.size(),
+            bus.record_import(s.id, installed, lemmas.size() - cubes.size(),
                               cubes.size() - installed);
           }
         }
@@ -249,6 +260,17 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
       pool.run(open.size(), [&](std::size_t i) {
         open[i].second->run_slice(slice, open[i].first->db);
       });
+      if (metrics != nullptr) {
+        metrics->add("sched.rounds");
+        metrics->heartbeat(total.seconds());
+      }
+      if (sink.enabled()) {
+        sink.complete("sched", "round", round_begin, -1,
+                      "\"round\":" + std::to_string(round) + ",\"shards\":" +
+                          std::to_string(live.size()) + ",\"open\":" +
+                          std::to_string(open.size()));
+      }
+      round++;
     }
   }
 
@@ -270,9 +292,28 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
       }
     }
     result.cache_stats = cache->stats();
+    if (metrics != nullptr) {
+      persist::fold_stats(*metrics, result.cache_stats);
+    }
   }
   exchange_stats_ = bus.stats();
+  result.exchange_per_shard.reserve(bus.num_shards());
+  for (std::size_t i = 0; i < bus.num_shards(); ++i) {
+    result.exchange_per_shard.push_back(bus.channel_stats(i));
+  }
+  if (metrics != nullptr) {
+    metrics->add("exchange.published", exchange_stats_.published);
+    metrics->add("exchange.duplicates", exchange_stats_.duplicates);
+    metrics->add("exchange.mode_filtered", exchange_stats_.mode_filtered);
+    metrics->add("exchange.delivered", exchange_stats_.delivered);
+    metrics->add("exchange.imported", exchange_stats_.imported);
+    metrics->add("exchange.rejected", exchange_stats_.rejected);
+    metrics->add("exchange.redundant", exchange_stats_.redundant);
+  }
   result.total_seconds = total.seconds();
+  if (metrics != nullptr) {
+    result.metrics = metrics->snapshot(result.total_seconds);
+  }
   return result;
 }
 
@@ -324,6 +365,9 @@ MultiResult ShardedScheduler::run_joint() {
     }
   }
   result.total_seconds = total.seconds();
+  if (obs::MetricsRegistry* metrics = opts_.base.engine.metrics) {
+    result.metrics = metrics->snapshot(result.total_seconds);
+  }
   return result;
 }
 

@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.h"  // detail::append_json_escaped
+
+namespace javer::obs {
+
+namespace {
+
+// Counter/gauge lookups share one shape: binary search the sorted
+// snapshot vectors.
+template <typename Vec>
+auto find_named(const Vec& v, std::string_view name) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  return (it != v.end() && it->first == name) ? it : v.end();
+}
+
+std::string number_json(double value) {
+  // Shortest round-trippable-enough form; metrics are diagnostics, not
+  // accounting, so fixed precision is fine.
+  std::ostringstream out;
+  out.precision(9);
+  out << value;
+  return out.str();
+}
+
+void write_snapshot_json(std::ostream& out, const char* type,
+                         const MetricsSnapshot& s) {
+  std::string line = "{\"type\":\"";
+  line += type;
+  line += "\",\"elapsed_s\":" + number_json(s.elapsed_seconds) +
+          ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : s.counters) {
+    if (!first) line += ',';
+    line += '"';
+    detail::append_json_escaped(line, name);
+    line += "\":" + std::to_string(value);
+    first = false;
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : s.gauges) {
+    if (!first) line += ',';
+    line += '"';
+    detail::append_json_escaped(line, name);
+    line += "\":" + number_json(value);
+    first = false;
+  }
+  line += "}}";
+  out << line << "\n";
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = find_named(counters, name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  auto it = find_named(gauges, name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  if (delta == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::add_gauge(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::max_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot_locked(
+    double elapsed_seconds) const {
+  MetricsSnapshot s;
+  s.elapsed_seconds = elapsed_seconds;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) s.counters.emplace_back(name, value);
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) s.gauges.emplace_back(name, value);
+  return s;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(double elapsed_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked(elapsed_seconds);
+}
+
+void MetricsRegistry::heartbeat(double elapsed_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  heartbeats_.push_back(snapshot_locked(elapsed_seconds));
+}
+
+std::vector<MetricsSnapshot> MetricsRegistry::heartbeats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heartbeats_;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& out) const {
+  std::vector<MetricsSnapshot> beats;
+  MetricsSnapshot final_state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    beats = heartbeats_;
+    double elapsed =
+        heartbeats_.empty() ? 0.0 : heartbeats_.back().elapsed_seconds;
+    final_state = snapshot_locked(elapsed);
+  }
+  for (const MetricsSnapshot& s : beats) {
+    write_snapshot_json(out, "heartbeat", s);
+  }
+  write_snapshot_json(out, "final", final_state);
+}
+
+}  // namespace javer::obs

@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+
+namespace javer::obs {
+
+namespace detail {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  // Starts at 1 so the thread-local cache's 0 means "never cached".
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The args object of one event: the fixed tags (untagged = omitted)
+// followed by the event's extra preformatted members.
+std::string args_json(const TraceEvent& ev) {
+  std::string out = "{";
+  auto sep = [&] {
+    if (out.size() > 1) out += ',';
+  };
+  if (ev.shard >= 0) {
+    sep();
+    out += "\"shard\":" + std::to_string(ev.shard);
+  }
+  if (ev.property >= 0) {
+    sep();
+    out += "\"property\":" + std::to_string(ev.property);
+  }
+  if (ev.slice >= 0) {
+    sep();
+    out += "\"slice\":" + std::to_string(ev.slice);
+  }
+  if (!ev.args.empty()) {
+    sep();
+    out += ev.args;
+  }
+  out += '}';
+  return out;
+}
+
+void write_event_json(std::ostream& out, const TraceEvent& ev) {
+  std::string line = "{\"name\":\"";
+  detail::append_json_escaped(line, ev.name);
+  line += "\",\"cat\":\"";
+  detail::append_json_escaped(line, ev.category);
+  line += "\",\"ph\":\"";
+  line += ev.phase;
+  line += "\",\"pid\":0,\"tid\":" + std::to_string(ev.tid) +
+          ",\"ts\":" + std::to_string(ev.ts_us);
+  if (ev.phase == 'X') line += ",\"dur\":" + std::to_string(ev.dur_us);
+  if (ev.phase == 'i') line += ",\"s\":\"t\"";  // thread-scoped instant
+  line += ",\"args\":" + args_json(ev) + "}";
+  out << line;
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Cache keyed by the tracer's process-unique id, not its address: a
+  // Tracer allocated where a destroyed one lived must not inherit the
+  // stale buffer pointer. A thread alternating between two live tracers
+  // registers a fresh buffer per switch — harmless for the one-tracer-
+  // per-run usage this is built for.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached_id != id_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    cached = buffers_.back().get();
+    cached->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+    cached_id = id_;
+  }
+  return *cached;
+}
+
+void Tracer::record(TraceEvent ev) {
+  ThreadBuffer& buf = local_buffer();
+  ev.tid = buf.tid;
+  buf.events.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) n += buf->events.size();
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events()) {
+    if (!first) out << ",";
+    out << "\n";
+    write_event_json(out, ev);
+    first = false;
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& ev : events()) {
+    write_event_json(out, ev);
+    out << "\n";
+  }
+}
+
+void TraceSink::complete(const char* category, const char* name,
+                         std::uint64_t begin_us, int slice,
+                         std::string args) const {
+  if (tracer_ == nullptr) return;
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.phase = 'X';
+  ev.ts_us = begin_us;
+  ev.dur_us = tracer_->now_us() - begin_us;
+  ev.shard = shard_;
+  ev.property = property_;
+  ev.slice = slice;
+  ev.args = std::move(args);
+  tracer_->record(std::move(ev));
+}
+
+void TraceSink::instant(const char* category, const char* name, int slice,
+                        std::string args) const {
+  if (tracer_ == nullptr) return;
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.ts_us = tracer_->now_us();
+  ev.shard = shard_;
+  ev.property = property_;
+  ev.slice = slice;
+  ev.args = std::move(args);
+  tracer_->record(std::move(ev));
+}
+
+}  // namespace javer::obs

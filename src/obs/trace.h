@@ -1,0 +1,166 @@
+// Structured tracing (src/obs): the timeline half of the observability
+// layer. A Tracer collects begin/end spans and instant events into
+// per-thread buffers (one mutex acquisition per thread *registration*,
+// none per event) and exports them as Chrome trace-event JSON — loadable
+// in chrome://tracing and Perfetto — or as an append-style JSONL event
+// log for ad-hoc tooling.
+//
+// Every event carries the fixed tag set the paper's time-accounting
+// argument needs: (category, name, shard, property, slice). Spans are
+// strictly thread-local (begin and end on the same thread), so they are
+// exported as Chrome "X" complete events, which makes per-thread nesting
+// valid by construction.
+//
+// The instrumentation sites hold a TraceSink, not a Tracer: a sink is a
+// tracer pointer plus default (shard, property) tags, and a null tracer
+// disables every operation behind one branch — default runs pay one
+// pointer test per would-be event and allocate nothing. Sinks are tiny
+// values; retag with with_shard()/with_property() and pass by value.
+//
+// Threading contract: record() may be called from any number of threads
+// concurrently. The export/introspection calls (events(), event_count(),
+// write_*) must not race with recording — call them after the run whose
+// engines hold the sinks has returned (worker pools park their threads
+// between runs; parked workers do not record).
+#ifndef JAVER_OBS_TRACE_H
+#define JAVER_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace javer::obs {
+
+namespace detail {
+// Appends `s` JSON-escaped (no surrounding quotes) to `out`.
+void append_json_escaped(std::string& out, std::string_view s);
+}  // namespace detail
+
+// One recorded event. `category` and `name` are static strings (the
+// event taxonomy lives in the instrumentation sites; dynamic values go
+// into the tags or `args`). Tags with value -1 are "untagged" and are
+// omitted from the exported args object. `args` holds extra members,
+// preformatted as the inside of a JSON object ("\"k\":1,\"s\":\"v\"").
+struct TraceEvent {
+  const char* category = "";
+  const char* name = "";
+  char phase = 'X';  // 'X' complete span, 'i' instant
+  std::uint64_t ts_us = 0;   // microseconds since Tracer construction
+  std::uint64_t dur_us = 0;  // complete spans only
+  std::uint32_t tid = 0;     // registration-order thread id
+  int shard = -1;
+  long long property = -1;
+  int slice = -1;
+  std::string args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since construction (the exported timebase).
+  std::uint64_t now_us() const;
+
+  // Appends to the calling thread's buffer; `tid` is assigned here.
+  void record(TraceEvent ev);
+
+  // --- export (see the threading contract above) ---
+  std::size_t event_count() const;
+  // All events, merged across threads and sorted by timestamp.
+  std::vector<TraceEvent> events() const;
+  // {"traceEvents":[...]} object form, chrome://tracing / Perfetto.
+  void write_chrome_trace(std::ostream& out) const;
+  // One JSON object per line, same fields as the Chrome export.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ (registration + export)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// The cheap handle instrumentation sites hold: a tracer (null = tracing
+// off; every call is one branch) plus the default (shard, property) tags
+// stamped onto each event it records.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  explicit TraceSink(Tracer* tracer, int shard = -1, long long property = -1)
+      : tracer_(tracer), shard_(shard), property_(property) {}
+
+  bool enabled() const { return tracer_ != nullptr; }
+  Tracer* tracer() const { return tracer_; }
+  int shard() const { return shard_; }
+  long long property() const { return property_; }
+
+  TraceSink with_shard(int shard) const {
+    return TraceSink(tracer_, shard, property_);
+  }
+  TraceSink with_property(long long property) const {
+    return TraceSink(tracer_, shard_, property);
+  }
+
+  // Timestamp capture for a manual span; 0 when disabled.
+  std::uint64_t begin() const { return tracer_ ? tracer_->now_us() : 0; }
+
+  // Records the complete span opened at `begin_us` (from begin()).
+  void complete(const char* category, const char* name,
+                std::uint64_t begin_us, int slice = -1,
+                std::string args = {}) const;
+
+  void instant(const char* category, const char* name, int slice = -1,
+               std::string args = {}) const;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  int shard_ = -1;
+  long long property_ = -1;
+};
+
+// RAII span over a sink: opens at construction, records at destruction.
+// set_args() attaches outcome data computed mid-span.
+class TraceSpan {
+ public:
+  TraceSpan(const TraceSink& sink, const char* category, const char* name,
+            int slice = -1)
+      : sink_(sink),
+        category_(category),
+        name_(name),
+        slice_(slice),
+        begin_us_(sink.begin()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (sink_.enabled()) {
+      sink_.complete(category_, name_, begin_us_, slice_, std::move(args_));
+    }
+  }
+
+  void set_args(std::string args) { args_ = std::move(args); }
+
+ private:
+  TraceSink sink_;
+  const char* category_;
+  const char* name_;
+  int slice_;
+  std::uint64_t begin_us_;
+  std::string args_;
+};
+
+}  // namespace javer::obs
+
+#endif  // JAVER_OBS_TRACE_H

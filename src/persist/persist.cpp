@@ -11,8 +11,19 @@
 #include <stdexcept>
 
 #include "base/log.h"
+#include "obs/metrics.h"
 
 namespace javer::persist {
+
+void fold_stats(obs::MetricsRegistry& metrics, const PersistStats& stats) {
+  metrics.add("persist.templates_loaded", stats.templates_loaded);
+  metrics.add("persist.templates_stored", stats.templates_stored);
+  metrics.add("persist.dbs_loaded", stats.dbs_loaded);
+  metrics.add("persist.dbs_stored", stats.dbs_stored);
+  metrics.add("persist.cubes_loaded", stats.cubes_loaded);
+  metrics.add("persist.load_errors", stats.load_errors);
+  metrics.add("persist.store_errors", stats.store_errors);
+}
 
 namespace fs = std::filesystem;
 
@@ -272,6 +283,10 @@ std::optional<std::string> PersistCache::read_entry(const std::string& name,
       fnv1a64(file.data() + kHeaderSize, static_cast<std::size_t>(payload_size))) {
     return reject("checksum mismatch");
   }
+  // Last-used stamp: touching the mtime on every successful read lets an
+  // eviction pass (ROADMAP) age out entries by recency without a format
+  // change. Best-effort — a read-only cache still serves entries.
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   return file;
 }
 
@@ -280,6 +295,7 @@ std::optional<std::string> PersistCache::read_entry(const std::string& name,
 std::shared_ptr<const cnf::CnfTemplate> PersistCache::load_template(
     const ts::TransitionSystem& ts, std::uint64_t fingerprint,
     const cnf::CnfTemplate::Spec& spec) {
+  obs::TraceSpan span(trace_, "persist", "load_template");
   const std::string name = template_file_name(fingerprint, spec);
   std::optional<std::string> entry = read_entry(name, kKindTemplate);
   if (!entry) return nullptr;
@@ -385,6 +401,7 @@ std::shared_ptr<const cnf::CnfTemplate> PersistCache::load_template(
 
 void PersistCache::store_template(std::uint64_t fingerprint,
                                   const cnf::CnfTemplate& tmpl) {
+  obs::TraceSpan span(trace_, "persist", "store_template");
   std::string payload;
   put_u64(payload, fingerprint);
   put_u8(payload, tmpl.spec().simplify ? 1 : 0);
@@ -424,6 +441,7 @@ void PersistCache::store_template(std::uint64_t fingerprint,
 std::optional<std::vector<ts::Cube>> PersistCache::load_clause_db(
     const ts::TransitionSystem& ts, std::uint64_t fingerprint,
     std::uint64_t signature) {
+  obs::TraceSpan span(trace_, "persist", "load_clause_db");
   const std::string name = clause_db_file_name(fingerprint, signature);
   std::optional<std::string> entry = read_entry(name, kKindClauseDb);
   if (!entry) return std::nullopt;
@@ -473,6 +491,7 @@ std::optional<std::vector<ts::Cube>> PersistCache::load_clause_db(
 void PersistCache::store_clause_db(std::uint64_t fingerprint,
                                    std::uint64_t signature,
                                    const std::vector<ts::Cube>& cubes) {
+  obs::TraceSpan span(trace_, "persist", "store_clause_db");
   std::string payload;
   put_u64(payload, fingerprint);
   put_u64(payload, signature);

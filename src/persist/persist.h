@@ -43,7 +43,12 @@
 #include <vector>
 
 #include "cnf/template.h"
+#include "obs/trace.h"
 #include "ts/transition_system.h"
+
+namespace javer::obs {
+class MetricsRegistry;
+}  // namespace javer::obs
 
 namespace javer::persist {
 
@@ -64,6 +69,10 @@ struct PersistStats {
   std::uint64_t load_errors = 0;       // corrupt/mismatched entries ignored
   std::uint64_t store_errors = 0;      // failed writes (cache left as-is)
 };
+
+// Folds a cache's final stats into an obs::MetricsRegistry under the
+// "persist." counter names. Call once per run, after the cache is done.
+void fold_stats(obs::MetricsRegistry& metrics, const PersistStats& stats);
 
 // The on-disk cache over one directory. Thread-safe: the schedulers hand
 // it to a TemplateCache that worker threads hit concurrently.
@@ -94,6 +103,10 @@ class PersistCache final : public cnf::TemplateStore {
 
   PersistStats stats() const;
 
+  // Cache load/store operations become "persist" spans on `sink`'s
+  // tracer (the sink is copied; a default sink keeps the cache silent).
+  void set_trace(const obs::TraceSink& sink) { trace_ = sink; }
+
   // Entry file names within dir() — exposed so tests (and curious
   // operators) can address individual entries.
   static std::string template_file_name(std::uint64_t fingerprint,
@@ -114,6 +127,7 @@ class PersistCache final : public cnf::TemplateStore {
   std::string dir_;
   mutable std::mutex mu_;  // guards stats_ and temp-file staging
   PersistStats stats_;
+  obs::TraceSink trace_;
 };
 
 }  // namespace javer::persist

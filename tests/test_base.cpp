@@ -38,6 +38,26 @@ TEST(CheckStatus, ToString) {
   EXPECT_STREQ(to_string(CheckStatus::Unknown), "unknown");
 }
 
+TEST(Log, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(parse_log_level("silent"), LogLevel::Silent);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::Silent);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("1"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::Verbose);
+  EXPECT_EQ(parse_log_level("2"), LogLevel::Verbose);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::Debug);
+}
+
+TEST(Log, ParseLogLevelRejectsEverythingElse) {
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("Silent").has_value());  // case-sensitive
+  EXPECT_FALSE(parse_log_level("4").has_value());
+  EXPECT_FALSE(parse_log_level("-1").has_value());
+  EXPECT_FALSE(parse_log_level("warn").has_value());
+  EXPECT_FALSE(parse_log_level("info ").has_value());
+}
+
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   double a = t.seconds();

@@ -6,6 +6,7 @@
 // verdict.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -136,6 +137,40 @@ TEST(PersistCache, ClauseDbRoundTrip) {
   EXPECT_FALSE(
       cache.load_clause_db(ts, fp, persist::index_set_signature({0, 1}))
           .has_value());
+  EXPECT_EQ(cache.stats().load_errors, 0u);
+}
+
+TEST(PersistCache, SuccessfulLoadStampsEntryAsRecentlyUsed) {
+  // read_entry touches the entry's mtime on every served load so a future
+  // eviction pass can age out entries by recency. The stamp must not
+  // disturb the payload: the entry round-trips identically afterwards.
+  aig::Aig aig = small_design(16);
+  ts::TransitionSystem ts(aig);
+  const std::string dir = fresh_dir("stamp");
+  persist::PersistCache cache(dir);
+  const std::uint64_t fp = aig::fingerprint(aig);
+  const std::uint64_t sig = persist::index_set_signature({0, 1, 2});
+  std::vector<ts::Cube> cubes{{ts::StateLit{0, true}},
+                              {ts::StateLit{1, false}}};
+  cache.store_clause_db(fp, sig, cubes);
+
+  const fs::path entry =
+      fs::path(dir) / persist::PersistCache::clause_db_file_name(fp, sig);
+  ASSERT_TRUE(fs::exists(entry));
+  const auto ancient =
+      fs::file_time_type::clock::now() - std::chrono::hours(48);
+  fs::last_write_time(entry, ancient);
+  const auto before = fs::last_write_time(entry);
+
+  auto loaded = cache.load_clause_db(ts, fp, sig);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, cubes);
+  EXPECT_GT(fs::last_write_time(entry), before);
+
+  // The stamped entry is still byte-for-byte servable (checksum intact).
+  auto again = cache.load_clause_db(ts, fp, sig);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, cubes);
   EXPECT_EQ(cache.stats().load_errors, 0u);
 }
 

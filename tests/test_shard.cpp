@@ -143,7 +143,7 @@ TEST(LemmaBus, OffModeIgnoresImportReportsAndKeepsChannelsEmpty) {
   exchange::LemmaBus bus(2, exchange::ExchangeMode::Off);
   bus.publish(0, exchange::LemmaKind::BmcUnit, exchange::kBmcProducer,
               {unit_cube(0, true)});
-  bus.record_import(3, 2, 1);
+  bus.record_import(0, 3, 2, 1);
   exchange::ExchangeStats s = bus.stats();
   EXPECT_EQ(s.published, 0u);
   EXPECT_EQ(s.delivered, 0u);
@@ -155,11 +155,49 @@ TEST(LemmaBus, OffModeIgnoresImportReportsAndKeepsChannelsEmpty) {
 
   // The same report is counted once the bus is actually on.
   exchange::LemmaBus on(1, exchange::ExchangeMode::Units);
-  on.record_import(3, 2, 1);
+  on.record_import(0, 3, 2, 1);
   exchange::ExchangeStats t = on.stats();
   EXPECT_EQ(t.imported, 3u);
   EXPECT_EQ(t.rejected, 2u);
   EXPECT_EQ(t.redundant, 1u);
+}
+
+TEST(LemmaBus, ChannelStatsAttributeTrafficPerShard) {
+  // Global stats() aggregate the whole bus; channel_stats(s) must break
+  // the same totals down by consuming shard so print_report's per-shard
+  // exchange lines add up to the summary line.
+  exchange::LemmaBus bus(2, exchange::ExchangeMode::All);
+  bus.publish(0, exchange::LemmaKind::BmcUnit, exchange::kBmcProducer,
+              {unit_cube(0, true), unit_cube(1, false)});
+  bus.publish(1, exchange::LemmaKind::Ic3Strengthening, 7,
+              {unit_cube(2, true)});
+  exchange::LemmaBus::Cursor a, b;
+  EXPECT_EQ(bus.poll(0, a).size(), 2u);
+  EXPECT_EQ(bus.poll(1, b).size(), 1u);
+  bus.record_import(0, 2, 0, 0);
+  bus.record_import(1, 0, 1, 0);
+
+  exchange::ExchangeStats c0 = bus.channel_stats(0);
+  exchange::ExchangeStats c1 = bus.channel_stats(1);
+  EXPECT_EQ(c0.published, 2u);
+  EXPECT_EQ(c0.delivered, 2u);
+  EXPECT_EQ(c0.imported, 2u);
+  EXPECT_EQ(c0.rejected, 0u);
+  EXPECT_EQ(c1.published, 1u);
+  EXPECT_EQ(c1.delivered, 1u);
+  EXPECT_EQ(c1.imported, 0u);
+  EXPECT_EQ(c1.rejected, 1u);
+
+  exchange::ExchangeStats g = bus.stats();
+  EXPECT_EQ(c0.published + c1.published, g.published);
+  EXPECT_EQ(c0.delivered + c1.delivered, g.delivered);
+  EXPECT_EQ(c0.imported + c1.imported, g.imported);
+  EXPECT_EQ(c0.rejected + c1.rejected, g.rejected);
+
+  // Out-of-range shards answer with zeros rather than faulting.
+  exchange::ExchangeStats oob = bus.channel_stats(9);
+  EXPECT_EQ(oob.published, 0u);
+  EXPECT_EQ(oob.delivered, 0u);
 }
 
 TEST(LemmaBus, KindAndProducerFilters) {

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a javer Chrome trace-event JSON file.
+
+Checks the structural schema of the export (src/obs/trace.cpp) so CI can
+gate on the observability artifact staying loadable in chrome://tracing
+and Perfetto:
+
+  * top level is an object with a "traceEvents" list;
+  * every event has string "name"/"cat", "ph" in {"X", "i"}, integer
+    "pid"/"tid", and a non-negative integer "ts";
+  * complete spans ("X") carry a non-negative integer "dur";
+  * instants ("i") are thread-scoped ("s": "t");
+  * "args", when present, is an object; the (shard, property, slice) tags
+    are non-negative integers (untagged values are omitted, never -1);
+  * per-thread "X" spans nest properly (a span begun inside another one
+    ends no later than its enclosing span).
+
+With --expect-slices, additionally require at least one "task"/"slice"
+span tagged with both shard and property — the shape a sharded scheduler
+run must produce.
+
+Usage: check_trace.py [--expect-slices] TRACE.json
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED_PHASES = {"X", "i"}
+TAG_KEYS = ("shard", "property", "slice")
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(index, ev):
+    if not isinstance(ev, dict):
+        fail(f"event {index}: not an object")
+    for key in ("name", "cat"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            fail(f"event {index}: missing or empty '{key}'")
+    ph = ev.get("ph")
+    if ph not in REQUIRED_PHASES:
+        fail(f"event {index} ({ev['name']}): bad phase {ph!r}")
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            fail(f"event {index} ({ev['name']}): missing integer '{key}'")
+    ts = ev.get("ts")
+    if not isinstance(ts, int) or ts < 0:
+        fail(f"event {index} ({ev['name']}): bad 'ts' {ts!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, int) or dur < 0:
+            fail(f"event {index} ({ev['name']}): span without valid 'dur'")
+    if ph == "i" and ev.get("s") != "t":
+        fail(f"event {index} ({ev['name']}): instant not thread-scoped")
+    args = ev.get("args", {})
+    if not isinstance(args, dict):
+        fail(f"event {index} ({ev['name']}): 'args' is not an object")
+    for tag in TAG_KEYS:
+        if tag in args and (not isinstance(args[tag], int) or args[tag] < 0):
+            fail(f"event {index} ({ev['name']}): bad tag {tag}={args[tag]!r}")
+
+
+def check_nesting(events):
+    """Per-tid, 'X' spans sorted by start must nest like a call stack."""
+    by_tid = defaultdict(list)
+    for ev in events:
+        if ev["ph"] == "X":
+            by_tid[ev["tid"]].append(ev)
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for ev in spans:
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1]:
+                fail(
+                    f"tid {tid}: span '{ev['name']}' [{ev['ts']}, {end}) "
+                    f"overlaps the enclosing span ending at {stack[-1]}"
+                )
+            stack.append(end)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--expect-slices",
+        action="store_true",
+        help="require >=1 task/slice span tagged with shard and property",
+    )
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {opts.trace}: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level is not an object with a 'traceEvents' list")
+    events = doc["traceEvents"]
+    if not events:
+        fail("trace contains no events")
+
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+    check_nesting(events)
+
+    slice_spans = [
+        ev
+        for ev in events
+        if ev["ph"] == "X"
+        and ev["cat"] == "task"
+        and ev["name"] == "slice"
+        and "shard" in ev.get("args", {})
+        and "property" in ev.get("args", {})
+    ]
+    if opts.expect_slices and not slice_spans:
+        fail("no task/slice span tagged with (shard, property) found")
+
+    cats = sorted({ev["cat"] for ev in events})
+    print(
+        f"check_trace: OK: {len(events)} event(s), "
+        f"{len(slice_spans)} tagged slice span(s), categories: {', '.join(cats)}"
+    )
+
+
+if __name__ == "__main__":
+    main()
