@@ -1,0 +1,226 @@
+// Table XIV (extension, not from the paper): the bit-parallel simulation
+// prefilter ablation — off vs falsify vs full — over (a) a
+// shallow-failure family where every property fails within a few frames
+// (the workload the filter exists for) and (b) the Table III failing
+// family (mixed shallow failures, deep masked failures and true
+// properties, where most of the time goes to proofs the filter cannot
+// help with).
+// Shapes checked:
+//  * all three modes produce byte-identical verdicts on every design (the
+//    soundness contract: simulation hits are re-validated by the witness
+//    checker and can only save work, never flip a verdict) — the binary
+//    exits nonzero on any divergence;
+//  * on the shallow family the filter certifies at least half the
+//    failures with zero SAT contexts created;
+//  * on the mixed failing family the full filter does not lose wall-time
+//    vs off (the sweep costs microseconds; anything it kills was a BMC
+//    unrolling that no longer runs).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "mp/sched/scheduler.h"
+#include "mp/simfilter/options.h"
+#include "obs/trace.h"
+#include "ts/transition_system.h"
+
+using namespace javer;
+
+namespace {
+
+std::vector<bench::NamedDesign> shallow_family() {
+  // Every property fails within 2^fail_window_log2 frames; no true
+  // filler, so a perfect filter leaves the SAT engines nothing to do.
+  double s = bench::scale();
+  auto scaled = [&](std::size_t v) {
+    return static_cast<std::size_t>(v * s);
+  };
+  std::vector<bench::NamedDesign> family;
+  auto add = [&](const std::string& name, std::uint64_t seed,
+                 std::size_t gated, std::size_t window_log2) {
+    gen::SyntheticSpec spec;
+    spec.seed = seed;
+    spec.wrap_counter_bits = 6;
+    spec.rings = 1;
+    spec.ring_size = 4;
+    spec.ring_props = 0;
+    spec.pair_props = 0;
+    spec.unreachable_props = 0;
+    spec.det_fail_props = 1;
+    spec.input_fail_props = scaled(gated);
+    spec.masked_fail_props = 0;
+    spec.fail_window_log2 = window_log2;
+    family.push_back({name, spec});
+  };
+  add("shal-a", 141, 5, 2);
+  add("shal-b", 142, 9, 3);
+  add("shal-c", 143, 13, 3);
+  return family;
+}
+
+mp::sched::SchedulerOptions run_opts(mp::simfilter::SimFilterMode mode,
+                                     double prop_limit,
+                                     obs::Tracer* tracer) {
+  mp::sched::SchedulerOptions so;
+  so.proof_mode = mp::sched::ProofMode::Local;
+  so.dispatch = mp::sched::DispatchPolicy::HybridBmcIc3;
+  so.engine.time_limit_per_property = prop_limit;
+  so.engine.sim_filter.mode = mode;
+  so.engine.sim_filter.depth = 24;
+  so.engine.sim_filter.patterns = 256;
+  so.engine.tracer = tracer;
+  return so;
+}
+
+bool same_verdicts(const mp::MultiResult& a, const mp::MultiResult& b) {
+  if (a.per_property.size() != b.per_property.size()) return false;
+  for (std::size_t p = 0; p < a.per_property.size(); ++p) {
+    if (a.per_property[p].verdict != b.per_property[p].verdict) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  obs::Tracer tracer;
+  obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
+
+  bench::BenchJson json("table14");
+  bench::print_title(
+      "Table XIV",
+      "Simulation-prefilter ablation (off / falsify / full) on the "
+      "shallow-failure and Table III failing families. kills = properties "
+      "closed by certified simulation counterexamples before any SAT "
+      "work; #ctx = SAT solver contexts created.");
+
+  double prop_limit = bench::budget(2.0);
+
+  std::printf("%9s %5s %5s | %-17s | %-23s | %-29s\n", "", "", "",
+              "off", "falsify", "full");
+  std::printf("%9s %5s %5s | %6s %10s | %5s %6s %10s | %5s %5s %6s %10s\n",
+              "name", "#lat", "#prop", "#ctx", "time", "kills", "#ctx",
+              "time", "kills", "seeds", "#ctx", "time");
+  std::printf("----------------------+------------------+------------------"
+              "------+------------------------------\n");
+
+  bool verdicts_identical = true;
+  bool shallow_killed_free = true;
+  double off_mixed_total = 0.0, full_mixed_total = 0.0;
+  std::uint64_t shallow_props = 0, shallow_kills = 0, shallow_contexts = 0;
+
+  auto families = {std::make_pair(true, shallow_family()),
+                   std::make_pair(false, bench::failing_family())};
+  for (const auto& [shallow, family] : families) {
+    for (const auto& d : family) {
+      aig::Aig design = gen::make_synthetic(d.spec);
+      ts::TransitionSystem ts(design);
+
+      mp::MultiResult results[3];
+      bench::Summary sums[3];
+      const mp::simfilter::SimFilterMode modes[3] = {
+          mp::simfilter::SimFilterMode::Off,
+          mp::simfilter::SimFilterMode::Falsify,
+          mp::simfilter::SimFilterMode::Full};
+      const char* tags[3] = {"off", "falsify", "full"};
+      for (int m = 0; m < 3; ++m) {
+        mp::sched::SchedulerOptions so =
+            run_opts(modes[m], prop_limit, tracer_ptr);
+        results[m] = mp::sched::Scheduler(ts, so).run();
+        sums[m] = bench::summarize(results[m]);
+        bench::record_row(d.name, std::string(tags[m]) +
+                                      (shallow ? "-shallow" : "-mixed"),
+                          sums[m]);
+      }
+
+      const mp::simfilter::SimFilterStats& fal = results[1].sim_stats;
+      const mp::simfilter::SimFilterStats& ful = results[2].sim_stats;
+      std::printf("%9s %5zu %5zu | %6llu %10s | %5llu %6llu %10s | %5llu "
+                  "%5llu %6llu %10s\n",
+                  d.name.c_str(), design.num_latches(),
+                  design.num_properties(),
+                  static_cast<unsigned long long>(
+                      sums[0].solver_contexts_created),
+                  bench::fmt_time(sums[0].seconds).c_str(),
+                  static_cast<unsigned long long>(fal.kills),
+                  static_cast<unsigned long long>(
+                      sums[1].solver_contexts_created),
+                  bench::fmt_time(sums[1].seconds).c_str(),
+                  static_cast<unsigned long long>(ful.kills),
+                  static_cast<unsigned long long>(ful.seeds_exported),
+                  static_cast<unsigned long long>(
+                      sums[2].solver_contexts_created),
+                  bench::fmt_time(sums[2].seconds).c_str());
+
+      verdicts_identical &= same_verdicts(results[0], results[1]);
+      verdicts_identical &= same_verdicts(results[0], results[2]);
+      if (shallow) {
+        shallow_props += design.num_properties();
+        shallow_kills += ful.kills;
+        shallow_contexts += sums[2].solver_contexts_created;
+        // Killed properties must cost nothing: no SAT context may ever be
+        // created for a property the filter already closed.
+        shallow_killed_free &= (ful.kills >= design.num_properties() / 2);
+      } else {
+        off_mixed_total += sums[0].seconds;
+        full_mixed_total += sums[2].seconds;
+      }
+    }
+  }
+
+  std::printf("\nshallow family: %llu/%llu properties killed by the filter, "
+              "%llu SAT context(s); mixed totals: off %s, full %s\n",
+              static_cast<unsigned long long>(shallow_kills),
+              static_cast<unsigned long long>(shallow_props),
+              static_cast<unsigned long long>(shallow_contexts),
+              bench::fmt_time(off_mixed_total).c_str(),
+              bench::fmt_time(full_mixed_total).c_str());
+  bench::record_metric("shallow_props", static_cast<double>(shallow_props));
+  bench::record_metric("shallow_kills", static_cast<double>(shallow_kills));
+  bench::record_metric("shallow_sat_contexts",
+                       static_cast<double>(shallow_contexts));
+  bench::record_metric("off_mixed_total_seconds", off_mixed_total);
+  bench::record_metric("full_mixed_total_seconds", full_mixed_total);
+
+  bool shallow_mostly_free =
+      shallow_kills * 2 >= shallow_props && shallow_contexts == 0;
+  bench::print_shape(
+      "off, falsify and full produce byte-identical verdicts on every "
+      "design",
+      verdicts_identical);
+  bench::print_shape(
+      "the filter certifies >=50% of the shallow family per design and "
+      "the family completes with zero SAT contexts",
+      shallow_mostly_free && shallow_killed_free);
+  bench::print_shape(
+      "full prefilter does not lose wall-time vs off on the mixed failing "
+      "family",
+      full_mixed_total <= off_mixed_total * 1.05 + 0.05);
+
+  if (tracer_ptr != nullptr) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    tracer.write_chrome_trace(out);
+    std::printf("trace: %zu event(s) -> %s\n", tracer.event_count(),
+                trace_out.c_str());
+  }
+  // The soundness contract is the one non-negotiable: any verdict
+  // divergence fails the bench (and CI) outright.
+  return verdicts_identical ? 0 : 1;
+}

@@ -32,6 +32,7 @@
 #include "mp/sched/scheduler.h"
 #include "mp/separate_verifier.h"
 #include "mp/shard/sharded_scheduler.h"
+#include "mp/simfilter/options.h"
 #include "ts/witness.h"
 
 namespace {
@@ -44,10 +45,17 @@ struct CliOptions {
   std::string cache_dir;
   std::string trace_out;
   std::string metrics_out;
+  std::string sim_prefilter = "off";  // off | falsify | full
   javer::LogLevel log_level = javer::LogLevel::Silent;
   double time_limit = 60.0;
   unsigned threads = 0;  // 0 = hardware concurrency (parallel/hybrid)
   int bmc_depth = 64;    // hybrid/sharded: cap on the shared BMC unrolling
+  int sim_depth = 32;        // prefilter: steps per pattern batch
+  int sim_patterns = 256;    // prefilter: total patterns (rounded to 64s)
+  unsigned long seed = 1;    // base/rng seed (prefilter, --order shuffle)
+  bool cache_gc = false;     // run cache eviction instead of verifying
+  unsigned long cache_max_bytes = 0;    // --cache-gc size cap; 0 = none
+  double cache_max_age_days = 0.0;      // --cache-gc age cap; 0 = none
   double cluster_threshold = 0.5;     // sharded/clustered: min similarity
   std::size_t max_cluster_size = 64;  // sharded/clustered: shard size cap
   javer::mp::exchange::ExchangeMode lemma_exchange =
@@ -100,6 +108,34 @@ void usage(std::FILE* out) {
 "                       0 = all hardware threads      (default: 0)\n"
 "  --bmc-depth N        hybrid/sharded: cap on the shared BMC unrolling\n"
 "                       depth                         (default: 64)\n"
+"\n"
+"simulation prefilter (not for joint/clustered):\n"
+"  --sim-prefilter M    off | falsify | full          (default: off)\n"
+"                         falsify  batched 64-wide random simulation\n"
+"                                  before any SAT work; every hit is\n"
+"                                  replayed and certified through the\n"
+"                                  witness checker before it may close a\n"
+"                                  property, and behavior signatures feed\n"
+"                                  the sharded engine's clustering\n"
+"                         full     falsify + near-miss \"just assume\"\n"
+"                                  prefix seeds into the BMC sweeps\n"
+"                                  (hybrid/sharded)\n"
+"  --sim-depth N        prefilter: steps simulated per pattern\n"
+"                       (default: 32)\n"
+"  --sim-patterns N     prefilter: total patterns, rounded up to a\n"
+"                       multiple of 64                (default: 256)\n"
+"  --seed N             base RNG seed for the prefilter and --order\n"
+"                       shuffle; identical seeds reproduce identical\n"
+"                       sweeps                        (default: 1)\n"
+"\n"
+"cache maintenance:\n"
+"  --cache-gc           garbage-collect --cache-dir instead of verifying\n"
+"                       (no design file needed): removes corrupt entries\n"
+"                       and abandoned staging files, then applies the age\n"
+"                       and size caps below (oldest first, by last use)\n"
+"  --cache-max-bytes N    --cache-gc: size cap on the cache (0 = none)\n"
+"  --cache-max-age-days D --cache-gc: evict entries unused for more than\n"
+"                         D days (0 = none)\n"
 "\n"
 "sharded/clustered knobs:\n"
 "  --cluster-threshold F  minimum Jaccard cone similarity for two\n"
@@ -219,6 +255,42 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       unsigned long n = 0;
       if (!next_number("--bmc-depth", n)) return false;
       opts.bmc_depth = static_cast<int>(n);
+    } else if (arg == "--sim-prefilter") {
+      const char* v = next("--sim-prefilter");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "off") != 0 && std::strcmp(v, "falsify") != 0 &&
+          std::strcmp(v, "full") != 0) {
+        std::fprintf(stderr,
+                     "javer_cli: --sim-prefilter wants off|falsify|full, "
+                     "got '%s'\n", v);
+        return false;
+      }
+      opts.sim_prefilter = v;
+    } else if (arg == "--sim-depth") {
+      unsigned long n = 0;
+      if (!next_number("--sim-depth", n)) return false;
+      opts.sim_depth = static_cast<int>(n);
+    } else if (arg == "--sim-patterns") {
+      unsigned long n = 0;
+      if (!next_number("--sim-patterns", n)) return false;
+      opts.sim_patterns = static_cast<int>(n);
+    } else if (arg == "--seed") {
+      if (!next_number("--seed", opts.seed)) return false;
+    } else if (arg == "--cache-gc") {
+      opts.cache_gc = true;
+    } else if (arg == "--cache-max-bytes") {
+      if (!next_number("--cache-max-bytes", opts.cache_max_bytes)) {
+        return false;
+      }
+    } else if (arg == "--cache-max-age-days") {
+      const char* v = next("--cache-max-age-days");
+      if (v == nullptr) return false;
+      if (!parse_number(v, opts.cache_max_age_days)) {
+        std::fprintf(stderr,
+                     "javer_cli: --cache-max-age-days wants a non-negative "
+                     "number, got '%s'\n", v);
+        return false;
+      }
     } else if (arg == "--cluster-threshold") {
       const char* v = next("--cluster-threshold");
       if (v == nullptr) return false;
@@ -338,7 +410,7 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.path = arg;
     }
   }
-  if (opts.path.empty()) {
+  if (opts.path.empty() && !opts.cache_gc) {
     std::fprintf(stderr, "javer_cli: no design file given\n");
     return false;
   }
@@ -359,6 +431,39 @@ int main(int argc, char** argv) {
     return 0;
   }
   set_log_level(cli.log_level);
+
+  if (cli.cache_gc) {
+    // Maintenance mode: one eviction pass over the warm-start cache, no
+    // verification. A GC pass only costs warmth, never soundness.
+    if (cli.cache_dir.empty()) {
+      std::fprintf(stderr, "javer_cli: --cache-gc needs --cache-dir\n");
+      return 3;
+    }
+    persist::GcOptions gc_opts;
+    gc_opts.max_bytes = cli.cache_max_bytes;
+    gc_opts.max_age_days = cli.cache_max_age_days;
+    persist::GcStats gc;
+    try {
+      gc = persist::collect_garbage(cli.cache_dir, gc_opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "javer_cli: %s\n", e.what());
+      return 3;
+    }
+    std::printf(
+        "cache-gc: %s: %llu entr%s scanned, %llu kept "
+        "(%llu -> %llu bytes); removed: %llu by age, %llu by size, "
+        "%llu corrupt, %llu stale tmp\n",
+        cli.cache_dir.c_str(), static_cast<unsigned long long>(gc.scanned),
+        gc.scanned == 1 ? "y" : "ies",
+        static_cast<unsigned long long>(gc.kept),
+        static_cast<unsigned long long>(gc.bytes_before),
+        static_cast<unsigned long long>(gc.bytes_after),
+        static_cast<unsigned long long>(gc.removed_age),
+        static_cast<unsigned long long>(gc.removed_size),
+        static_cast<unsigned long long>(gc.removed_corrupt),
+        static_cast<unsigned long long>(gc.removed_stale_tmp));
+    return 0;
+  }
 
   aig::Aig design;
   try {
@@ -386,6 +491,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "javer_cli: --trace-out/--metrics-out are not supported "
                  "with --engine clustered\n");
+    return 3;
+  }
+
+  if (cli.sim_prefilter != "off" &&
+      (cli.engine == "joint" || cli.engine == "clustered")) {
+    // The aggregate policies have no per-property tasks for the filter's
+    // kills/seeds to land on.
+    std::fprintf(stderr,
+                 "javer_cli: --sim-prefilter is not supported with --engine "
+                 "%s\n", cli.engine.c_str());
     return 3;
   }
 
@@ -419,7 +534,7 @@ int main(int argc, char** argv) {
   if (cli.order == "cone") {
     order = mp::order_by_cone_size(ts);
   } else if (cli.order == "shuffle") {
-    order = mp::shuffled_order(ts, 1);
+    order = mp::shuffled_order(ts, cli.seed);
   } else if (cli.order != "design") {
     std::fprintf(stderr, "javer_cli: unknown order '%s'\n",
                  cli.order.c_str());
@@ -447,6 +562,16 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry* metrics_ptr =
       cli.metrics_out.empty() ? nullptr : &metrics;
 
+  mp::simfilter::SimFilterOptions sim_opts;
+  sim_opts.mode = cli.sim_prefilter == "full"
+                      ? mp::simfilter::SimFilterMode::Full
+                  : cli.sim_prefilter == "falsify"
+                      ? mp::simfilter::SimFilterMode::Falsify
+                      : mp::simfilter::SimFilterMode::Off;
+  sim_opts.depth = cli.sim_depth;
+  sim_opts.patterns = cli.sim_patterns;
+  sim_opts.seed = cli.seed;
+
   Timer timer;
   mp::MultiResult result;
   if (cli.engine == "ja") {
@@ -459,6 +584,7 @@ int main(int argc, char** argv) {
     opts.ic3_use_template = cli.ic3_template;
     opts.cache_dir = cli.cache_dir;
     opts.order = order;
+    opts.sim_filter = sim_opts;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
     result = mp::JaVerifier(ts, opts).run(db);
@@ -472,6 +598,7 @@ int main(int argc, char** argv) {
     opts.cache_dir = cli.cache_dir;
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
+    opts.sim_filter = sim_opts;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
     result = mp::SeparateVerifier(ts, opts).run(db);
@@ -494,6 +621,7 @@ int main(int argc, char** argv) {
     opts.ic3_solver = cli.ic3_solver;
     opts.ic3_use_template = cli.ic3_template;
     opts.cache_dir = cli.cache_dir;
+    opts.sim_filter = sim_opts;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
@@ -511,6 +639,7 @@ int main(int argc, char** argv) {
     opts.engine.ic3_use_template = cli.ic3_template;
     opts.engine.cache_dir = cli.cache_dir;
     opts.engine.order = order;
+    opts.engine.sim_filter = sim_opts;
     opts.engine.tracer = tracer_ptr;
     opts.engine.metrics = metrics_ptr;
     result = mp::sched::Scheduler(ts, opts).run(db);
@@ -528,6 +657,7 @@ int main(int argc, char** argv) {
     opts.base.engine.ic3_use_template = cli.ic3_template;
     opts.base.engine.cache_dir = cli.cache_dir;
     opts.base.engine.order = order;
+    opts.base.engine.sim_filter = sim_opts;
     opts.base.engine.tracer = tracer_ptr;
     opts.base.engine.metrics = metrics_ptr;
     opts.clustering.min_similarity = cli.cluster_threshold;

@@ -36,26 +36,54 @@ std::uint64_t Simulator64::value(Lit l) const {
 }
 
 std::vector<std::uint64_t> Simulator64::next_state() const {
-  std::vector<std::uint64_t> next(aig_.num_latches());
-  for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
-    next[i] = value(aig_.latches()[i].next);
-  }
+  std::vector<std::uint64_t> next;
+  step_state(next);
   return next;
+}
+
+void Simulator64::step_state(std::vector<std::uint64_t>& out) const {
+  out.resize(aig_.num_latches());
+  for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
+    out[i] = value(aig_.latches()[i].next);
+  }
+}
+
+Simulator::Simulator(const Aig& aig) : aig_(aig) {
+  values_.resize(aig.num_nodes(), 0);
 }
 
 void Simulator::eval(const std::vector<bool>& state,
                      const std::vector<bool>& inputs) {
-  std::vector<std::uint64_t> s(state.size()), x(inputs.size());
-  for (std::size_t i = 0; i < state.size(); ++i) s[i] = state[i] ? ~0ULL : 0;
-  for (std::size_t i = 0; i < inputs.size(); ++i) x[i] = inputs[i] ? ~0ULL : 0;
-  sim64_.eval(s, x);
+  if (state.size() != aig_.num_latches() ||
+      inputs.size() != aig_.num_inputs()) {
+    throw std::invalid_argument("sim: state/input size mismatch");
+  }
+  values_[0] = 0;
+  for (std::size_t i = 0; i < aig_.num_inputs(); ++i) {
+    values_[aig_.inputs()[i]] = inputs[i] ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
+    values_[aig_.latches()[i].var] = state[i] ? 1 : 0;
+  }
+  for (Var v = 1; v < aig_.num_nodes(); ++v) {
+    const Node& n = aig_.node(v);
+    if (n.type == NodeType::And) {
+      values_[v] = (value(n.fanin0) && value(n.fanin1)) ? 1 : 0;
+    }
+  }
 }
 
 std::vector<bool> Simulator::next_state() const {
-  auto packed = sim64_.next_state();
-  std::vector<bool> next(packed.size());
-  for (std::size_t i = 0; i < packed.size(); ++i) next[i] = (packed[i] & 1);
+  std::vector<bool> next;
+  step_state(next);
   return next;
+}
+
+void Simulator::step_state(std::vector<bool>& out) const {
+  out.resize(aig_.num_latches());
+  for (std::size_t i = 0; i < aig_.num_latches(); ++i) {
+    out[i] = value(aig_.latches()[i].next);
+  }
 }
 
 TernarySimulator::TernarySimulator(const Aig& aig) : aig_(aig) {

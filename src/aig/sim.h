@@ -1,6 +1,7 @@
 // AIG simulation: 64-way parallel bit simulation and three-valued
 // (ternary) simulation. Used for counterexample validation, first-failure
-// analysis and workload-generator sanity checks.
+// analysis, the mp/simfilter falsification sweeps and workload-generator
+// sanity checks.
 #ifndef JAVER_AIG_SIM_H
 #define JAVER_AIG_SIM_H
 
@@ -13,7 +14,9 @@
 namespace javer::aig {
 
 // Evaluates all nodes for 64 parallel patterns (bit i of every word belongs
-// to pattern i).
+// to pattern i). The node-value buffer is allocated once at construction
+// and reused across eval() calls, so a sweep loop (eval + step_state per
+// time frame) performs zero heap allocations per step.
 class Simulator64 {
  public:
   explicit Simulator64(const Aig& aig);
@@ -24,25 +27,36 @@ class Simulator64 {
 
   std::uint64_t value(Lit l) const;
   std::vector<std::uint64_t> next_state() const;
+  // In-place form of next_state(): resizes `out` to the latch count. `out`
+  // may alias the state vector last passed to eval() — the batch-sweep
+  // step is `sim.eval(state, inputs); sim.step_state(state);`.
+  void step_state(std::vector<std::uint64_t>& out) const;
 
  private:
   const Aig& aig_;
   std::vector<std::uint64_t> values_;
 };
 
-// Single-pattern convenience wrapper over bool vectors.
+// Single-pattern simulator over bool vectors. Evaluates byte-wide instead
+// of delegating to Simulator64 — the witness-replay path (trace analysis,
+// prefilter candidate certification) is single-pattern and must not pay
+// the 64x word work per node. Buffers persist across eval() calls.
 class Simulator {
  public:
-  explicit Simulator(const Aig& aig) : sim64_(aig), aig_(aig) {}
+  explicit Simulator(const Aig& aig);
 
   void eval(const std::vector<bool>& state, const std::vector<bool>& inputs);
 
-  bool value(Lit l) const { return (sim64_.value(l) & 1) != 0; }
+  bool value(Lit l) const {
+    return (values_[l.var()] != 0) != l.complemented();
+  }
   std::vector<bool> next_state() const;
+  // In-place form of next_state(); `out` may alias the last eval() state.
+  void step_state(std::vector<bool>& out) const;
 
  private:
-  Simulator64 sim64_;
   const Aig& aig_;
+  std::vector<std::uint8_t> values_;
 };
 
 // Three-valued simulation; X models unknown/unassigned bits.

@@ -7,12 +7,26 @@
 
 namespace javer::bmc {
 
-Bmc::Bmc(const ts::TransitionSystem& ts)
+Bmc::Bmc(const ts::TransitionSystem& ts,
+         const std::vector<bool>* init_override)
     : ts_(ts), pre_(solver_), encoder_(ts.aig(), pre_) {
+  if (init_override != nullptr &&
+      init_override->size() != ts.num_latches()) {
+    throw std::invalid_argument("bmc: init override size mismatch");
+  }
   // Frame 0: latches bound to their reset values; X-reset latches get
-  // fresh variables (any initial value).
+  // fresh variables (any initial value). With an init override every
+  // latch is bound to the given constant instead.
   cnf::Encoder::Frame f0 = encoder_.make_frame();
-  for (const aig::Latch& l : ts.aig().latches()) {
+  const std::vector<aig::Latch>& latches = ts.aig().latches();
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    const aig::Latch& l = latches[i];
+    if (init_override != nullptr) {
+      encoder_.bind(f0, l.var,
+                    (*init_override)[i] ? encoder_.true_lit()
+                                        : ~encoder_.true_lit());
+      continue;
+    }
     switch (l.reset) {
       case Ternary::False:
         encoder_.bind(f0, l.var, ~encoder_.true_lit());

@@ -56,7 +56,13 @@ struct BmcResult {
 
 class Bmc {
  public:
-  explicit Bmc(const ts::TransitionSystem& ts);
+  // `init_override`, when given, replaces the design's initial states with
+  // the single concrete latch assignment it points to (one bool per
+  // latch). Frame 0 is then fully bound to constants — the "just assume"
+  // prefix-seed queries of the simulation prefilter open a bounded search
+  // from a simulated near-miss state this way. The pointee is copied.
+  explicit Bmc(const ts::TransitionSystem& ts,
+               const std::vector<bool>* init_override = nullptr);
 
   // Searches for a trace whose final step falsifies at least one target.
   BmcResult run(const std::vector<std::size_t>& targets,

@@ -39,7 +39,8 @@ double jaccard(const std::vector<bool>& a, const std::vector<bool>& b) {
 }  // namespace
 
 std::vector<std::vector<std::size_t>> cluster_properties(
-    const ts::TransitionSystem& ts, const ClusterOptions& opts) {
+    const ts::TransitionSystem& ts, const ClusterOptions& opts,
+    std::size_t* signature_merges) {
   std::size_t k = ts.num_properties();
   auto cones = property_cones(ts);
 
@@ -54,6 +55,25 @@ std::vector<std::vector<std::size_t>> cluster_properties(
     }
     return x;
   };
+  // Behavior term first: properties with equal nonzero simulation
+  // signatures are candidate-equivalent, so force them together before
+  // structural similarity gets a vote (the cap still binds).
+  std::size_t sig_merges = 0;
+  if (!opts.signatures.empty()) {
+    for (std::size_t i = 0; i < k && i < opts.signatures.size(); ++i) {
+      if (opts.signatures[i] == 0) continue;
+      for (std::size_t j = i + 1; j < k && j < opts.signatures.size(); ++j) {
+        if (opts.signatures[j] != opts.signatures[i]) continue;
+        std::size_t ri = find(i), rj = find(j);
+        if (ri == rj) continue;
+        if (size[ri] + size[rj] > opts.max_cluster_size) continue;
+        parent[rj] = ri;
+        size[ri] += size[rj];
+        sig_merges++;
+      }
+    }
+  }
+  if (signature_merges != nullptr) *signature_merges = sig_merges;
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = i + 1; j < k; ++j) {
       std::size_t ri = find(i), rj = find(j);

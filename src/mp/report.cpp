@@ -76,6 +76,22 @@ void print_report(std::ostream& out, const ts::TransitionSystem& ts,
         << xs.redundant << " [hit rate "
         << static_cast<int>(xs.hit_rate() * 100.0 + 0.5) << "%]\n";
   }
+  if (result.sim_stats.patterns > 0) {
+    const simfilter::SimFilterStats& ss = result.sim_stats;
+    out << "  sim-prefilter: " << ss.kills << " kill(s) / " << ss.candidates
+        << " candidate(s) from " << ss.patterns << " patterns x " << ss.steps
+        << " steps";
+    if (ss.max_kill_depth >= 0) out << " (max depth " << ss.max_kill_depth << ')';
+    if (ss.seeds_exported > 0) {
+      out << ", " << ss.seeds_exported << " seed(s) -> " << ss.seed_hits
+          << " hit(s)";
+    }
+    out << ", " << ss.signature_groups << " signature group(s)";
+    if (ss.signature_merges > 0) {
+      out << " (" << ss.signature_merges << " cluster merge(s))";
+    }
+    out << " in " << format_duration(ss.seconds) << '\n';
+  }
   auto dbg = result.debugging_set();
   out << "  summary: " << result.num_proved() << " proved, "
       << result.num_failed() << " failed, " << result.num_unsolved()

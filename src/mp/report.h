@@ -10,6 +10,7 @@
 
 #include "ic3/ic3.h"
 #include "mp/exchange/lemma_bus.h"
+#include "mp/simfilter/options.h"
 #include "obs/metrics.h"
 #include "persist/persist.h"
 #include "ts/trace.h"
@@ -53,6 +54,9 @@ struct MultiResult {
   persist::PersistStats cache_stats;
   // Per-shard LemmaBus channel traffic; empty unless the run was sharded.
   std::vector<exchange::ExchangeStats> exchange_per_shard;
+  // Simulation-prefilter accounting (mp/simfilter); all-zero unless the
+  // run had EngineOptions::sim_filter.mode != Off.
+  simfilter::SimFilterStats sim_stats;
   // Final counter/gauge state when EngineOptions::metrics was set; empty
   // (no entries) otherwise. By construction the "ic3." / "sat." / "simp."
   // totals here equal the summed per_property engine_stats.

@@ -12,7 +12,7 @@ namespace javer::mp::sched {
 
 BmcSweep::BmcSweep(const ts::TransitionSystem& ts,
                    const SchedulerOptions& opts, bool local_mode)
-    : ts_(ts), opts_(opts), bmc_(ts) {
+    : ts_(ts), opts_(opts), local_mode_(local_mode), bmc_(ts) {
   if (local_mode) {
     // Every ETH property is assumed on non-final steps; a failure found
     // at the final bound is therefore a first failure (a local CEX).
@@ -23,28 +23,102 @@ BmcSweep::BmcSweep(const ts::TransitionSystem& ts,
   exhausted_ = opts_.bmc_max_depth <= 0 || opts_.bmc_depth_per_sweep <= 0;
 }
 
+void BmcSweep::add_near_miss_seeds(std::vector<simfilter::NearMissSeed> seeds) {
+  for (simfilter::NearMissSeed& s : seeds) seeds_.push_back(std::move(s));
+}
+
+std::size_t BmcSweep::process_seeds(std::vector<PropertyTask*>& by_prop) {
+  std::vector<simfilter::NearMissSeed> seeds = std::move(seeds_);
+  seeds_.clear();
+  const obs::TraceSink sink(opts_.engine.tracer, trace_shard_);
+  std::size_t closed = 0;
+  const std::uint64_t discarded_before = seed_discarded_;
+  for (simfilter::NearMissSeed& seed : seeds) {
+    PropertyTask* task =
+        seed.prop < by_prop.size() ? by_prop[seed.prop] : nullptr;
+    if (task == nullptr || !task->open() || seed.prefix.steps.empty()) {
+      continue;
+    }
+    const std::uint64_t begin = sink.begin();
+    // A dedicated bounded unrolling opened at the seed's final simulated
+    // state — the "just assume" prefix-constraint machinery with the seed
+    // state as the (single) initial state.
+    bmc::Bmc seed_bmc(ts_, &seed.prefix.steps.back().state);
+    bmc::BmcOptions bo;
+    bo.assumed = assumed_;
+    bo.max_depth = std::max(0, opts_.engine.sim_filter.seed_window);
+    bo.conflict_budget = opts_.engine.conflict_budget_per_query;
+    bo.simplify = opts_.engine.simplify;
+    bmc::BmcResult br = seed_bmc.run({seed.prop}, bo);
+    bool hit = false;
+    if (br.status == CheckStatus::Fails) {
+      // Stitch: the prefix up to (not including) the seed state, then the
+      // BMC trace (whose step 0 state *is* the seed state; its inputs come
+      // from the BMC model). The oracle is the only thing allowed to turn
+      // this into a verdict.
+      ts::Trace stitched;
+      stitched.steps.assign(seed.prefix.steps.begin(),
+                            seed.prefix.steps.end() - 1);
+      for (ts::Step& s : br.cex.steps) stitched.steps.push_back(std::move(s));
+      const bool ok =
+          local_mode_
+              ? ts::is_local_cex(ts_, stitched, seed.prop, task->assumed())
+              : ts::is_global_cex(ts_, stitched, seed.prop);
+      if (ok) {
+        const int frames = static_cast<int>(stitched.length());
+        task->resolve_fails(std::move(stitched), frames);
+        by_prop[seed.prop] = nullptr;
+        closed++;
+        seed_hits_++;
+        hit = true;
+      } else {
+        seed_discarded_++;
+      }
+    }
+    if (sink.enabled()) {
+      sink.complete("bmc", "seed", begin, -1,
+                    "\"prop\":" + std::to_string(seed.prop) +
+                        ",\"hit\":" + (hit ? std::string("true")
+                                           : std::string("false")));
+    }
+    JAVER_LOG(Verbose) << "sweep: seed for P" << seed.prop
+                       << (hit ? " hit" : " missed");
+  }
+  if (obs::MetricsRegistry* m = opts_.engine.metrics) {
+    m->add("sim.seed_queries", seeds.size());
+    m->add("sim.seed_hits", closed);
+    m->add("sim.seed_discarded", seed_discarded_ - discarded_before);
+  }
+  return closed;
+}
+
 std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
                             double remaining_seconds) {
-  if (exhausted_) return 0;
+  std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
+  for (PropertyTask* task : tasks) {
+    if (task != nullptr && task->open()) by_prop[task->prop()] = task;
+  }
+  // Seeds run even when the shared unrolling is exhausted: their windows
+  // are independent, bounded and cheap.
+  std::size_t seed_closed = seeds_.empty() ? 0 : process_seeds(by_prop);
+  if (exhausted_) return seed_closed;
   const obs::TraceSink sink(opts_.engine.tracer, trace_shard_);
   const std::uint64_t span_begin = sink.begin();
   const int window_begin = depth_done_;
   std::vector<std::size_t> targets;
-  std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
   for (PropertyTask* task : tasks) {
-    if (task != nullptr && task->open()) {
+    if (task != nullptr && task->open() && by_prop[task->prop()] != nullptr) {
       targets.push_back(task->prop());
-      by_prop[task->prop()] = task;
     }
   }
-  if (targets.empty()) return 0;
+  if (targets.empty()) return seed_closed;
 
   const int window_end =
       std::min(depth_done_ + opts_.bmc_depth_per_sweep, opts_.bmc_max_depth) -
       1;
   if (window_end < depth_done_) {
     exhausted_ = true;
-    return 0;
+    return seed_closed;
   }
 
   double budget = opts_.bmc_sweep_seconds;
@@ -105,7 +179,7 @@ std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
                        ",\"closed\":" + std::to_string(closed);
     sink.complete("bmc", "sweep", span_begin, -1, std::move(args));
   }
-  return closed;
+  return closed + seed_closed;
 }
 
 std::vector<ts::Cube> BmcSweep::harvest_unit_candidates() {

@@ -9,10 +9,12 @@
 #ifndef JAVER_MP_SCHED_BMC_SWEEP_H
 #define JAVER_MP_SCHED_BMC_SWEEP_H
 
+#include <cstdint>
 #include <vector>
 
 #include "bmc/bmc.h"
 #include "mp/sched/scheduler.h"
+#include "mp/simfilter/sim_filter.h"
 #include "ts/transition_system.h"
 
 namespace javer::mp::sched {
@@ -52,11 +54,31 @@ class BmcSweep {
   // unsharded. The tracer/metrics handles come from the engine options.
   void set_trace_shard(int shard) { trace_shard_ = shard; }
 
+  // --- near-miss prefix seeding (mp/simfilter, Full mode) ---
+
+  // Queues "just assume" prefix seeds for the next sweep() call. Each seed
+  // opens a dedicated bounded unrolling (sim_filter.seed_window deep) from
+  // the seed's final simulated state; a counterexample found there is
+  // stitched onto the prefix and re-validated through the witness-checker
+  // oracle before it may close the task. Seeds are consumed even when the
+  // shared unrolling is exhausted.
+  void add_near_miss_seeds(std::vector<simfilter::NearMissSeed> seeds);
+  std::uint64_t seed_hits() const { return seed_hits_; }
+  std::uint64_t seed_discarded() const { return seed_discarded_; }
+
  private:
+  // Runs the queued seeds against the open tasks in `by_prop` (indexed by
+  // property; closed entries nulled). Returns how many tasks it closed.
+  std::size_t process_seeds(std::vector<PropertyTask*>& by_prop);
+
   const ts::TransitionSystem& ts_;
   SchedulerOptions opts_;  // copied: a sweep may outlive a caller's round
+  bool local_mode_;
   bmc::Bmc bmc_;
   std::vector<std::size_t> assumed_;
+  std::vector<simfilter::NearMissSeed> seeds_;  // pending, next sweep()
+  std::uint64_t seed_hits_ = 0;
+  std::uint64_t seed_discarded_ = 0;
   int depth_done_ = 0;    // completed bounds of the shared unrolling
   int empty_streak_ = 0;  // consecutive sweeps without a counterexample
   bool exhausted_ = false;

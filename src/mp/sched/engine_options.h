@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ic3/solver_mode.h"
+#include "mp/simfilter/options.h"
 
 namespace javer::obs {
 class Tracer;
@@ -61,6 +62,12 @@ struct EngineOptions {
   // paper's default ("properties are verified in the order they are
   // given").
   std::vector<std::size_t> order;
+  // Bit-parallel simulation prefilter (mp/simfilter): runs before any SAT
+  // work in the task-based schedulers, falsifying shallow properties with
+  // certified replayed counterexamples, harvesting behavior signatures
+  // for clustering, and (Full mode) seeding BmcSweep with near-miss
+  // prefix states. Off by default; javer_cli --sim-prefilter.
+  simfilter::SimFilterOptions sim_filter;
   // Observability (src/obs), both non-owning and optional. `tracer`
   // collects per-slice timeline spans and instant events (Chrome-trace /
   // JSONL export); `metrics` absorbs the run's counters (Ic3Stats, SAT

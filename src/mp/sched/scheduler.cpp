@@ -10,6 +10,7 @@
 #include "mp/joint_verifier.h"
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/worker_pool.h"
+#include "mp/simfilter/sim_filter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "persist/persist.h"
@@ -104,6 +105,29 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   WorkerPool pool(effective_threads());
   pool.set_observability(sink, metrics);
 
+  // Simulation prefilter (mp/simfilter): before any SAT work, batched
+  // random simulation falsifies shallow properties — each kill carries a
+  // counterexample the witness-checker oracle certified, so closing the
+  // task here is exactly as sound as closing it from an engine. Full mode
+  // additionally exports near-miss prefix seeds into the hybrid BMC sweep.
+  std::vector<simfilter::NearMissSeed> seeds;
+  if (opts_.engine.sim_filter.mode != simfilter::SimFilterMode::Off) {
+    simfilter::SimFilter filter(ts_, opts_.engine.sim_filter, local,
+                                opts_.engine.tracer, metrics);
+    std::vector<std::size_t> targets;
+    for (auto& task : tasks) targets.push_back(task->prop());
+    filter.run(targets, &pool);
+    for (const simfilter::SimKill& k : filter.kills()) {
+      for (auto& task : tasks) {
+        if (task->prop() == k.prop && task->open()) {
+          task->resolve_fails(k.cex, k.depth);
+        }
+      }
+    }
+    seeds = filter.take_seeds();
+    result.sim_stats = filter.stats();
+  }
+
   if (opts_.dispatch == DispatchPolicy::RunToCompletion) {
     // With one thread the pool drains on the caller in index order, so
     // this is also the classic sequential separate/JA loop.
@@ -113,6 +137,7 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
     });
   } else {  // HybridBmcIc3
     BmcSweep sweep(ts_, opts_, local);
+    sweep.add_near_miss_seeds(std::move(seeds));
     std::vector<PropertyTask*> task_ptrs;
     for (auto& task : tasks) task_ptrs.push_back(task.get());
     const TaskBudget slice{opts_.ic3_slice_seconds,
@@ -147,6 +172,8 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
     for (auto& task : tasks) {
       if (task->open()) task->close_unknown();
     }
+    result.sim_stats.seed_hits = sweep.seed_hits();
+    result.sim_stats.seed_discarded = sweep.seed_discarded();
   }
 
   for (auto& task : tasks) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <numeric>
 #include <utility>
 
 #include "aig/aig.h"
@@ -10,6 +11,7 @@
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/property_task.h"
 #include "mp/sched/worker_pool.h"
+#include "mp/simfilter/sim_filter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "persist/persist.h"
@@ -25,9 +27,9 @@ unsigned ShardedScheduler::effective_threads() const {
                                      ts_.num_properties());
 }
 
-std::vector<std::vector<std::size_t>> ShardedScheduler::make_clusters()
-    const {
-  auto clusters = cluster_properties(ts_, opts_.clustering);
+std::vector<std::vector<std::size_t>> ShardedScheduler::make_clusters(
+    const ClusterOptions& copts, std::size_t* signature_merges) const {
+  auto clusters = cluster_properties(ts_, copts, signature_merges);
   const std::vector<std::size_t>& order = opts_.base.engine.order;
   if (!order.empty()) {
     // Honor the verification order within each cluster (properties absent
@@ -65,14 +67,43 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   MultiResult result;
   result.per_property.resize(ts_.num_properties());
 
-  auto clusters = make_clusters();
-  num_shards_ = clusters.size();
   exchange_stats_ = {};
   const obs::TraceSink sink(opts_.base.engine.tracer);
   obs::MetricsRegistry* metrics = opts_.base.engine.metrics;
   const bool local = opts_.base.proof_mode == sched::ProofMode::Local;
   const bool hybrid =
       opts_.base.dispatch == sched::DispatchPolicy::HybridBmcIc3;
+
+  sched::WorkerPool pool(effective_threads());
+  pool.set_observability(sink, metrics);
+
+  // Simulation prefilter (mp/simfilter) runs before clustering: its kills
+  // close tasks with oracle-certified counterexamples, its near-miss
+  // seeds feed the shard sweeps, and its behavior signatures join the
+  // clustering similarity — properties that behaved identically on every
+  // simulated pattern are candidate-equivalent and share a shard.
+  std::unique_ptr<simfilter::SimFilter> filter;
+  std::vector<simfilter::NearMissSeed> seeds;
+  ClusterOptions copts = opts_.clustering;
+  if (opts_.base.engine.sim_filter.mode != simfilter::SimFilterMode::Off) {
+    filter = std::make_unique<simfilter::SimFilter>(
+        ts_, opts_.base.engine.sim_filter, local, opts_.base.engine.tracer,
+        metrics);
+    std::vector<std::size_t> targets(ts_.num_properties());
+    std::iota(targets.begin(), targets.end(), std::size_t{0});
+    filter->run(targets, &pool);
+    seeds = filter->take_seeds();
+    result.sim_stats = filter->stats();
+    copts.signatures = filter->signatures();
+  }
+
+  std::size_t sig_merges = 0;
+  auto clusters = make_clusters(copts, &sig_merges);
+  num_shards_ = clusters.size();
+  result.sim_stats.signature_merges = sig_merges;
+  if (metrics != nullptr && sig_merges > 0) {
+    metrics->add("sim.signature_merges", sig_merges);
+  }
 
   exchange::LemmaBus bus(clusters.size(), opts_.exchange);
   bus.set_trace(sink);
@@ -151,6 +182,39 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
     }
   }
 
+  // Prefilter results: close every killed task (the cex is already
+  // oracle-certified) and route each near-miss seed to its property's
+  // owning shard sweep.
+  if (filter != nullptr) {
+    for (const simfilter::SimKill& k : filter->kills()) {
+      for (Shard& s : shards) {
+        for (auto& t : s.tasks) {
+          if (t->prop() == k.prop && t->open()) {
+            t->resolve_fails(k.cex, k.depth);
+          }
+        }
+      }
+    }
+    if (hybrid && !seeds.empty()) {
+      std::vector<int> shard_of(ts_.num_properties(), -1);
+      for (std::size_t i = 0; i < clusters.size(); ++i) {
+        for (std::size_t p : clusters[i]) shard_of[p] = static_cast<int>(i);
+      }
+      std::vector<std::vector<simfilter::NearMissSeed>> per_shard(
+          shards.size());
+      for (simfilter::NearMissSeed& sd : seeds) {
+        if (shard_of[sd.prop] >= 0) {
+          per_shard[shard_of[sd.prop]].push_back(std::move(sd));
+        }
+      }
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        if (!per_shard[i].empty()) {
+          shards[i].sweep->add_near_miss_seeds(std::move(per_shard[i]));
+        }
+      }
+    }
+  }
+
   const double total_limit = opts_.base.engine.total_time_limit;
   auto out_of_time = [&] {
     return total_limit > 0 && total.seconds() >= total_limit;
@@ -181,9 +245,6 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
     return std::includes(sweep.assumed().begin(), sweep.assumed().end(),
                          under.begin(), under.end());
   };
-
-  sched::WorkerPool pool(effective_threads());
-  pool.set_observability(sink, metrics);
 
   if (!hybrid) {  // RunToCompletion: every task drains on the pool
     std::vector<std::pair<Shard*, sched::PropertyTask*>> items;
@@ -279,6 +340,10 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
       if (t->open()) t->close_unknown();
       result.per_property[t->prop()] = std::move(t->result());
     }
+    if (s.sweep != nullptr) {
+      result.sim_stats.seed_hits += s.sweep->seed_hits();
+      result.sim_stats.seed_discarded += s.sweep->seed_discarded();
+    }
   }
 
   if (external != nullptr && opts_.base.engine.clause_reuse) {
@@ -322,7 +387,7 @@ MultiResult ShardedScheduler::run_joint() {
   MultiResult result;
   result.per_property.resize(ts_.num_properties());
 
-  auto clusters = make_clusters();
+  auto clusters = make_clusters(opts_.clustering);
   num_shards_ = clusters.size();
   exchange_stats_ = {};
 

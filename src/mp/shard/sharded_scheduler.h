@@ -70,9 +70,12 @@ class ShardedScheduler {
   MultiResult run_tasks(ClauseDb* external);
   MultiResult run_joint();
   unsigned effective_threads() const;
-  // Cluster partition with each cluster's members ordered by the engine
-  // order option (design order by default).
-  std::vector<std::vector<std::size_t>> make_clusters() const;
+  // Cluster partition under `copts` (the caller may have added simulation
+  // signatures to the configured options) with each cluster's members
+  // ordered by the engine order option (design order by default).
+  std::vector<std::vector<std::size_t>> make_clusters(
+      const ClusterOptions& copts,
+      std::size_t* signature_merges = nullptr) const;
 
   const ts::TransitionSystem& ts_;
   ShardedOptions opts_;

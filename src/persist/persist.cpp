@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -513,6 +514,123 @@ void PersistCache::store_clause_db(std::uint64_t fingerprint,
 PersistStats PersistCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+// --- cache eviction ----------------------------------------------------------
+
+namespace {
+
+// Envelope check shared by both entry kinds: magic, format version,
+// payload size and checksum. Kind is not checked — GC keeps any entry a
+// current reader could in principle verify.
+bool envelope_valid(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0 || static_cast<std::size_t>(size) < kEnvelopeSize) {
+    return false;
+  }
+  std::string file(static_cast<std::size_t>(size), '\0');
+  in.seekg(0);
+  in.read(file.data(), size);
+  if (!in) return false;
+  if (std::memcmp(file.data(), kMagic, sizeof kMagic) != 0) return false;
+  Reader header{file, sizeof kMagic, file.size()};
+  try {
+    if (header.u16() != kFormatVersion) return false;
+    header.u16();  // kind: any known-or-future kind is fine
+    const std::uint64_t payload_size = header.u64();
+    if (payload_size != file.size() - kEnvelopeSize) return false;
+    Reader trailer{file, kHeaderSize + static_cast<std::size_t>(payload_size),
+                   file.size()};
+    return trailer.u64() == fnv1a64(file.data() + kHeaderSize,
+                                    static_cast<std::size_t>(payload_size));
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+GcStats collect_garbage(const std::string& dir, const GcOptions& opts) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    throw std::runtime_error("persist: '" + dir + "' is not a directory");
+  }
+  GcStats stats;
+  struct Entry {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& de : fs::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string name = de.path().filename().string();
+    // Abandoned staging files (a crashed writer's .tmp.<pid>.<n>): a live
+    // writer holds its tmp file only for the duration of one rename, so
+    // anything still here is garbage.
+    if (name.find(".jvpc.tmp.") != std::string::npos) {
+      if (fs::remove(de.path(), ec)) stats.removed_stale_tmp++;
+      continue;
+    }
+    if (name.size() < 5 || name.compare(name.size() - 5, 5, ".jvpc") != 0) {
+      continue;  // not ours; never touch foreign files
+    }
+    stats.scanned++;
+    const std::uint64_t size = de.file_size(ec);
+    stats.bytes_before += ec ? 0 : size;
+    if (!envelope_valid(de.path())) {
+      if (fs::remove(de.path(), ec)) stats.removed_corrupt++;
+      continue;
+    }
+    entries.push_back(Entry{de.path(), size, de.last_write_time(ec)});
+  }
+
+  if (opts.max_age_days > 0) {
+    const auto cutoff =
+        now - std::chrono::duration_cast<fs::file_time_type::duration>(
+                  std::chrono::duration<double>(opts.max_age_days * 86400.0));
+    std::vector<Entry> young;
+    for (Entry& e : entries) {
+      if (e.mtime < cutoff) {
+        if (fs::remove(e.path, ec)) stats.removed_age++;
+      } else {
+        young.push_back(std::move(e));
+      }
+    }
+    entries = std::move(young);
+  }
+
+  if (opts.max_bytes > 0) {
+    // Oldest-first eviction until the valid entries fit the cap. mtime is
+    // the last-used stamp (refreshed on every successful read), so this
+    // is LRU over runs.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    std::uint64_t total = 0;
+    for (const Entry& e : entries) total += e.size;
+    std::size_t i = 0;
+    while (total > opts.max_bytes && i < entries.size()) {
+      if (fs::remove(entries[i].path, ec)) {
+        stats.removed_size++;
+        total -= entries[i].size;
+      }
+      i++;
+    }
+    entries.erase(entries.begin(), entries.begin() + i);
+  }
+
+  stats.kept = entries.size();
+  for (const Entry& e : entries) stats.bytes_after += e.size;
+  JAVER_LOG(Info) << "persist: gc kept " << stats.kept << "/" << stats.scanned
+                  << " entries (" << stats.bytes_after << " bytes), removed "
+                  << stats.removed_age << " by age, " << stats.removed_size
+                  << " by size, " << stats.removed_corrupt << " corrupt, "
+                  << stats.removed_stale_tmp << " stale tmp";
+  return stats;
 }
 
 }  // namespace javer::persist

@@ -74,6 +74,40 @@ struct PersistStats {
 // "persist." counter names. Call once per run, after the cache is done.
 void fold_stats(obs::MetricsRegistry& metrics, const PersistStats& stats);
 
+// --- cache eviction (javer_cli --cache-gc) ----------------------------------
+
+struct GcOptions {
+  // Size cap on the summed size of valid entries; oldest entries (by
+  // mtime, the last-used stamp read_entry refreshes) are evicted first
+  // until the directory fits. 0 = no size cap.
+  std::uint64_t max_bytes = 0;
+  // Age cap: entries whose mtime is older than this many days are
+  // evicted. 0 = no age cap. Entries newer than the threshold are never
+  // deleted by this pass.
+  double max_age_days = 0.0;
+};
+
+struct GcStats {
+  std::uint64_t scanned = 0;          // *.jvpc entries examined
+  std::uint64_t kept = 0;             // entries surviving the pass
+  std::uint64_t removed_age = 0;      // evicted by max_age_days
+  std::uint64_t removed_size = 0;     // evicted (oldest-first) by max_bytes
+  std::uint64_t removed_corrupt = 0;  // bad magic/version/size/checksum
+  std::uint64_t removed_stale_tmp = 0;  // abandoned .tmp. staging files
+  std::uint64_t bytes_before = 0;     // summed size of scanned entries
+  std::uint64_t bytes_after = 0;      // summed size of kept entries
+};
+
+// One garbage-collection pass over a cache directory: removes abandoned
+// staging files, entries whose envelope no longer verifies (bad magic,
+// version, payload size or checksum — these could never be served again
+// anyway), entries older than max_age_days, and then — oldest-first —
+// enough valid entries to fit max_bytes. A GC pass can only cost warmth,
+// never soundness: everything it deletes would either be rejected or
+// rebuilt by the next run. Throws std::runtime_error when `dir` is not a
+// directory.
+GcStats collect_garbage(const std::string& dir, const GcOptions& opts = {});
+
 // The on-disk cache over one directory. Thread-safe: the schedulers hand
 // it to a TemplateCache that worker threads hit concurrently.
 class PersistCache final : public cnf::TemplateStore {

@@ -401,5 +401,97 @@ TEST(Persist, RenamedEntryFromAnotherDesignIsRejected) {
   EXPECT_NE(cache.load_template(ts_a, fp_a, spec), nullptr);
 }
 
+// --- cache eviction (persist::collect_garbage) ------------------------------
+
+// Three valid clause-db entries with distinct names.
+std::vector<fs::path> seed_gc_entries(const std::string& dir) {
+  persist::PersistCache cache(dir);
+  std::vector<fs::path> paths;
+  for (std::uint64_t sig = 1; sig <= 3; ++sig) {
+    cache.store_clause_db(0xabc, sig, {{ts::StateLit{0, sig % 2 == 0}}});
+    paths.push_back(fs::path(dir) /
+                    persist::PersistCache::clause_db_file_name(0xabc, sig));
+  }
+  for (const fs::path& p : paths) EXPECT_TRUE(fs::exists(p));
+  return paths;
+}
+
+TEST(PersistGc, NeverDeletesEntriesNewerThanAgeThreshold) {
+  const std::string dir = fresh_dir("gc_age");
+  std::vector<fs::path> paths = seed_gc_entries(dir);
+
+  // Everything was written just now: an age cap must keep it all.
+  persist::GcOptions opts;
+  opts.max_age_days = 1.0;
+  persist::GcStats gc = persist::collect_garbage(dir, opts);
+  EXPECT_EQ(gc.scanned, 3u);
+  EXPECT_EQ(gc.kept, 3u);
+  EXPECT_EQ(gc.removed_age, 0u);
+  for (const fs::path& p : paths) EXPECT_TRUE(fs::exists(p));
+
+  // Back-date one entry past the threshold: exactly that one goes.
+  fs::last_write_time(paths[1], fs::file_time_type::clock::now() -
+                                    std::chrono::hours(48));
+  gc = persist::collect_garbage(dir, opts);
+  EXPECT_EQ(gc.removed_age, 1u);
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_TRUE(fs::exists(paths[0]));
+  EXPECT_FALSE(fs::exists(paths[1]));
+  EXPECT_TRUE(fs::exists(paths[2]));
+}
+
+TEST(PersistGc, SweepsCorruptEntriesAndStaleStagingFiles) {
+  const std::string dir = fresh_dir("gc_corrupt");
+  std::vector<fs::path> paths = seed_gc_entries(dir);
+  { std::ofstream(fs::path(dir) / "broken.jvpc") << "not an envelope"; }
+  { std::ofstream(fs::path(dir) / "x.jvpc.tmp.1234.5") << "abandoned"; }
+  { std::ofstream(fs::path(dir) / "unrelated.txt") << "foreign"; }
+
+  persist::GcStats gc = persist::collect_garbage(dir, {});
+  EXPECT_EQ(gc.removed_corrupt, 1u);
+  EXPECT_EQ(gc.removed_stale_tmp, 1u);
+  EXPECT_EQ(gc.kept, 3u);
+  for (const fs::path& p : paths) EXPECT_TRUE(fs::exists(p));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "broken.jvpc"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "x.jvpc.tmp.1234.5"));
+  // GC never touches files that are not cache entries.
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "unrelated.txt"));
+}
+
+TEST(PersistGc, SizeEvictionRemovesOldestFirst) {
+  const std::string dir = fresh_dir("gc_size");
+  std::vector<fs::path> paths = seed_gc_entries(dir);
+  // Stamp distinct ages: paths[2] oldest, paths[0] newest.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(paths[2], now - std::chrono::hours(3));
+  fs::last_write_time(paths[1], now - std::chrono::hours(2));
+  fs::last_write_time(paths[0], now - std::chrono::hours(1));
+
+  // Cap at the size of two entries: the single oldest must go.
+  const std::uint64_t entry = fs::file_size(paths[0]);
+  persist::GcOptions opts;
+  opts.max_bytes = 2 * entry;
+  persist::GcStats gc = persist::collect_garbage(dir, opts);
+  EXPECT_EQ(gc.removed_size, 1u);
+  EXPECT_TRUE(fs::exists(paths[0]));
+  EXPECT_TRUE(fs::exists(paths[1]));
+  EXPECT_FALSE(fs::exists(paths[2]));
+  EXPECT_LE(gc.bytes_after, opts.max_bytes);
+
+  // Evicted entries are rebuilt, not mourned: the cache still works.
+  aig::Aig aig = small_design(16);
+  ts::TransitionSystem ts(aig);
+  persist::PersistCache cache(dir);
+  EXPECT_TRUE(cache.load_clause_db(ts, 0xabc, 1).has_value());
+  EXPECT_FALSE(cache.load_clause_db(ts, 0xabc, 3).has_value());
+  EXPECT_EQ(cache.stats().load_errors, 0u);  // missing = cold, not error
+}
+
+TEST(PersistGc, NonDirectoryThrows) {
+  const std::string dir = fresh_dir("gc_nodir");
+  EXPECT_THROW(persist::collect_garbage(dir + "/missing", {}),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace javer

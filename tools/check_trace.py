@@ -19,7 +19,11 @@ With --expect-slices, additionally require at least one "task"/"slice"
 span tagged with both shard and property — the shape a sharded scheduler
 run must produce.
 
-Usage: check_trace.py [--expect-slices] TRACE.json
+With --expect-span CAT/NAME (repeatable), additionally require at least
+one "X" span with that category and name — e.g. --expect-span sim/sweep
+gates on the simulation prefilter having traced its sweep.
+
+Usage: check_trace.py [--expect-slices] [--expect-span CAT/NAME] TRACE.json
 """
 
 import argparse
@@ -94,7 +98,18 @@ def main():
         action="store_true",
         help="require >=1 task/slice span tagged with shard and property",
     )
+    parser.add_argument(
+        "--expect-span",
+        action="append",
+        default=[],
+        metavar="CAT/NAME",
+        help="require >=1 'X' span with this category and name; repeatable",
+    )
     opts = parser.parse_args()
+
+    for spec in opts.expect_span:
+        if "/" not in spec:
+            fail(f"--expect-span wants CAT/NAME, got {spec!r}")
 
     try:
         with open(opts.trace, "r", encoding="utf-8") as f:
@@ -123,6 +138,14 @@ def main():
     ]
     if opts.expect_slices and not slice_spans:
         fail("no task/slice span tagged with (shard, property) found")
+
+    for spec in opts.expect_span:
+        cat, name = spec.split("/", 1)
+        if not any(
+            ev["ph"] == "X" and ev["cat"] == cat and ev["name"] == name
+            for ev in events
+        ):
+            fail(f"no {cat}/{name} span found")
 
     cats = sorted({ev["cat"] for ev in events})
     print(
