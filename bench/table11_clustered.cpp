@@ -19,6 +19,7 @@
 #include "mp/exchange/lemma_bus.h"
 #include "mp/sched/scheduler.h"
 #include "mp/shard/sharded_scheduler.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "ts/transition_system.h"
 
@@ -66,19 +67,33 @@ std::vector<bench::NamedDesign> multi_cone_family() {
 int main(int argc, char** argv) {
   // --trace-out FILE records every sharded run into one Chrome trace (CI
   // smokes the observability layer through this; tools/check_trace.py
-  // validates the artifact).
+  // validates the artifact). --profile-out/--profile-folded do the same
+  // for the phase profiler: every sharded run folds into one latency
+  // histogram set, exported as JSON / flamegraph folded stacks.
   std::string trace_out;
+  std::string profile_out;
+  std::string profile_folded;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else if (arg == "--profile-folded" && i + 1 < argc) {
+      profile_folded = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out FILE] [--profile-out FILE] "
+                   "[--profile-folded FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
   obs::Tracer tracer;
   obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
+  obs::PhaseProfiler profiler;
+  obs::PhaseProfiler* profiler_ptr =
+      (profile_out.empty() && profile_folded.empty()) ? nullptr : &profiler;
 
   bench::BenchJson json("table11");
   bench::print_title(
@@ -142,6 +157,7 @@ int main(int argc, char** argv) {
       so.base.engine.time_limit_per_property = prop_limit;
       so.base.engine.clause_reuse = reuse;
       so.base.engine.tracer = tracer_ptr;
+      so.base.engine.profiler = profiler_ptr;
       so.clustering.min_similarity = 0.5;
       so.exchange = mode;
       mp::shard::ShardedScheduler sched(ts, so);
@@ -244,6 +260,26 @@ int main(int argc, char** argv) {
     tracer.write_chrome_trace(out);
     std::printf("trace: %zu event(s) -> %s\n", tracer.event_count(),
                 trace_out.c_str());
+  }
+  if (!profile_out.empty()) {
+    std::ofstream out(profile_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write profile file '%s'\n",
+                   profile_out.c_str());
+      return 2;
+    }
+    profiler.write_json(out);
+    std::printf("profile: %zu slot(s) -> %s\n", profiler.slots().size(),
+                profile_out.c_str());
+  }
+  if (!profile_folded.empty()) {
+    std::ofstream out(profile_folded, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write profile file '%s'\n",
+                   profile_folded.c_str());
+      return 2;
+    }
+    profiler.write_folded(out);
   }
   return 0;
 }

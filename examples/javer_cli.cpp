@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "base/log.h"
 #include "base/timer.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "ic3/certify.h"
 #include "persist/persist.h"
@@ -45,6 +48,8 @@ struct CliOptions {
   std::string cache_dir;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
+  std::string profile_folded;
   std::string sim_prefilter = "off";  // off | falsify | full
   javer::LogLevel log_level = javer::LogLevel::Silent;
   double time_limit = 60.0;
@@ -70,6 +75,11 @@ struct CliOptions {
   bool certify = false;
   bool quiet = false;
   bool help = false;
+  bool progress = false;
+  bool progress_verbose = false;
+  double progress_interval = 5.0;
+  double watchdog_sec = 30.0;
+  bool watchdog_preempt = false;
   std::vector<std::size_t> etf;
 };
 
@@ -187,6 +197,23 @@ void usage(std::FILE* out) {
 "  --metrics-out FILE   write the run's counter registry as JSONL: one\n"
 "                       \"heartbeat\" snapshot per scheduler round plus a\n"
 "                       \"final\" line. Not supported for clustered.\n"
+"  --profile-out FILE   write per-(phase, shard, property) latency\n"
+"                       histograms (IC3 SAT queries by kind, BMC solves,\n"
+"                       template replay vs cold encode, persist I/O) as\n"
+"                       JSON. Not supported for clustered.\n"
+"  --profile-folded FILE  same data as folded-stack lines for\n"
+"                       flamegraph.pl / speedscope\n"
+"\n"
+"run-health monitor (not for clustered):\n"
+"  --progress[=SECS]    print a one-line progress report on stderr every\n"
+"                       SECS seconds (default: 5) plus a final summary\n"
+"  --progress-verbose   progress plus per-task rows, stalest first\n"
+"  --watchdog-sec S     stall threshold: a running task with no activity\n"
+"                       for S seconds emits a watchdog/stall trace\n"
+"                       instant + obs.stalls metric   (default: 30)\n"
+"  --watchdog-preempt   stalled tasks additionally get a soft-suspend\n"
+"                       request through the IC3 budget poll, so the\n"
+"                       scheduler reschedules them (implies monitoring)\n"
 "  --log-level L        silent | info | verbose | debug (or 0..3): engine\n"
 "                       logging on stderr           (default: silent)\n"
 "  --witness            print AIGER witnesses for failed properties on\n"
@@ -373,6 +400,49 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
         return false;
       }
       opts.metrics_out = v;
+    } else if (arg == "--profile-out") {
+      const char* v = next("--profile-out");
+      if (v == nullptr) return false;
+      if (*v == '\0') {
+        std::fprintf(stderr, "javer_cli: --profile-out wants a file name\n");
+        return false;
+      }
+      opts.profile_out = v;
+    } else if (arg == "--profile-folded") {
+      const char* v = next("--profile-folded");
+      if (v == nullptr) return false;
+      if (*v == '\0') {
+        std::fprintf(stderr,
+                     "javer_cli: --profile-folded wants a file name\n");
+        return false;
+      }
+      opts.profile_folded = v;
+    } else if (arg == "--progress" || arg.rfind("--progress=", 0) == 0) {
+      opts.progress = true;
+      if (arg.size() > std::strlen("--progress")) {
+        const std::string v = arg.substr(std::strlen("--progress="));
+        if (!parse_number(v.c_str(), opts.progress_interval) ||
+            opts.progress_interval <= 0) {
+          std::fprintf(stderr,
+                       "javer_cli: --progress wants a positive number of "
+                       "seconds, got '%s'\n", v.c_str());
+          return false;
+        }
+      }
+    } else if (arg == "--progress-verbose") {
+      opts.progress = true;
+      opts.progress_verbose = true;
+    } else if (arg == "--watchdog-sec") {
+      const char* v = next("--watchdog-sec");
+      if (v == nullptr) return false;
+      if (!parse_number(v, opts.watchdog_sec) || opts.watchdog_sec <= 0) {
+        std::fprintf(stderr,
+                     "javer_cli: --watchdog-sec wants a positive number, "
+                     "got '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--watchdog-preempt") {
+      opts.watchdog_preempt = true;
     } else if (arg == "--log-level") {
       const char* v = next("--log-level");
       if (v == nullptr) return false;
@@ -484,13 +554,17 @@ int main(int argc, char** argv) {
     return 3;
   }
 
-  if ((!cli.trace_out.empty() || !cli.metrics_out.empty()) &&
+  if ((!cli.trace_out.empty() || !cli.metrics_out.empty() ||
+       !cli.profile_out.empty() || !cli.profile_folded.empty() ||
+       cli.progress || cli.watchdog_preempt) &&
       cli.engine == "clustered") {
     // ClusteredJointOptions predates EngineOptions and has no
-    // observability plumbing; fail loudly instead of writing empty files.
+    // observability plumbing; fail loudly instead of writing empty files
+    // (or monitoring a run that publishes nothing).
     std::fprintf(stderr,
-                 "javer_cli: --trace-out/--metrics-out are not supported "
-                 "with --engine clustered\n");
+                 "javer_cli: --trace-out/--metrics-out/--profile-out/"
+                 "--profile-folded/--progress/--watchdog-preempt are not "
+                 "supported with --engine clustered\n");
     return 3;
   }
 
@@ -559,8 +633,29 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   obs::Tracer* tracer_ptr = cli.trace_out.empty() ? nullptr : &tracer;
+  // The watchdog wants the stall counter even without --metrics-out.
+  const bool monitor_on = cli.progress || cli.watchdog_preempt;
   obs::MetricsRegistry* metrics_ptr =
-      cli.metrics_out.empty() ? nullptr : &metrics;
+      (cli.metrics_out.empty() && !monitor_on) ? nullptr : &metrics;
+  obs::PhaseProfiler profiler;
+  obs::PhaseProfiler* profiler_ptr =
+      (cli.profile_out.empty() && cli.profile_folded.empty()) ? nullptr
+                                                              : &profiler;
+  obs::ProgressBoard board;
+  obs::ProgressBoard* board_ptr = monitor_on ? &board : nullptr;
+  std::unique_ptr<obs::ProgressMonitor> monitor;
+  if (monitor_on) {
+    obs::MonitorOptions mon_opts;
+    mon_opts.interval_seconds = cli.progress_interval;
+    mon_opts.verbose = cli.progress_verbose;
+    mon_opts.stall_seconds = cli.watchdog_sec;
+    mon_opts.preempt = cli.watchdog_preempt;
+    // Progress lines go to stderr: stdout carries the report (or, with
+    // --witness, pure witness data).
+    mon_opts.out = cli.progress ? &std::cerr : nullptr;
+    monitor = std::make_unique<obs::ProgressMonitor>(&board, mon_opts,
+                                                     tracer_ptr, metrics_ptr);
+  }
 
   mp::simfilter::SimFilterOptions sim_opts;
   sim_opts.mode = cli.sim_prefilter == "full"
@@ -573,6 +668,7 @@ int main(int argc, char** argv) {
   sim_opts.seed = cli.seed;
 
   Timer timer;
+  if (monitor) monitor->start();
   mp::MultiResult result;
   if (cli.engine == "ja") {
     mp::JaOptions opts;
@@ -587,6 +683,8 @@ int main(int argc, char** argv) {
     opts.sim_filter = sim_opts;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
+    opts.progress = board_ptr;
+    opts.profiler = profiler_ptr;
     result = mp::JaVerifier(ts, opts).run(db);
   } else if (cli.engine == "separate" || cli.engine == "separate-global") {
     mp::SeparateOptions opts;
@@ -601,6 +699,8 @@ int main(int argc, char** argv) {
     opts.sim_filter = sim_opts;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
+    opts.progress = board_ptr;
+    opts.profiler = profiler_ptr;
     result = mp::SeparateVerifier(ts, opts).run(db);
   } else if (cli.engine == "joint") {
     mp::JointOptions opts;
@@ -610,6 +710,8 @@ int main(int argc, char** argv) {
     opts.ic3_use_template = cli.ic3_template;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
+    opts.progress = board_ptr;
+    opts.profiler = profiler_ptr;
     result = mp::JointVerifier(ts, opts).run();
   } else if (cli.engine == "parallel") {
     mp::ParallelJaOptions opts;
@@ -624,6 +726,8 @@ int main(int argc, char** argv) {
     opts.sim_filter = sim_opts;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
+    opts.progress = board_ptr;
+    opts.profiler = profiler_ptr;
     result = mp::ParallelJaVerifier(ts, opts).run(db);
   } else if (cli.engine == "hybrid") {
     mp::sched::SchedulerOptions opts;
@@ -642,6 +746,8 @@ int main(int argc, char** argv) {
     opts.engine.sim_filter = sim_opts;
     opts.engine.tracer = tracer_ptr;
     opts.engine.metrics = metrics_ptr;
+    opts.engine.progress = board_ptr;
+    opts.engine.profiler = profiler_ptr;
     result = mp::sched::Scheduler(ts, opts).run(db);
   } else if (cli.engine == "sharded") {
     mp::shard::ShardedOptions opts;
@@ -660,6 +766,8 @@ int main(int argc, char** argv) {
     opts.base.engine.sim_filter = sim_opts;
     opts.base.engine.tracer = tracer_ptr;
     opts.base.engine.metrics = metrics_ptr;
+    opts.base.engine.progress = board_ptr;
+    opts.base.engine.profiler = profiler_ptr;
     opts.clustering.min_similarity = cli.cluster_threshold;
     opts.clustering.max_cluster_size = cli.max_cluster_size;
     opts.exchange = cli.lemma_exchange;
@@ -693,6 +801,11 @@ int main(int argc, char** argv) {
                  cli.engine.c_str());
     return 3;
   }
+
+  // Joins the monitor thread and renders the final progress summary
+  // before any exports, so trace/metrics files see the full watchdog
+  // history and the progress totals match the report's verdict counts.
+  if (monitor) monitor->stop();
 
   // With --witness, stdout carries pure witness data (pipeable into
   // witness_check); everything human-readable moves to stderr.
@@ -771,6 +884,27 @@ int main(int argc, char** argv) {
       std::fprintf(info, "metrics: %zu counter(s), %zu heartbeat(s) -> %s\n",
                    result.metrics.counters.size(),
                    metrics.heartbeats().size(), cli.metrics_out.c_str());
+    }
+  }
+  if (!cli.profile_out.empty()) {
+    std::ofstream out(cli.profile_out, std::ios::trunc);
+    profiler.write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "javer_cli: writing profile to %s failed\n",
+                   cli.profile_out.c_str());
+    } else {
+      std::fprintf(info, "profile: %zu slot(s) -> %s\n",
+                   profiler.slots().size(), cli.profile_out.c_str());
+    }
+  }
+  if (!cli.profile_folded.empty()) {
+    std::ofstream out(cli.profile_folded, std::ios::trunc);
+    profiler.write_folded(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "javer_cli: writing folded profile to %s failed\n",
+                   cli.profile_folded.c_str());
     }
   }
 

@@ -164,6 +164,7 @@ BmcResult Bmc::run(const std::vector<std::size_t>& targets,
 
   BmcResult result;
   result.frames_explored = opts.start_depth;
+  obs::LatencyHisto* prof_solve = opts.profile.slot("bmc/solve");
   for (int depth = opts.start_depth; depth <= opts.max_depth; ++depth) {
     while (static_cast<int>(frames_.size()) <= depth) make_next_frame();
     cnf::Encoder::Frame& f = frames_[depth];
@@ -183,7 +184,11 @@ BmcResult Bmc::run(const std::vector<std::size_t>& targets,
     }
     solver_.add_clause(clause);
 
-    sat::SolveResult res = solver_.solve({act});
+    sat::SolveResult res;
+    {
+      obs::ProfileTimer timer(prof_solve);
+      res = solver_.solve({act});
+    }
     if (res == sat::SolveResult::Sat) {
       result.status = CheckStatus::Fails;
       result.depth = depth;

@@ -15,6 +15,7 @@
 #include "base/status.h"
 #include "base/timer.h"
 #include "cnf/tseitin.h"
+#include "obs/profile.h"
 #include "sat/simp/preprocessor.h"
 #include "sat/solver.h"
 #include "ts/trace.h"
@@ -43,6 +44,10 @@ struct BmcOptions {
   // the incremental solver. Interface literals (latches, inputs,
   // next-state functions, properties, constraints) are frozen.
   bool simplify = false;
+  // Phase profiler (obs/profile.h): one "bmc/solve" latency sample per
+  // depth query, keyed by the sink's (shard, property) tags. Disabled
+  // sink = one branch per run(), no clock reads.
+  obs::ProfileSink profile;
 };
 
 struct BmcResult {

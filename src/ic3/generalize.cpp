@@ -54,9 +54,9 @@ ts::Cube Ic3::mic(ts::Cube cube, int level) {
       continue;
     }
     std::vector<std::size_t> core;
-    stats_.mic_queries++;
     sat::SolveResult r = checked(
-        consecution(level, cand, /*add_negation=*/true, &core));
+        counted_consecution(prof_mic_, &Ic3Stats::mic_queries, level, cand,
+                            /*add_negation=*/true, &core));
     if (r == sat::SolveResult::Unsat) {
       ts::Cube next = shrink_with_core(cand, core);
       next = repair_init_intersection(next, cand);
@@ -77,9 +77,9 @@ int Ic3::push_forward(const ts::Cube& cube, int from_level) {
   // the query must include the negation.
   int level = from_level;
   while (level < top_frame_) {
-    stats_.consecution_queries++;
     sat::SolveResult r = checked(
-        consecution(level, cube, /*add_negation=*/true, nullptr));
+        counted_consecution(prof_push_, &Ic3Stats::consecution_queries,
+                            level, cube, /*add_negation=*/true, nullptr));
     if (r != sat::SolveResult::Unsat) break;
     level++;
   }

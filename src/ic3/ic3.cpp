@@ -8,6 +8,7 @@
 #include "aig/sim.h"
 #include "base/log.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 
 namespace javer::ic3 {
 
@@ -16,6 +17,8 @@ void fold_stats(obs::MetricsRegistry& metrics, const Ic3Stats& stats) {
   metrics.add("ic3.clauses_added", stats.clauses_added);
   metrics.add("ic3.consecution_queries", stats.consecution_queries);
   metrics.add("ic3.mic_queries", stats.mic_queries);
+  metrics.add("ic3.bad_queries", stats.bad_queries);
+  metrics.add("ic3.lift_queries", stats.lift_queries);
   metrics.add("ic3.seed_clauses_kept", stats.seed_clauses_kept);
   metrics.add("ic3.seed_clauses_dropped", stats.seed_clauses_dropped);
   metrics.add("ic3.solver_rebuilds", stats.solver_rebuilds);
@@ -55,6 +58,15 @@ Ic3::Ic3(const ts::TransitionSystem& ts, std::size_t target_prop,
     }
   }
   frame_cubes_.resize(1);  // level 0 placeholder (F_0 = I, holds no cubes)
+  if (opts_.profile.enabled()) {
+    prof_consecution_ = opts_.profile.slot("ic3/consecution");
+    prof_bad_ = opts_.profile.slot("ic3/bad_query");
+    prof_lift_ = opts_.profile.slot("ic3/lift");
+    prof_mic_ = opts_.profile.slot("ic3/mic");
+    prof_push_ = opts_.profile.slot("ic3/push");
+    prof_replay_ = opts_.profile.slot("cnf/replay");
+    prof_encode_ = opts_.profile.slot("cnf/encode");
+  }
 }
 
 Ic3::~Ic3() = default;
@@ -112,6 +124,9 @@ void Ic3::note_context_created(double seconds, bool templated,
   stats_.solver_contexts_created++;
   stats_.encode_seconds += seconds;
   if (templated) stats_.template_instantiations++;
+  if (obs::LatencyHisto* h = templated ? prof_replay_ : prof_encode_) {
+    h->record(static_cast<std::uint64_t>(seconds * 1e6));
+  }
   std::uint64_t live = extra_live + solvers_.size() +
                        (lift_solver_ ? 1 : 0) + (inf_solver_ ? 1 : 0) +
                        (mono_ ? 1 : 0);
@@ -199,6 +214,13 @@ void Ic3::begin_slice(const Ic3Budget& budget) {
 }
 
 void Ic3::poll_budget() const {
+  if (opts_.progress != nullptr) {
+    // Live-progress publication rides the budget poll: it already sits
+    // on every obligation/propagation boundary, and the stores are
+    // relaxed atomics (monitor.h), so this costs nanoseconds.
+    opts_.progress->publish_engine(top_frame_, stats_.obligations);
+    if (opts_.progress->preempt_requested()) throw Suspend{};
+  }
   if (opts_.time_limit_seconds > 0 && deadline_.expired()) throw Timeout{};
   if (!slicing_) return;
   if (slice_deadline_.expired()) throw Suspend{};
@@ -319,7 +341,19 @@ sat::SolveResult Ic3::consecution(int k, const ts::Cube& cube,
   return ctx(k).query_consecution(cube, add_negation, core);
 }
 
+sat::SolveResult Ic3::counted_consecution(obs::LatencyHisto* histo,
+                                          std::uint64_t Ic3Stats::*counter,
+                                          int k, const ts::Cube& cube,
+                                          bool add_negation,
+                                          std::vector<std::size_t>* core) {
+  stats_.*counter += 1;
+  obs::ProfileTimer timer(histo);
+  return consecution(k, cube, add_negation, core);
+}
+
 sat::SolveResult Ic3::bad_query(int k) {
+  stats_.bad_queries++;
+  obs::ProfileTimer timer(prof_bad_);
   if (monolithic()) return mono().query_bad(k);
   return ctx(k).query_bad();
 }
@@ -335,11 +369,15 @@ std::vector<bool> Ic3::model_inputs(int k) const {
 ts::Cube Ic3::lift_predecessor(const std::vector<bool>& state,
                                const std::vector<bool>& inputs,
                                const ts::Cube& target, bool respect_assumed) {
+  stats_.lift_queries++;
+  obs::ProfileTimer timer(prof_lift_);
   return lift_ctx().lift_predecessor(state, inputs, target, respect_assumed);
 }
 
 ts::Cube Ic3::lift_bad(const std::vector<bool>& state,
                        const std::vector<bool>& inputs) {
+  stats_.lift_queries++;
+  obs::ProfileTimer timer(prof_lift_);
   return lift_ctx().lift_bad(state, inputs);
 }
 
@@ -490,8 +528,9 @@ void Ic3::absorb_lemma_candidates() {
       stats_.lemmas_known++;  // already proven (e.g. via the ClauseDb)
       continue;
     }
-    stats_.consecution_queries++;
-    if (checked(consecution(kLevelInf, c, /*add_negation=*/true, nullptr)) ==
+    if (checked(counted_consecution(prof_consecution_,
+                                    &Ic3Stats::consecution_queries, kLevelInf,
+                                    c, /*add_negation=*/true, nullptr)) ==
         sat::SolveResult::Unsat) {
       add_inf_cube(c);
       stats_.lemmas_imported++;
@@ -517,9 +556,10 @@ void Ic3::mine_singleton_invariants() {
           if (ts::cube_subsumes(have, c)) known = true;
         }
         if (known) continue;
-        stats_.consecution_queries++;
-        if (checked(consecution(kLevelInf, c, /*add_negation=*/true,
-                                nullptr)) == sat::SolveResult::Unsat) {
+        if (checked(counted_consecution(
+                prof_consecution_, &Ic3Stats::consecution_queries, kLevelInf,
+                c, /*add_negation=*/true, nullptr)) ==
+            sat::SolveResult::Unsat) {
           add_inf_cube(c);
           stats_.mined_invariants++;
           changed = true;
@@ -655,10 +695,10 @@ bool Ic3::block_obligation(int root_index) {
     // install it at F_inf. This is what makes local proofs converge in one
     // frame when the assumed properties already refute the bad region
     // (the paper's Example 1 and Table X shapes).
-    stats_.consecution_queries++;
     std::vector<std::size_t> inf_core;
-    sat::SolveResult inf_res = checked(consecution(
-        kLevelInf, pool_[oi].cube, /*add_negation=*/true, &inf_core));
+    sat::SolveResult inf_res = checked(counted_consecution(
+        prof_consecution_, &Ic3Stats::consecution_queries, kLevelInf,
+        pool_[oi].cube, /*add_negation=*/true, &inf_core));
     if (inf_res == sat::SolveResult::Unsat) {
       ts::Cube c = shrink_with_core(pool_[oi].cube, inf_core);
       c = repair_init_intersection(c, pool_[oi].cube);
@@ -668,9 +708,9 @@ bool Ic3::block_obligation(int root_index) {
     }
 
     std::vector<std::size_t> core;
-    stats_.consecution_queries++;
-    sat::SolveResult res = checked(
-        consecution(k - 1, pool_[oi].cube, /*add_negation=*/true, &core));
+    sat::SolveResult res = checked(counted_consecution(
+        prof_consecution_, &Ic3Stats::consecution_queries, k - 1,
+        pool_[oi].cube, /*add_negation=*/true, &core));
     if (res == sat::SolveResult::Unsat) {
       // Blockable: shrink by the core, repair init intersection, MIC, push.
       ts::Cube c = shrink_with_core(pool_[oi].cube, core);
@@ -679,9 +719,9 @@ bool Ic3::block_obligation(int root_index) {
       // The MIC-generalized cube is frequently inductive relative to the
       // path constraints alone even when the raw obligation cube was not;
       // promote it to F_inf when it is.
-      stats_.consecution_queries++;
-      if (checked(consecution(kLevelInf, c, /*add_negation=*/true,
-                              nullptr)) == sat::SolveResult::Unsat) {
+      if (checked(counted_consecution(
+              prof_consecution_, &Ic3Stats::consecution_queries, kLevelInf, c,
+              /*add_negation=*/true, nullptr)) == sat::SolveResult::Unsat) {
         add_inf_cube(c);
         continue;
       }
@@ -726,11 +766,11 @@ void Ic3::propagate_and_check_fixpoint() {
     std::vector<ts::Cube> cubes = frame_cubes_[lvl];  // copy: list mutates
     for (std::size_t i = 0; i < cubes.size(); ++i) {
       // ¬c is already in F_lvl, so no extra negation is needed.
-      stats_.consecution_queries++;
       sat::SolveResult r;
       try {
-        r = checked(consecution(lvl, cubes[i], /*add_negation=*/false,
-                                nullptr));
+        r = checked(counted_consecution(
+            prof_push_, &Ic3Stats::consecution_queries, lvl, cubes[i],
+            /*add_negation=*/false, nullptr));
       } catch (...) {
         // Budget expiry mid-level: commit the partition so far (already
         // pushed cubes leave F_lvl, the unprocessed tail stays) instead

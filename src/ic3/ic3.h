@@ -20,12 +20,14 @@
 #include "cnf/template.h"
 #include "ic3/frames.h"
 #include "ic3/solver_mode.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "ts/trace.h"
 #include "ts/transition_system.h"
 
 namespace javer::obs {
 class MetricsRegistry;
+class TaskProgress;
 }  // namespace javer::obs
 
 namespace javer::ic3 {
@@ -70,6 +72,18 @@ struct Ic3Options {
   // default (disabled) sink costs one branch per would-be event; the
   // heavyweight per-query counters stay in Ic3Stats regardless.
   obs::TraceSink trace;
+  // Phase profiler (obs/profile.h): per-SAT-query latency histograms for
+  // consecution / bad_query / lift / mic / push plus CNF encode/replay,
+  // keyed by this sink's (shard, property). The sample counts of the
+  // query phases equal the matching Ic3Stats counters exactly (seed
+  // validation is neither counted nor profiled). Disabled sink = one
+  // branch per query, no clock reads.
+  obs::ProfileSink profile;
+  // Live progress cell (obs/monitor.h): the budget poll publishes
+  // frames/obligations/activity through it, and a pending soft-preempt
+  // request makes the poll suspend exactly like an exhausted slice
+  // budget (resumable Unknown). Null = disabled.
+  obs::TaskProgress* progress = nullptr;
 };
 
 struct Ic3Stats {
@@ -77,6 +91,8 @@ struct Ic3Stats {
   std::uint64_t clauses_added = 0;
   std::uint64_t consecution_queries = 0;
   std::uint64_t mic_queries = 0;
+  std::uint64_t bad_queries = 0;
+  std::uint64_t lift_queries = 0;
   std::uint64_t seed_clauses_kept = 0;
   std::uint64_t seed_clauses_dropped = 0;
   std::uint64_t solver_rebuilds = 0;
@@ -277,6 +293,17 @@ class Ic3 {
   ts::Cube mic(ts::Cube cube, int level);
   int push_forward(const ts::Cube& cube, int from_level);
 
+  // --- phase profiling (obs/profile.h) ---
+  // Counted consecution call: bumps stats_.consecution_queries (or
+  // mic_queries via the mic histogram site) and samples `histo`. Every
+  // *counted* SAT query goes through these wrappers so the profiler's
+  // per-phase sample counts reconcile exactly with Ic3Stats.
+  sat::SolveResult counted_consecution(obs::LatencyHisto* histo,
+                                       std::uint64_t Ic3Stats::*counter,
+                                       int k, const ts::Cube& cube,
+                                       bool add_negation,
+                                       std::vector<std::size_t>* core);
+
   // --- counterexamples ---
   // Builds the trace: `init_state` -[first_inputs]-> chain(ob) ... bad.
   void build_cex(const std::vector<bool>& init_state,
@@ -357,6 +384,16 @@ class Ic3 {
   int fixpoint_level_ = -1;
   ts::Trace cex_;
   Ic3Stats stats_;
+
+  // Profiler slots, resolved once at construction (null = profiling
+  // off). Stable for the profiler's lifetime.
+  obs::LatencyHisto* prof_consecution_ = nullptr;
+  obs::LatencyHisto* prof_bad_ = nullptr;
+  obs::LatencyHisto* prof_lift_ = nullptr;
+  obs::LatencyHisto* prof_mic_ = nullptr;
+  obs::LatencyHisto* prof_push_ = nullptr;
+  obs::LatencyHisto* prof_replay_ = nullptr;
+  obs::LatencyHisto* prof_encode_ = nullptr;
 };
 
 }  // namespace javer::ic3

@@ -6,6 +6,7 @@
 #include "base/log.h"
 #include "base/timer.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 namespace javer::mp::sched {
@@ -25,6 +26,13 @@ BmcSweep::BmcSweep(const ts::TransitionSystem& ts,
 
 void BmcSweep::add_near_miss_seeds(std::vector<simfilter::NearMissSeed> seeds) {
   for (simfilter::NearMissSeed& s : seeds) seeds_.push_back(std::move(s));
+}
+
+void BmcSweep::ensure_progress() {
+  if (progress_ != nullptr || opts_.engine.progress == nullptr) return;
+  progress_ = opts_.engine.progress->register_task(/*property=*/-1,
+                                                   trace_shard_);
+  progress_->set_state(obs::ProgressState::kRunning);
 }
 
 std::size_t BmcSweep::process_seeds(std::vector<PropertyTask*>& by_prop) {
@@ -49,6 +57,8 @@ std::size_t BmcSweep::process_seeds(std::vector<PropertyTask*>& by_prop) {
     bo.max_depth = std::max(0, opts_.engine.sim_filter.seed_window);
     bo.conflict_budget = opts_.engine.conflict_budget_per_query;
     bo.simplify = opts_.engine.simplify;
+    bo.profile = obs::ProfileSink(opts_.engine.profiler, trace_shard_,
+                                  static_cast<long long>(seed.prop));
     bmc::BmcResult br = seed_bmc.run({seed.prop}, bo);
     bool hit = false;
     if (br.status == CheckStatus::Fails) {
@@ -94,6 +104,8 @@ std::size_t BmcSweep::process_seeds(std::vector<PropertyTask*>& by_prop) {
 
 std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
                             double remaining_seconds) {
+  ensure_progress();
+  if (progress_ != nullptr) progress_->touch();
   std::vector<PropertyTask*> by_prop(ts_.num_properties(), nullptr);
   for (PropertyTask* task : tasks) {
     if (task != nullptr && task->open()) by_prop[task->prop()] = task;
@@ -133,6 +145,7 @@ std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
   bo.conflict_budget = opts_.engine.conflict_budget_per_query;
   bo.start_depth = depth_done_;
   bo.max_depth = window_end;
+  bo.profile = obs::ProfileSink(opts_.engine.profiler, trace_shard_);
 
   std::size_t closed = 0;
   while (!targets.empty()) {
@@ -140,6 +153,10 @@ std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
     if (budget > 0 && bo.time_limit_seconds <= 0) break;
     bmc::BmcResult br = bmc_.run(targets, bo);
     depth_done_ = std::max(depth_done_, br.frames_explored);
+    if (progress_ != nullptr) {
+      progress_->set_depth(depth_done_);
+      progress_->touch();
+    }
     if (br.status != CheckStatus::Fails) break;  // window clean / budget out
     for (std::size_t p : br.failed_targets) {
       if (by_prop[p] != nullptr) {
@@ -167,6 +184,13 @@ std::size_t BmcSweep::sweep(const std::vector<PropertyTask*>& tasks,
   if (depth_done_ >= opts_.bmc_max_depth ||
       empty_streak_ >= opts_.bmc_empty_sweeps_to_stop) {
     exhausted_ = true;
+  }
+  if (progress_ != nullptr) {
+    progress_->set_depth(depth_done_);
+    // An exhausted sweep is done for good; a terminal state takes it off
+    // the watchdog's Running set and out of the verbose open-cell rows.
+    progress_->set_state(exhausted_ ? obs::ProgressState::kUnknown
+                                    : obs::ProgressState::kRunning);
   }
   if (obs::MetricsRegistry* m = opts_.engine.metrics) {
     m->add("bmc.sweeps");

@@ -17,6 +17,10 @@
 #include "mp/simfilter/sim_filter.h"
 #include "ts/transition_system.h"
 
+namespace javer::obs {
+class TaskProgress;
+}  // namespace javer::obs
+
 namespace javer::mp::sched {
 
 class BmcSweep {
@@ -70,6 +74,9 @@ class BmcSweep {
   // Runs the queued seeds against the open tasks in `by_prop` (indexed by
   // property; closed entries nulled). Returns how many tasks it closed.
   std::size_t process_seeds(std::vector<PropertyTask*>& by_prop);
+  // Registers the sweep's progress cell (property -1) lazily — at the
+  // first sweep(), when the shard tag is final.
+  void ensure_progress();
 
   const ts::TransitionSystem& ts_;
   SchedulerOptions opts_;  // copied: a sweep may outlive a caller's round
@@ -83,6 +90,8 @@ class BmcSweep {
   int empty_streak_ = 0;  // consecutive sweeps without a counterexample
   bool exhausted_ = false;
   int trace_shard_ = -1;
+  // Live-progress cell (obs/monitor.h, property -1); null = monitor off.
+  obs::TaskProgress* progress_ = nullptr;
 };
 
 }  // namespace javer::mp::sched

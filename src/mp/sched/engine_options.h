@@ -17,6 +17,8 @@
 namespace javer::obs {
 class Tracer;
 class MetricsRegistry;
+class ProgressBoard;
+class PhaseProfiler;
 }  // namespace javer::obs
 
 namespace javer::mp::sched {
@@ -77,6 +79,21 @@ struct EngineOptions {
   // run.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Run-health monitor (obs/monitor.h): when set, every PropertyTask and
+  // BmcSweep registers a progress cell and publishes state / frames /
+  // depth / slice scale / activity lock-free; a ProgressMonitor sampling
+  // the board renders live reports and runs the stall watchdog (which
+  // may request soft preemption through the IC3 budget poll).
+  obs::ProgressBoard* progress = nullptr;
+  // Phase profiler (obs/profile.h): per-(phase, shard, property) latency
+  // histograms for SAT queries and engine phases; --profile-out.
+  obs::PhaseProfiler* profiler = nullptr;
+  // Test hook (tests/test_monitor.cpp): the PropertyTask for this
+  // property index busy-waits this long before its *first* slice does
+  // any engine work, without publishing activity — a deterministic
+  // stalled task for the watchdog/preemption tests. SIZE_MAX = off.
+  std::size_t debug_stall_prop = static_cast<std::size_t>(-1);
+  double debug_stall_seconds = 0.0;
 };
 
 }  // namespace javer::mp::sched

@@ -5,9 +5,25 @@
 
 #include "base/log.h"
 #include "base/timer.h"
+#include "obs/monitor.h"
 #include "ts/trace.h"
 
 namespace javer::mp::sched {
+
+namespace {
+
+obs::ProgressState to_progress(TaskState s) {
+  switch (s) {
+    case TaskState::Pending: return obs::ProgressState::kPending;
+    case TaskState::Running: return obs::ProgressState::kRunning;
+    case TaskState::Holds: return obs::ProgressState::kHolds;
+    case TaskState::Fails: return obs::ProgressState::kFails;
+    case TaskState::Unknown: return obs::ProgressState::kUnknown;
+  }
+  return obs::ProgressState::kUnknown;
+}
+
+}  // namespace
 
 const char* to_string(TaskState s) {
   switch (s) {
@@ -58,9 +74,23 @@ PropertyTask::PropertyTask(const ts::TransitionSystem& ts, std::size_t prop,
       assumed_(std::move(assumed)),
       engine_opts_(engine),
       local_mode_(local_mode),
-      strict_lifting_(engine.lifting_respects_constraints) {}
+      strict_lifting_(engine.lifting_respects_constraints) {
+  if (engine_opts_.progress != nullptr) {
+    progress_ = engine_opts_.progress->register_task(
+        static_cast<long long>(prop_), obs_shard_);
+  }
+}
 
 PropertyTask::~PropertyTask() = default;
+
+void PropertyTask::set_shard_tag(int shard) {
+  obs_shard_ = shard;
+  if (progress_ != nullptr) progress_->set_shard(shard);
+}
+
+void PropertyTask::publish_state() {
+  if (progress_ != nullptr) progress_->set_state(to_progress(state_));
+}
 
 void PropertyTask::ensure_engine(ClauseDb* db) {
   if (engine_) return;
@@ -75,6 +105,9 @@ void PropertyTask::ensure_engine(ClauseDb* db) {
   opts.conflict_budget_per_query = engine_opts_.conflict_budget_per_query;
   opts.trace = obs::TraceSink(engine_opts_.tracer, obs_shard_,
                               static_cast<long long>(prop_));
+  opts.profile = obs::ProfileSink(engine_opts_.profiler, obs_shard_,
+                                  static_cast<long long>(prop_));
+  opts.progress = progress_;
   // Time budgeting is the task's job: the internal engine deadline would
   // tick in wall-clock while *other* tasks hold the engine pool.
   opts.time_limit_seconds = 0.0;
@@ -97,6 +130,7 @@ void PropertyTask::close_holds(std::vector<ts::Cube> invariant,
     db->add(result_.invariant);
   }
   fold_final_metrics();
+  publish_state();
 }
 
 void PropertyTask::finish_fails(ts::Trace cex) {
@@ -106,6 +140,7 @@ void PropertyTask::finish_fails(ts::Trace cex) {
                                 : PropertyVerdict::FailsGlobally;
   result_.cex = std::move(cex);
   fold_final_metrics();
+  publish_state();
 }
 
 void PropertyTask::fold_final_metrics() {
@@ -141,6 +176,7 @@ void PropertyTask::close_unknown() {
   slice_scale_ = 1.0;
   result_.verdict = PropertyVerdict::Unknown;
   fold_final_metrics();
+  publish_state();
 }
 
 void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
@@ -157,6 +193,26 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   const int slice_index = result_.slices;  // ordinal of the slice we run now
   const double applied_scale = slice_scale_;
   const std::uint64_t span_begin = sink.begin();
+
+  if (progress_ != nullptr) {
+    // A task picked back up after a preempt-suspend must not be
+    // preempted again before doing any work.
+    progress_->clear_preempt();
+    progress_->set_slices(static_cast<std::uint64_t>(result_.slices));
+    progress_->set_slice_scale(slice_scale_);
+    state_ = TaskState::Running;
+    publish_state();
+  }
+  if (prop_ == engine_opts_.debug_stall_prop && slice_index == 0 &&
+      engine_opts_.debug_stall_seconds > 0) {
+    // Watchdog test hook: burn wall-clock before the engine's first poll
+    // without publishing any activity, so the monitor observes a Running
+    // cell whose heartbeat age keeps growing.
+    Timer stall_timer;
+    while (stall_timer.seconds() < engine_opts_.debug_stall_seconds) {
+      if (progress_ != nullptr && progress_->preempt_requested()) break;
+    }
+  }
 
   ensure_engine(db);
 
@@ -214,6 +270,12 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   last_clauses_ = er.stats.clauses_added;
   last_obligations_ = er.stats.obligations;
   state_ = TaskState::Running;
+  if (progress_ != nullptr) {
+    progress_->set_frames(er.frames);
+    progress_->set_obligations(er.stats.obligations);
+    progress_->set_slices(static_cast<std::uint64_t>(result_.slices));
+    progress_->touch();
+  }
 
   // Outgoing lemma traffic + import accounting for the bus hit rate.
   if (bus_ != nullptr && bus_->enabled()) {
@@ -240,6 +302,7 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
       next_slice_scale(engine_opts_, slice_scale_, budgeted, er,
                        frames_before, clauses_before, obligations_before);
   result_.slice_scale = slice_scale_;
+  if (progress_ != nullptr) progress_->set_slice_scale(slice_scale_);
 
   const char* outcome = nullptr;
   switch (er.status) {

@@ -31,6 +31,10 @@
 #include "mp/sched/engine_options.h"
 #include "ts/transition_system.h"
 
+namespace javer::obs {
+class TaskProgress;
+}  // namespace javer::obs
+
 namespace javer::mp::sched {
 
 enum class TaskState : std::uint8_t {
@@ -105,10 +109,10 @@ class PropertyTask {
   // each. The cache must outlive the task. Call before the first slice.
   void attach_templates(cnf::TemplateCache* templates);
 
-  // Shard tag stamped onto this task's trace events (src/obs); -1 (the
-  // default) means unsharded. Call before the first slice so the engine's
-  // own events inherit it.
-  void set_shard_tag(int shard) { obs_shard_ = shard; }
+  // Shard tag stamped onto this task's trace events, profile slots and
+  // progress cell (src/obs); -1 (the default) means unsharded. Call
+  // before the first slice so the engine's own events inherit it.
+  void set_shard_tag(int shard);
 
   // Runs one engine slice (respecting the per-property time budget). When
   // `db` is non-null and clause re-use is on, the engine is seeded from it
@@ -131,6 +135,8 @@ class PropertyTask {
 
  private:
   void ensure_engine(ClauseDb* db);
+  // Publishes state (and touches activity) on the progress cell, if any.
+  void publish_state();
   void close_holds(std::vector<ts::Cube> invariant, ClauseDb* db);
   void finish_fails(ts::Trace cex);
   // Folds the final engine's Ic3Stats into EngineOptions::metrics, once
@@ -178,6 +184,10 @@ class PropertyTask {
   // Observability: shard tag for trace events and the fold-once latch.
   int obs_shard_ = -1;
   bool metrics_folded_ = false;
+  // Live-progress cell on EngineOptions::progress (null = monitoring
+  // off). Registered at construction; the engine publishes through it
+  // from the budget poll, the task at slice boundaries and close.
+  obs::TaskProgress* progress_ = nullptr;
   PropertyResult result_;
 };
 

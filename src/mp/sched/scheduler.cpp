@@ -79,6 +79,7 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   }
   if (cache) {
     cache->set_trace(sink);
+    cache->set_profile(obs::ProfileSink(opts_.engine.profiler));
     templates.attach_store(cache.get());
     if (opts_.engine.clause_reuse) {
       fp = aig::fingerprint(ts_.aig());
@@ -190,6 +191,13 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
   }
   result.total_seconds = total.seconds();
   if (metrics != nullptr) {
+    // raise(): nested schedulers folding the same tracer's cumulative
+    // drop counter stay idempotent instead of double-counting.
+    if (opts_.engine.tracer != nullptr &&
+        opts_.engine.tracer->dropped_events() > 0) {
+      metrics->raise("obs.trace_dropped",
+                     opts_.engine.tracer->dropped_events());
+    }
     result.metrics = metrics->snapshot(result.total_seconds);
   }
   return result;

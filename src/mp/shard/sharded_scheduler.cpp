@@ -139,6 +139,7 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   }
   if (cache) {
     cache->set_trace(sink);
+    cache->set_profile(obs::ProfileSink(opts_.base.engine.profiler));
     templates.attach_store(cache.get());
     if (opts_.base.engine.clause_reuse) {
       fp = aig::fingerprint(ts_.aig());
@@ -377,6 +378,11 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   }
   result.total_seconds = total.seconds();
   if (metrics != nullptr) {
+    if (opts_.base.engine.tracer != nullptr &&
+        opts_.base.engine.tracer->dropped_events() > 0) {
+      metrics->raise("obs.trace_dropped",
+                     opts_.base.engine.tracer->dropped_events());
+    }
     result.metrics = metrics->snapshot(result.total_seconds);
   }
   return result;

@@ -74,8 +74,21 @@ void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
+    counter_names_.reset();  // key set changed; rebuilt on next beat
   } else {
     it->second += delta;
+  }
+}
+
+void MetricsRegistry::raise(std::string_view name, std::uint64_t value) {
+  if (value == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+    counter_names_.reset();
+  } else {
+    it->second = std::max(it->second, value);
   }
 }
 
@@ -84,6 +97,7 @@ void MetricsRegistry::add_gauge(std::string_view name, double delta) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), delta);
+    gauge_names_.reset();
   } else {
     it->second += delta;
   }
@@ -94,6 +108,7 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
+    gauge_names_.reset();
   } else {
     it->second = value;
   }
@@ -104,6 +119,7 @@ void MetricsRegistry::max_gauge(std::string_view name, double value) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
+    gauge_names_.reset();
   } else {
     it->second = std::max(it->second, value);
   }
@@ -139,20 +155,81 @@ MetricsSnapshot MetricsRegistry::snapshot(double elapsed_seconds) const {
 
 void MetricsRegistry::heartbeat(double elapsed_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
-  heartbeats_.push_back(snapshot_locked(elapsed_seconds));
+  // Rebuild the shared key snapshots only when a name was inserted
+  // since the last beat; steady-state heartbeats copy two POD arrays
+  // and bump two refcounts — no string copies, and no dependence on
+  // how many heartbeats are already stored.
+  if (!counter_names_) {
+    auto names = std::make_shared<std::vector<std::string>>();
+    names->reserve(counters_.size());
+    for (const auto& [name, value] : counters_) names->push_back(name);
+    counter_names_ = std::move(names);
+  }
+  if (!gauge_names_) {
+    auto names = std::make_shared<std::vector<std::string>>();
+    names->reserve(gauges_.size());
+    for (const auto& [name, value] : gauges_) names->push_back(name);
+    gauge_names_ = std::move(names);
+  }
+  HeartbeatRec rec;
+  rec.elapsed_seconds = elapsed_seconds;
+  rec.counter_names = counter_names_;
+  rec.counter_values.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    rec.counter_values.push_back(value);
+  }
+  rec.gauge_names = gauge_names_;
+  rec.gauge_values.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    rec.gauge_values.push_back(value);
+  }
+  heartbeats_.push_back(std::move(rec));
+}
+
+MetricsSnapshot MetricsRegistry::materialize(const HeartbeatRec& rec) {
+  MetricsSnapshot s;
+  s.elapsed_seconds = rec.elapsed_seconds;
+  s.counters.reserve(rec.counter_values.size());
+  for (std::size_t i = 0; i < rec.counter_values.size(); ++i) {
+    s.counters.emplace_back((*rec.counter_names)[i], rec.counter_values[i]);
+  }
+  s.gauges.reserve(rec.gauge_values.size());
+  for (std::size_t i = 0; i < rec.gauge_values.size(); ++i) {
+    s.gauges.emplace_back((*rec.gauge_names)[i], rec.gauge_values[i]);
+  }
+  return s;
 }
 
 std::vector<MetricsSnapshot> MetricsRegistry::heartbeats() const {
+  std::vector<MetricsSnapshot> out;
   std::lock_guard<std::mutex> lock(mu_);
-  return heartbeats_;
+  out.reserve(heartbeats_.size());
+  for (const HeartbeatRec& rec : heartbeats_) {
+    out.push_back(materialize(rec));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::heartbeat_name_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t distinct = 0;
+  const void* last = nullptr;
+  for (const HeartbeatRec& rec : heartbeats_) {
+    // Tables are only ever replaced (copy-on-write), so consecutive
+    // beats sharing a table hold the same pointer.
+    if (rec.counter_names.get() != last) {
+      ++distinct;
+      last = rec.counter_names.get();
+    }
+  }
+  return distinct;
 }
 
 void MetricsRegistry::write_jsonl(std::ostream& out) const {
-  std::vector<MetricsSnapshot> beats;
+  std::vector<MetricsSnapshot> beats = heartbeats();
   MetricsSnapshot final_state;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    beats = heartbeats_;
     double elapsed =
         heartbeats_.empty() ? 0.0 : heartbeats_.back().elapsed_seconds;
     final_state = snapshot_locked(elapsed);

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -49,6 +50,11 @@ class MetricsRegistry {
 
   // Monotonic counter: adds `delta` (counters only ever grow).
   void add(std::string_view name, std::uint64_t delta = 1);
+  // Monotonic counter fed from an external cumulative total: keeps the
+  // max of the current value and `value`, so re-folding the same
+  // source (e.g. Tracer::dropped_events() from nested schedulers) is
+  // idempotent instead of double-counting.
+  void raise(std::string_view name, std::uint64_t value);
   // Gauge updates: accumulate a double total, overwrite, or keep-max.
   void add_gauge(std::string_view name, double delta);
   void set_gauge(std::string_view name, double value);
@@ -59,21 +65,47 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot(double elapsed_seconds = 0.0) const;
 
-  // Appends snapshot(elapsed_seconds) to the heartbeat history.
+  // Appends a timestamped record to the heartbeat history. Cheap by
+  // construction: the name tables are shared (copy-on-write snapshots
+  // taken once per *new-name insertion*, not per heartbeat), so under
+  // the mutex a heartbeat only copies the raw value arrays; the
+  // name/value pairing is materialized outside the lock at export time.
+  // Cost per beat is O(live metrics), independent of history length.
   void heartbeat(double elapsed_seconds);
   std::vector<MetricsSnapshot> heartbeats() const;
+  // Distinct counter name-tables referenced by the stored heartbeats —
+  // 1 when no counter name was introduced mid-history (tests pin the
+  // sharing so heartbeat() can't silently regress to full map copies).
+  std::size_t heartbeat_name_tables() const;
 
   // One JSON object per line: every heartbeat, then the current state as
   // a final record.
   void write_jsonl(std::ostream& out) const;
 
  private:
+  using NameTable = std::shared_ptr<const std::vector<std::string>>;
+
+  // One heartbeat: shared (sorted) name tables + aligned value arrays
+  // copied under the mutex. Materialized into a MetricsSnapshot lazily.
+  struct HeartbeatRec {
+    double elapsed_seconds = 0.0;
+    NameTable counter_names;
+    std::vector<std::uint64_t> counter_values;
+    NameTable gauge_names;
+    std::vector<double> gauge_values;
+  };
+
   MetricsSnapshot snapshot_locked(double elapsed_seconds) const;
+  static MetricsSnapshot materialize(const HeartbeatRec& rec);
 
   mutable std::mutex mu_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
-  std::vector<MetricsSnapshot> heartbeats_;
+  // Sorted key snapshots, rebuilt only when a new name is inserted;
+  // aligned with the maps' iteration order.
+  NameTable counter_names_;
+  NameTable gauge_names_;
+  std::vector<HeartbeatRec> heartbeats_;
 };
 
 }  // namespace javer::obs

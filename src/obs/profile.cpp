@@ -1,0 +1,126 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/trace.h"  // detail::append_json_escaped
+
+namespace javer::obs {
+
+LatencyHisto* PhaseProfiler::slot(std::string_view phase, int shard,
+                                  long long property) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{std::string(phase), shard, property};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return &it->second->histo;
+  }
+  slots_.emplace_back(std::get<0>(key), shard, property);
+  Slot* s = &slots_.back();
+  index_.emplace(std::move(key), s);
+  return &s->histo;
+}
+
+std::vector<PhaseProfiler::SlotView> PhaseProfiler::slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlotView> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    out.push_back({s.phase, s.shard, s.property, &s.histo});
+  }
+  return out;
+}
+
+std::uint64_t PhaseProfiler::phase_count(std::string_view phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) {
+    if (s.phase == phase) {
+      total += s.histo.count();
+    }
+  }
+  return total;
+}
+
+std::uint64_t PhaseProfiler::phase_total_us(std::string_view phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) {
+    if (s.phase == phase) {
+      total += s.histo.total_us();
+    }
+  }
+  return total;
+}
+
+void PhaseProfiler::write_json(std::ostream& out) const {
+  std::vector<SlotView> views = slots();
+  // Deterministic export order: by phase, then shard, then property.
+  std::sort(views.begin(), views.end(),
+            [](const SlotView& a, const SlotView& b) {
+              return std::tie(a.phase, a.shard, a.property) <
+                     std::tie(b.phase, b.shard, b.property);
+            });
+  out << "{\"phases\":[";
+  bool first = true;
+  for (const SlotView& v : views) {
+    if (v.histo->count() == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    std::string phase;
+    detail::append_json_escaped(phase, v.phase);
+    out << "\n{\"phase\":\"" << phase << "\"";
+    if (v.shard >= 0) {
+      out << ",\"shard\":" << v.shard;
+    }
+    if (v.property >= 0) {
+      out << ",\"property\":" << v.property;
+    }
+    out << ",\"count\":" << v.histo->count()
+        << ",\"total_us\":" << v.histo->total_us()
+        << ",\"max_us\":" << v.histo->max_us() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < LatencyHisto::kBuckets; ++b) {
+      std::uint64_t n = v.histo->bucket_count(b);
+      if (n == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out << ",";
+      }
+      first_bucket = false;
+      out << "{\"le_us\":" << LatencyHisto::bucket_upper_us(b)
+          << ",\"count\":" << n << "}";
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
+void PhaseProfiler::write_folded(std::ostream& out) const {
+  std::vector<SlotView> views = slots();
+  std::sort(views.begin(), views.end(),
+            [](const SlotView& a, const SlotView& b) {
+              return std::tie(a.shard, a.property, a.phase) <
+                     std::tie(b.shard, b.property, b.phase);
+            });
+  for (const SlotView& v : views) {
+    if (v.histo->count() == 0) {
+      continue;
+    }
+    out << "javer";
+    if (v.shard >= 0) {
+      out << ";shard" << v.shard;
+    }
+    if (v.property >= 0) {
+      out << ";P" << v.property;
+    }
+    out << ";" << v.phase << " " << v.histo->total_us() << "\n";
+  }
+}
+
+}  // namespace javer::obs

@@ -1,0 +1,209 @@
+// PhaseProfiler (src/obs): latency histograms for the engine phases the
+// paper's time-accounting argument cares about — SAT queries by kind
+// (consecution / bad_query / lift / mic / push), BMC solves, CNF
+// template replay vs cold encoding, and persist I/O — keyed by
+// (phase, shard, property).
+//
+// The recording path is built for instrumenting per-SAT-query sites:
+// LatencyHisto::record() is lock-free (relaxed atomics), allocation-free
+// and fixed-memory (log2 buckets over microseconds). Slot resolution
+// (PhaseProfiler::slot) takes a mutex and is meant to happen once per
+// engine construction; the returned histogram pointer stays valid for
+// the profiler's lifetime (slots live in a deque).
+//
+// Instrumentation sites hold a ProfileSink — a profiler pointer plus
+// default (shard, property) tags, mirroring TraceSink: a null profiler
+// disables everything behind one branch, and ProfileTimer does not even
+// read the clock when handed a null histogram, so unprofiled runs pay
+// one pointer test per would-be sample.
+//
+// Exports: write_json() for tooling (per-slot count/total/max plus the
+// non-empty buckets) and write_folded() in folded-stack format
+// ("javer;shard3;P7;ic3/consecution 1234" — one line per slot, weight in
+// microseconds) that flamegraph.pl / speedscope ingest directly.
+//
+// Counting contract: for the phases that mirror an Ic3Stats counter the
+// sample count equals the counter exactly (obs tests pin this), so the
+// profile is an audited decomposition of the run, not a sampling
+// estimate.
+#ifndef JAVER_OBS_PROFILE_H
+#define JAVER_OBS_PROFILE_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace javer::obs {
+
+// Fixed-memory log2 latency histogram. Bucket i holds samples whose
+// microsecond value has bit_width i (bucket 0 is exactly 0us), i.e.
+// upper bounds 0, 1, 3, 7, 15, ... us. 40 buckets cover ~6 days.
+class LatencyHisto {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record(std::uint64_t us) noexcept {
+    int b = bucket_index(us);
+    buckets_[static_cast<std::size_t>(b)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_us_.fetch_add(us, std::memory_order_relaxed);
+    std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (prev < us &&
+           !max_us_.compare_exchange_weak(prev, us,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_us() const {
+    return total_us_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  // Largest value bucket i accepts (inclusive).
+  static std::uint64_t bucket_upper_us(int i) {
+    return i <= 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+  static int bucket_index(std::uint64_t us) {
+    int width = 0;
+    while (us != 0) {
+      ++width;
+      us >>= 1;
+    }
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class PhaseProfiler {
+ public:
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  // Returns the histogram for (phase, shard, property), creating it on
+  // first use. The pointer stays valid for the profiler's lifetime.
+  // `phase` is a "subsystem/op" literal, e.g. "ic3/consecution".
+  LatencyHisto* slot(std::string_view phase, int shard = -1,
+                     long long property = -1);
+
+  struct SlotView {
+    std::string phase;
+    int shard = -1;
+    long long property = -1;
+    const LatencyHisto* histo = nullptr;
+  };
+  std::vector<SlotView> slots() const;
+
+  // Aggregations across all (shard, property) slots of one phase.
+  std::uint64_t phase_count(std::string_view phase) const;
+  std::uint64_t phase_total_us(std::string_view phase) const;
+
+  // {"phases":[{"phase","shard","property","count","total_us","max_us",
+  //             "buckets":[{"le_us","count"},...]},...]}
+  // Untagged shard/property (-1) are omitted; empty buckets are omitted.
+  void write_json(std::ostream& out) const;
+
+  // Folded-stack lines "javer;shardS;Pn;cat/op TOTAL_US" (untagged
+  // frames omitted), the input format of flamegraph.pl / speedscope.
+  void write_folded(std::ostream& out) const;
+
+ private:
+  struct Slot {
+    std::string phase;
+    int shard;
+    long long property;
+    LatencyHisto histo;
+    Slot(std::string p, int s, long long pr)
+        : phase(std::move(p)), shard(s), property(pr) {}
+  };
+  using Key = std::tuple<std::string, int, long long>;
+
+  mutable std::mutex mu_;
+  std::deque<Slot> slots_;  // deque: histogram addresses are stable
+  std::map<Key, Slot*, std::less<>> index_;
+};
+
+// The cheap handle instrumentation sites hold: a profiler (null =
+// profiling off) plus the default (shard, property) tags its slots are
+// registered under. Mirrors TraceSink.
+class ProfileSink {
+ public:
+  ProfileSink() = default;
+  explicit ProfileSink(PhaseProfiler* profiler, int shard = -1,
+                       long long property = -1)
+      : profiler_(profiler), shard_(shard), property_(property) {}
+
+  bool enabled() const { return profiler_ != nullptr; }
+  PhaseProfiler* profiler() const { return profiler_; }
+  int shard() const { return shard_; }
+  long long property() const { return property_; }
+
+  ProfileSink with_shard(int shard) const {
+    return ProfileSink(profiler_, shard, property_);
+  }
+  ProfileSink with_property(long long property) const {
+    return ProfileSink(profiler_, shard_, property);
+  }
+
+  // nullptr when disabled — feed straight into ProfileTimer.
+  LatencyHisto* slot(std::string_view phase) const {
+    return profiler_ ? profiler_->slot(phase, shard_, property_) : nullptr;
+  }
+
+ private:
+  PhaseProfiler* profiler_ = nullptr;
+  int shard_ = -1;
+  long long property_ = -1;
+};
+
+// RAII sample: reads the clock only when the histogram is non-null.
+class ProfileTimer {
+ public:
+  explicit ProfileTimer(LatencyHisto* histo) : histo_(histo) {
+    if (histo_ != nullptr) {
+      begin_ = std::chrono::steady_clock::now();
+    }
+  }
+  ProfileTimer(const ProfileTimer&) = delete;
+  ProfileTimer& operator=(const ProfileTimer&) = delete;
+  ~ProfileTimer() {
+    if (histo_ != nullptr) {
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - begin_)
+                    .count();
+      histo_->record(us > 0 ? static_cast<std::uint64_t>(us) : 0);
+    }
+  }
+
+ private:
+  LatencyHisto* histo_;
+  std::chrono::steady_clock::time_point begin_{};
+};
+
+}  // namespace javer::obs
+
+#endif  // JAVER_OBS_PROFILE_H

@@ -113,6 +113,10 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 
 void Tracer::record(TraceEvent ev) {
   ThreadBuffer& buf = local_buffer();
+  if (buf.events.size() >= buffer_cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   ev.tid = buf.tid;
   buf.events.push_back(std::move(ev));
 }
@@ -148,10 +152,17 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     write_event_json(out, ev);
     first = false;
   }
-  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out << "\n],\"displayTimeUnit\":\"ms\"";
+  if (std::uint64_t dropped = dropped_events(); dropped > 0) {
+    out << ",\"droppedEvents\":" << dropped;
+  }
+  out << "}\n";
 }
 
 void Tracer::write_jsonl(std::ostream& out) const {
+  if (std::uint64_t dropped = dropped_events(); dropped > 0) {
+    out << "{\"type\":\"header\",\"droppedEvents\":" << dropped << "}\n";
+  }
   for (const TraceEvent& ev : events()) {
     write_event_json(out, ev);
     out << "\n";

@@ -25,6 +25,7 @@
 #ifndef JAVER_OBS_TRACE_H
 #define JAVER_OBS_TRACE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -61,6 +62,11 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  // Default per-thread buffer cap: generous (a long sharded bench run
+  // records ~10^4 events), but bounded so a runaway instrumentation
+  // site cannot grow memory without limit on daemon-length runs.
+  static constexpr std::size_t kDefaultBufferCap = 1u << 20;
+
   Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -69,7 +75,19 @@ class Tracer {
   std::uint64_t now_us() const;
 
   // Appends to the calling thread's buffer; `tid` is assigned here.
+  // Buffers at the cap drop the event and count it in dropped_events().
   void record(TraceEvent ev);
+
+  // Per-thread event cap. Takes effect for subsequent record() calls;
+  // set before the run starts (not synchronized against recorders).
+  void set_buffer_cap(std::size_t cap) { buffer_cap_ = cap; }
+  std::size_t buffer_cap() const { return buffer_cap_; }
+  // Events discarded because a thread buffer was full. Also surfaced in
+  // the Chrome export header ("droppedEvents") and as the
+  // obs.trace_dropped counter when a MetricsRegistry is attached.
+  std::uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   // --- export (see the threading contract above) ---
   std::size_t event_count() const;
@@ -89,6 +107,8 @@ class Tracer {
 
   const std::uint64_t id_;  // process-unique, keys the thread-local cache
   const std::chrono::steady_clock::time_point epoch_;
+  std::size_t buffer_cap_ = kDefaultBufferCap;
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mu_;  // guards buffers_ (registration + export)
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };

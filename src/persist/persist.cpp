@@ -297,6 +297,7 @@ std::shared_ptr<const cnf::CnfTemplate> PersistCache::load_template(
     const ts::TransitionSystem& ts, std::uint64_t fingerprint,
     const cnf::CnfTemplate::Spec& spec) {
   obs::TraceSpan span(trace_, "persist", "load_template");
+  obs::ProfileTimer prof(prof_load_);
   const std::string name = template_file_name(fingerprint, spec);
   std::optional<std::string> entry = read_entry(name, kKindTemplate);
   if (!entry) return nullptr;
@@ -403,6 +404,7 @@ std::shared_ptr<const cnf::CnfTemplate> PersistCache::load_template(
 void PersistCache::store_template(std::uint64_t fingerprint,
                                   const cnf::CnfTemplate& tmpl) {
   obs::TraceSpan span(trace_, "persist", "store_template");
+  obs::ProfileTimer prof(prof_store_);
   std::string payload;
   put_u64(payload, fingerprint);
   put_u8(payload, tmpl.spec().simplify ? 1 : 0);
@@ -443,6 +445,7 @@ std::optional<std::vector<ts::Cube>> PersistCache::load_clause_db(
     const ts::TransitionSystem& ts, std::uint64_t fingerprint,
     std::uint64_t signature) {
   obs::TraceSpan span(trace_, "persist", "load_clause_db");
+  obs::ProfileTimer prof(prof_load_);
   const std::string name = clause_db_file_name(fingerprint, signature);
   std::optional<std::string> entry = read_entry(name, kKindClauseDb);
   if (!entry) return std::nullopt;
@@ -493,6 +496,7 @@ void PersistCache::store_clause_db(std::uint64_t fingerprint,
                                    std::uint64_t signature,
                                    const std::vector<ts::Cube>& cubes) {
   obs::TraceSpan span(trace_, "persist", "store_clause_db");
+  obs::ProfileTimer prof(prof_store_);
   std::string payload;
   put_u64(payload, fingerprint);
   put_u64(payload, signature);

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cnf/template.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "ts/transition_system.h"
 
@@ -141,6 +142,13 @@ class PersistCache final : public cnf::TemplateStore {
   // tracer (the sink is copied; a default sink keeps the cache silent).
   void set_trace(const obs::TraceSink& sink) { trace_ = sink; }
 
+  // Cache load/store latencies land in `sink`'s profiler under
+  // "persist/load" / "persist/store" (slots resolved here, once).
+  void set_profile(const obs::ProfileSink& sink) {
+    prof_load_ = sink.slot("persist/load");
+    prof_store_ = sink.slot("persist/store");
+  }
+
   // Entry file names within dir() — exposed so tests (and curious
   // operators) can address individual entries.
   static std::string template_file_name(std::uint64_t fingerprint,
@@ -162,6 +170,8 @@ class PersistCache final : public cnf::TemplateStore {
   mutable std::mutex mu_;  // guards stats_ and temp-file staging
   PersistStats stats_;
   obs::TraceSink trace_;
+  obs::LatencyHisto* prof_load_ = nullptr;
+  obs::LatencyHisto* prof_store_ = nullptr;
 };
 
 }  // namespace javer::persist

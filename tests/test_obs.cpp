@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -21,186 +22,14 @@
 #include "mp/shard/sharded_scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "test_util_json.h"
 #include "ts/transition_system.h"
 
 namespace javer {
 namespace {
 
-// --- a minimal JSON reader (objects/arrays/strings/numbers/bools) ----------
-// Just enough to parse back what write_chrome_trace/write_jsonl emit; any
-// malformed output fails the parse (and with it the test).
-
-struct Json {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  bool has(const std::string& key) const {
-    return kind == Kind::Object && object.count(key) > 0;
-  }
-  const Json& at(const std::string& key) const { return object.at(key); }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  bool parse(Json& out) {
-    pos_ = 0;
-    return value(out) && (skip_ws(), pos_ == text_.size());
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      pos_++;
-    }
-  }
-  bool literal(const char* lit) {
-    std::size_t n = std::string_view(lit).size();
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool value(Json& out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return false;
-    char c = text_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out.kind = Json::Kind::String;
-      return string(out.string);
-    }
-    if (c == 't' || c == 'f') {
-      out.kind = Json::Kind::Bool;
-      out.boolean = (c == 't');
-      return literal(c == 't' ? "true" : "false");
-    }
-    if (c == 'n') return literal("null");
-    return number(out);
-  }
-  bool string(std::string& out) {
-    if (text_[pos_] != '"') return false;
-    pos_++;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return false;
-      char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return false;
-          // Control characters only in our escaper; keep the code unit.
-          out += '?';
-          pos_ += 4;
-          break;
-        }
-        default: return false;
-      }
-    }
-    if (pos_ >= text_.size()) return false;
-    pos_++;  // closing quote
-    return true;
-  }
-  bool number(Json& out) {
-    std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      pos_++;
-    }
-    if (pos_ == start) return false;
-    out.kind = Json::Kind::Number;
-    out.number = std::stod(text_.substr(start, pos_ - start));
-    return true;
-  }
-  bool array(Json& out) {
-    out.kind = Json::Kind::Array;
-    pos_++;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      pos_++;
-      return true;
-    }
-    while (true) {
-      Json elem;
-      if (!value(elem)) return false;
-      out.array.push_back(std::move(elem));
-      skip_ws();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        pos_++;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        pos_++;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool object(Json& out) {
-    out.kind = Json::Kind::Object;
-    pos_++;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      pos_++;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= text_.size() || !string(key)) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      pos_++;
-      Json val;
-      if (!value(val)) return false;
-      out.object.emplace(std::move(key), std::move(val));
-      skip_ws();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        pos_++;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        pos_++;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-Json parse_json_or_die(const std::string& text) {
-  Json out;
-  JsonReader reader(text);
-  EXPECT_TRUE(reader.parse(out)) << "unparseable JSON: " << text;
-  return out;
-}
+using testjson::Json;
+using testjson::parse_json_or_die;
 
 // --- Tracer / TraceSink unit tests -----------------------------------------
 
@@ -308,6 +137,45 @@ TEST(TraceSink, DisabledSinkIsAFreeNoOp) {
   // DisabledRunRecordsNoEventsAndNoMetrics end-to-end test).
 }
 
+TEST(Tracer, BufferCapDropsAndSurfacesTheCount) {
+  // Bounded per-thread buffers: once a thread's buffer hits the cap,
+  // further events are dropped and counted — never an unbounded
+  // allocation on a runaway run.
+  obs::Tracer tracer;
+  tracer.set_buffer_cap(5);
+  obs::TraceSink sink(&tracer, /*shard=*/0, /*property=*/0);
+  for (int i = 0; i < 12; ++i) sink.instant("test", "tick");
+  EXPECT_EQ(tracer.event_count(), 5u);
+  EXPECT_EQ(tracer.dropped_events(), 7u);
+
+  // Both exports surface the drop count so a truncated trace is never
+  // mistaken for a complete one: the Chrome export in its header object,
+  // the JSONL export as a leading header record.
+  std::ostringstream chrome;
+  tracer.write_chrome_trace(chrome);
+  Json doc = parse_json_or_die(chrome.str());
+  ASSERT_TRUE(doc.has("droppedEvents"));
+  EXPECT_DOUBLE_EQ(doc.at("droppedEvents").number, 7.0);
+  EXPECT_EQ(doc.at("traceEvents").array.size(), 5u);
+
+  std::ostringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string first;
+  ASSERT_TRUE(std::getline(lines, first));
+  Json header = parse_json_or_die(first);
+  EXPECT_EQ(header.at("type").string, "header");
+  EXPECT_DOUBLE_EQ(header.at("droppedEvents").number, 7.0);
+
+  // An uncapped tracer emits no drop header at all.
+  obs::Tracer clean;
+  obs::TraceSink clean_sink(&clean, 0, 0);
+  clean_sink.instant("test", "tick");
+  std::ostringstream clean_out;
+  clean.write_chrome_trace(clean_out);
+  EXPECT_FALSE(parse_json_or_die(clean_out.str()).has("droppedEvents"));
+}
+
 // --- MetricsRegistry unit tests --------------------------------------------
 
 TEST(Metrics, CountersAccumulateAndGaugesFollowTheirMode) {
@@ -370,6 +238,64 @@ TEST(Metrics, HeartbeatsFreezeMonotonicHistory) {
   EXPECT_DOUBLE_EQ(records[2].at("counters").at("work").number, 16.0);
 }
 
+TEST(Metrics, RaiseKeepsTheMaxSoRefoldingIsIdempotent) {
+  // raise() feeds a monotonic counter from an external cumulative total
+  // (e.g. Tracer::dropped_events()): folding the same source twice — the
+  // sharded scheduler and its nested per-shard schedulers both see the
+  // run's tracer — must not double-count.
+  obs::MetricsRegistry m;
+  m.raise("obs.trace_dropped", 7);
+  m.raise("obs.trace_dropped", 7);
+  EXPECT_EQ(m.counter("obs.trace_dropped"), 7u);
+  m.raise("obs.trace_dropped", 12);
+  m.raise("obs.trace_dropped", 3);  // stale lower total: no rollback
+  EXPECT_EQ(m.counter("obs.trace_dropped"), 12u);
+}
+
+TEST(Metrics, HeartbeatsShareNameTablesAndStayCheap) {
+  // heartbeat() must not copy the full name->value maps under the mutex.
+  // Structural pin: all heartbeats between two name insertions reference
+  // the *same* copy-on-write name table, so the per-beat work is the raw
+  // value arrays only — O(live metrics), independent of history length.
+  obs::MetricsRegistry m;
+  m.add("a", 1);
+  m.add_gauge("g", 0.5);
+  for (int i = 0; i < 500; ++i) {
+    m.add("a");
+    m.heartbeat(static_cast<double>(i));
+  }
+  EXPECT_EQ(m.heartbeat_name_tables(), 1u);
+
+  // A new name forces exactly one fresh table for subsequent beats.
+  m.add("b", 2);
+  m.heartbeat(500.0);
+  EXPECT_EQ(m.heartbeat_name_tables(), 2u);
+
+  // The stored records still materialize correctly at export time.
+  std::vector<obs::MetricsSnapshot> beats = m.heartbeats();
+  ASSERT_EQ(beats.size(), 501u);
+  EXPECT_EQ(beats[0].counter("a"), 2u);
+  EXPECT_EQ(beats[499].counter("a"), 501u);
+  EXPECT_EQ(beats[499].counter("b"), 0u);
+  EXPECT_EQ(beats[500].counter("b"), 2u);
+  EXPECT_DOUBLE_EQ(beats[500].gauge("g"), 0.5);
+
+  // Generous wall-clock guard for the same property: 1000 beats over a
+  // 400-beat-deep history must stay far from quadratic. This is a smoke
+  // bound (seconds of headroom), not a benchmark — the structural check
+  // above is the real pin.
+  obs::MetricsRegistry big;
+  for (int i = 0; i < 64; ++i) big.add("counter." + std::to_string(i), i);
+  for (int i = 0; i < 400; ++i) big.heartbeat(static_cast<double>(i));
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000; ++i) big.heartbeat(1000.0 + i);
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(big.heartbeat_name_tables(), 1u);
+  EXPECT_LT(seconds, 2.0);
+}
+
 // --- end-to-end: schedulers under observation ------------------------------
 
 gen::SyntheticSpec small_multi_cone() {
@@ -404,6 +330,9 @@ void expect_exact_reconciliation(const mp::MultiResult& r) {
   EXPECT_EQ(m.counter("ic3.consecution_queries"),
             summed(r, &ic3::Ic3Stats::consecution_queries));
   EXPECT_EQ(m.counter("ic3.mic_queries"), summed(r, &ic3::Ic3Stats::mic_queries));
+  EXPECT_EQ(m.counter("ic3.bad_queries"), summed(r, &ic3::Ic3Stats::bad_queries));
+  EXPECT_EQ(m.counter("ic3.lift_queries"),
+            summed(r, &ic3::Ic3Stats::lift_queries));
   EXPECT_EQ(m.counter("ic3.seed_clauses_kept"),
             summed(r, &ic3::Ic3Stats::seed_clauses_kept));
   EXPECT_EQ(m.counter("ic3.seed_clauses_dropped"),

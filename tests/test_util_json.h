@@ -1,0 +1,194 @@
+// A minimal JSON reader shared by the observability tests
+// (objects/arrays/strings/numbers/bools) — just enough to parse back
+// what the obs exporters (write_chrome_trace / write_jsonl /
+// PhaseProfiler::write_json) emit; any malformed output fails the parse
+// (and with it the test).
+#ifndef JAVER_TESTS_TEST_UTIL_JSON_H
+#define JAVER_TESTS_TEST_UTIL_JSON_H
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace javer::testjson {
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+  const Json& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(Json& out) {
+    pos_ = 0;
+    return value(out) && (skip_ws(), pos_ == text_.size());
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+  bool literal(const char* lit) {
+    std::size_t n = std::string_view(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = Json::Kind::String;
+      return string(out.string);
+    }
+    if (c == 't' || c == 'f') {
+      out.kind = Json::Kind::Bool;
+      out.boolean = (c == 't');
+      return literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') return literal("null");
+    return number(out);
+  }
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    pos_++;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          // Control characters only in our escaper; keep the code unit.
+          out += '?';
+          pos_ += 4;
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    pos_++;  // closing quote
+    return true;
+  }
+  bool number(Json& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return false;
+    out.kind = Json::Kind::Number;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+  bool array(Json& out) {
+    out.kind = Json::Kind::Array;
+    pos_++;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      Json elem;
+      if (!value(elem)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object(Json& out) {
+    out.kind = Json::Kind::Object;
+    pos_++;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      pos_++;
+      Json val;
+      if (!value(val)) return false;
+      out.object.emplace(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline Json parse_json_or_die(const std::string& text) {
+  Json out;
+  JsonReader reader(text);
+  EXPECT_TRUE(reader.parse(out)) << "unparseable JSON: " << text;
+  return out;
+}
+
+}  // namespace javer::testjson
+
+#endif  // JAVER_TESTS_TEST_UTIL_JSON_H

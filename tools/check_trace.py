@@ -13,7 +13,10 @@ and Perfetto:
   * "args", when present, is an object; the (shard, property, slice) tags
     are non-negative integers (untagged values are omitted, never -1);
   * per-thread "X" spans nest properly (a span begun inside another one
-    ends no later than its enclosing span).
+    ends no later than its enclosing span). Zero-duration spans sharing a
+    timestamp — with each other, with a sibling's start, or with an
+    enclosing span's end — are legal nestings, not overlaps (the
+    self-test pins this).
 
 With --expect-slices, additionally require at least one "task"/"slice"
 span tagged with both shard and property — the shape a sharded scheduler
@@ -23,7 +26,16 @@ With --expect-span CAT/NAME (repeatable), additionally require at least
 one "X" span with that category and name — e.g. --expect-span sim/sweep
 gates on the simulation prefilter having traced its sweep.
 
-Usage: check_trace.py [--expect-slices] [--expect-span CAT/NAME] TRACE.json
+With --metrics METRICS.jsonl (the --metrics-out export), validate the
+JSONL schema (heartbeat records then one final record), and gate final
+counters with --expect-metric NAME or --expect-metric "NAME>=N"
+(repeatable) — e.g. --expect-metric "obs.stalls>=1" checks the watchdog
+fired.
+
+Usage: check_trace.py [--expect-slices] [--expect-span CAT/NAME]
+                      [--metrics FILE] [--expect-metric NAME[>=N]]
+                      TRACE.json
+       check_trace.py --self-test
 """
 
 import argparse
@@ -35,9 +47,12 @@ REQUIRED_PHASES = {"X", "i"}
 TAG_KEYS = ("shard", "property", "slice")
 
 
+class CheckError(Exception):
+    pass
+
+
 def fail(msg):
-    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise CheckError(msg)
 
 
 def check_event(index, ev):
@@ -70,7 +85,14 @@ def check_event(index, ev):
 
 
 def check_nesting(events):
-    """Per-tid, 'X' spans sorted by start must nest like a call stack."""
+    """Per-tid, 'X' spans sorted by start must nest like a call stack.
+
+    The sort breaks timestamp ties longest-first so an enclosing span is
+    processed before same-start children, and the pop condition is
+    `start >= end` so a zero-duration span sitting exactly on a sibling's
+    end (or an enclosing span's end) closes that scope instead of being
+    reported as an overlap.
+    """
     by_tid = defaultdict(list)
     for ev in events:
         if ev["ph"] == "X":
@@ -90,33 +112,7 @@ def check_nesting(events):
             stack.append(end)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="Chrome trace-event JSON file")
-    parser.add_argument(
-        "--expect-slices",
-        action="store_true",
-        help="require >=1 task/slice span tagged with shard and property",
-    )
-    parser.add_argument(
-        "--expect-span",
-        action="append",
-        default=[],
-        metavar="CAT/NAME",
-        help="require >=1 'X' span with this category and name; repeatable",
-    )
-    opts = parser.parse_args()
-
-    for spec in opts.expect_span:
-        if "/" not in spec:
-            fail(f"--expect-span wants CAT/NAME, got {spec!r}")
-
-    try:
-        with open(opts.trace, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {opts.trace}: {e}")
-
+def check_trace_doc(doc, expect_slices=False, expect_spans=()):
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         fail("top level is not an object with a 'traceEvents' list")
     events = doc["traceEvents"]
@@ -136,22 +132,306 @@ def main():
         and "shard" in ev.get("args", {})
         and "property" in ev.get("args", {})
     ]
-    if opts.expect_slices and not slice_spans:
+    if expect_slices and not slice_spans:
         fail("no task/slice span tagged with (shard, property) found")
 
-    for spec in opts.expect_span:
+    for spec in expect_spans:
         cat, name = spec.split("/", 1)
         if not any(
             ev["ph"] == "X" and ev["cat"] == cat and ev["name"] == name
             for ev in events
         ):
             fail(f"no {cat}/{name} span found")
+    return events, slice_spans
+
+
+def parse_metric_expectation(spec):
+    """NAME or NAME>=N -> (name, minimum)."""
+    if ">=" in spec:
+        name, _, count = spec.partition(">=")
+        name = name.strip()
+        try:
+            minimum = int(count)
+        except ValueError:
+            fail(f"--expect-metric wants NAME[>=N], got {spec!r}")
+        if not name or minimum < 0:
+            fail(f"--expect-metric wants NAME[>=N], got {spec!r}")
+        return name, minimum
+    if not spec.strip():
+        fail("--expect-metric wants NAME[>=N], got an empty name")
+    return spec.strip(), 1
+
+
+def check_metrics_lines(lines, expectations):
+    """Validate a --metrics-out JSONL export and gate the final record.
+
+    The export (obs/metrics.cpp) is zero or more "heartbeat" records
+    (optionally preceded by a tracer "header" record) followed by exactly
+    one "final" record; every record carries counters/gauges objects.
+    """
+    records = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"metrics line {i + 1}: not valid JSON: {e}")
+        if not isinstance(rec, dict) or not isinstance(rec.get("type"), str):
+            fail(f"metrics line {i + 1}: not an object with a 'type'")
+        records.append((i + 1, rec))
+    if not records:
+        fail("metrics file contains no records")
+
+    finals = [rec for _, rec in records if rec["type"] == "final"]
+    if len(finals) != 1:
+        fail(f"metrics file has {len(finals)} 'final' records, want 1")
+    if records[-1][1]["type"] != "final":
+        fail("metrics file does not end with the 'final' record")
+    for lineno, rec in records:
+        if rec["type"] not in ("heartbeat", "final", "header"):
+            fail(f"metrics line {lineno}: unknown type {rec['type']!r}")
+        if rec["type"] == "header":
+            continue
+        for key in ("counters", "gauges"):
+            if not isinstance(rec.get(key), dict):
+                fail(f"metrics line {lineno}: missing object '{key}'")
+
+    counters = finals[0]["counters"]
+    for name, minimum in expectations:
+        value = counters.get(name)
+        if not isinstance(value, int):
+            fail(f"final record has no counter {name!r}")
+        if value < minimum:
+            fail(f"counter {name} = {value}, want >= {minimum}")
+    return counters
+
+
+def run(opts):
+    for spec in opts.expect_span:
+        if "/" not in spec:
+            fail(f"--expect-span wants CAT/NAME, got {spec!r}")
+    expectations = [parse_metric_expectation(s) for s in opts.expect_metric]
+    if expectations and not opts.metrics:
+        fail("--expect-metric requires --metrics FILE")
+
+    try:
+        with open(opts.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {opts.trace}: {e}")
+
+    events, slice_spans = check_trace_doc(
+        doc, expect_slices=opts.expect_slices, expect_spans=opts.expect_span
+    )
+
+    gated = ""
+    if opts.metrics:
+        try:
+            with open(opts.metrics, "r", encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as e:
+            fail(f"cannot load {opts.metrics}: {e}")
+        counters = check_metrics_lines(lines, expectations)
+        gated = f", {len(counters)} final counter(s)"
 
     cats = sorted({ev["cat"] for ev in events})
     print(
         f"check_trace: OK: {len(events)} event(s), "
-        f"{len(slice_spans)} tagged slice span(s), categories: {', '.join(cats)}"
+        f"{len(slice_spans)} tagged slice span(s){gated}, "
+        f"categories: {', '.join(cats)}"
     )
+
+
+# --- self-test (ctest-invoked) ---------------------------------------------
+
+def _span(ts, dur, tid=0, name="work", cat="test", **args):
+    ev = {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+          "pid": 1, "tid": tid}
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _instant(ts, tid=0, name="mark", cat="test"):
+    return {"name": name, "cat": cat, "ph": "i", "s": "t", "ts": ts,
+            "dur": 0, "pid": 1, "tid": tid}
+
+
+def self_test():
+    failures = []
+
+    def expect_ok(name, fn):
+        try:
+            fn()
+        except CheckError as e:
+            failures.append(f"{name}: unexpected FAIL: {e}")
+
+    def expect_fail(name, fn):
+        try:
+            fn()
+        except CheckError:
+            return
+        failures.append(f"{name}: accepted bad input")
+
+    # Well-formed nesting, including every zero-duration corner: a
+    # zero-dur span at its parent's start, two zero-dur siblings sharing
+    # a timestamp, one on a sibling's end, one exactly on the parent's
+    # end, across interleaved tids.
+    good = [
+        _span(0, 100, name="outer"),
+        _span(0, 0, name="zero-at-parent-start"),
+        _span(10, 20, name="child"),
+        _span(30, 0, name="zero-on-sibling-end"),
+        _span(30, 0, name="zero-twin"),
+        _span(40, 60, name="tail-child"),
+        _span(100, 0, name="zero-at-parent-end"),
+        _span(5, 10, tid=1),
+        _span(5, 0, tid=1),
+        _instant(50),
+    ]
+    expect_ok("zero-duration nesting", lambda: check_nesting(good))
+    expect_ok(
+        "good trace doc",
+        lambda: check_trace_doc({"traceEvents": good}),
+    )
+
+    # Genuine overlaps must still be rejected.
+    expect_fail(
+        "overlapping spans",
+        lambda: check_nesting([_span(0, 10), _span(5, 10)]),
+    )
+    expect_fail(
+        "child outlives parent",
+        lambda: check_nesting([_span(0, 10), _span(2, 9)]),
+    )
+
+    # Event-schema rejections.
+    expect_fail("bad phase", lambda: check_event(0, _span(0, 1) | {"ph": "B"}))
+    expect_fail("negative ts", lambda: check_event(0, _span(-1, 1)))
+    expect_fail(
+        "span without dur",
+        lambda: check_event(0, {k: v for k, v in _span(0, 1).items()
+                                if k != "dur"}),
+    )
+    expect_fail(
+        "unscoped instant",
+        lambda: check_event(0, {k: v for k, v in _instant(0).items()
+                                if k != "s"}),
+    )
+    expect_fail(
+        "negative tag",
+        lambda: check_event(0, _span(0, 1, shard=-1)),
+    )
+    expect_fail("empty trace", lambda: check_trace_doc({"traceEvents": []}))
+    expect_fail(
+        "missing expected span",
+        lambda: check_trace_doc({"traceEvents": good},
+                                expect_spans=["sim/sweep"]),
+    )
+    tagged = [_span(0, 5, name="slice", cat="task", shard=0, property=3)]
+    expect_ok(
+        "expect-slices",
+        lambda: check_trace_doc({"traceEvents": tagged}, expect_slices=True),
+    )
+    expect_fail(
+        "expect-slices without tags",
+        lambda: check_trace_doc({"traceEvents": good}, expect_slices=True),
+    )
+
+    # Metrics JSONL gating.
+    beat = json.dumps({"type": "heartbeat", "elapsed_s": 0.5,
+                       "counters": {"task.slices": 3}, "gauges": {}})
+    final = json.dumps({"type": "final", "elapsed_s": 1.0,
+                        "counters": {"task.slices": 9, "obs.stalls": 1},
+                        "gauges": {"ic3.seconds": 0.8}})
+    header = json.dumps({"type": "header", "droppedEvents": 2})
+    expect_ok(
+        "metrics schema + gates",
+        lambda: check_metrics_lines(
+            [header, beat, final],
+            [("task.slices", 9), ("obs.stalls", 1)],
+        ),
+    )
+    expect_fail(
+        "counter below minimum",
+        lambda: check_metrics_lines([final], [("obs.stalls", 2)]),
+    )
+    expect_fail(
+        "missing counter",
+        lambda: check_metrics_lines([final], [("obs.preempts", 1)]),
+    )
+    expect_fail(
+        "no final record",
+        lambda: check_metrics_lines([beat], []),
+    )
+    expect_fail(
+        "final not last",
+        lambda: check_metrics_lines([final, beat], []),
+    )
+    expect_fail(
+        "malformed line",
+        lambda: check_metrics_lines(["{not json", final], []),
+    )
+    if parse_metric_expectation("obs.stalls>=3") != ("obs.stalls", 3):
+        failures.append("parse_metric_expectation: NAME>=N")
+    if parse_metric_expectation("task.closed") != ("task.closed", 1):
+        failures.append("parse_metric_expectation: bare NAME")
+    expect_fail(
+        "bad expectation",
+        lambda: parse_metric_expectation("obs.stalls>=many"),
+    )
+
+    if failures:
+        for f in failures:
+            print(f"check_trace: SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("check_trace: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?",
+                        help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--expect-slices",
+        action="store_true",
+        help="require >=1 task/slice span tagged with shard and property",
+    )
+    parser.add_argument(
+        "--expect-span",
+        action="append",
+        default=[],
+        metavar="CAT/NAME",
+        help="require >=1 'X' span with this category and name; repeatable",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="also validate a --metrics-out JSONL export",
+    )
+    parser.add_argument(
+        "--expect-metric",
+        action="append",
+        default=[],
+        metavar="NAME[>=N]",
+        help="require the final metrics record's counter NAME >= N "
+        "(default 1); repeatable; needs --metrics",
+    )
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixtures and exit")
+    opts = parser.parse_args()
+
+    if opts.self_test:
+        sys.exit(self_test())
+    if not opts.trace:
+        parser.error("TRACE.json required (or --self-test)")
+    try:
+        run(opts)
+    except CheckError as e:
+        print(f"check_trace: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":
