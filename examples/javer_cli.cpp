@@ -19,6 +19,7 @@
 #include "aig/aiger_io.h"
 #include "base/log.h"
 #include "base/timer.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/profile.h"
@@ -51,6 +52,7 @@ struct CliOptions {
   std::string profile_out;
   std::string profile_folded;
   std::string sim_prefilter = "off";  // off | falsify | full
+  std::string fault_inject;           // fault::FaultPlan spec; empty = off
   javer::LogLevel log_level = javer::LogLevel::Silent;
   double time_limit = 60.0;
   unsigned threads = 0;  // 0 = hardware concurrency (parallel/hybrid)
@@ -178,6 +180,22 @@ void usage(std::FILE* out) {
 "  --etf I              mark property I Expected-To-Fail; repeatable\n"
 "                       (ETF properties are never assumed)\n"
 "\n"
+"fault injection (resilience testing; not for joint/clustered):\n"
+"  --fault-inject SPEC  deterministic fault plan, ';'-separated entries:\n"
+"                         seed=N            plan RNG seed (default: 1)\n"
+"                         SITE[@N][+][:OPTS] inject at SITE's Nth hit\n"
+"                                           (default: 1st); trailing '+'\n"
+"                                           = every hit from the Nth on\n"
+"                       sites: sat.alloc ic3.consecution ic3.mic\n"
+"                         bmc.solve persist.store persist.load\n"
+"                         persist.store.crash task.stall\n"
+"                       opts (','-separated): prop=K (only property K),\n"
+"                         stall=SECS (task.stall length), p=PROB\n"
+"                         (seeded coin per hit instead of @N)\n"
+"                       failed tasks are quarantined and retried on a\n"
+"                       degrade ladder; post-retry verdicts re-certified\n"
+"                       (see README \"Resilience\")\n"
+"\n"
 "input/output:\n"
 "  --clause-db FILE     load/save the clause database (the paper's\n"
 "                       external clauseDB)\n"
@@ -303,6 +321,14 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.sim_patterns = static_cast<int>(n);
     } else if (arg == "--seed") {
       if (!next_number("--seed", opts.seed)) return false;
+    } else if (arg == "--fault-inject") {
+      const char* v = next("--fault-inject");
+      if (v == nullptr) return false;
+      if (*v == '\0') {
+        std::fprintf(stderr, "javer_cli: --fault-inject wants a plan\n");
+        return false;
+      }
+      opts.fault_inject = v;
     } else if (arg == "--cache-gc") {
       opts.cache_gc = true;
     } else if (arg == "--cache-max-bytes") {
@@ -578,6 +604,25 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  if (!cli.fault_inject.empty()) {
+    if (cli.engine == "joint" || cli.engine == "clustered") {
+      // The aggregate policies have no per-property tasks to quarantine
+      // and retry; a fault there still aborts the whole conjunction.
+      std::fprintf(stderr,
+                   "javer_cli: --fault-inject is not supported with --engine "
+                   "%s\n", cli.engine.c_str());
+      return 3;
+    }
+    try {
+      // Validate now so a malformed plan is a loud usage error instead of
+      // an engine-time exception.
+      fault::FaultPlan::parse(cli.fault_inject);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "javer_cli: %s\n", e.what());
+      return 3;
+    }
+  }
+
   if (!cli.cache_dir.empty()) {
     if (cli.engine == "joint" || cli.engine == "clustered") {
       // The aggregate policies build a fresh per-iteration TS and export
@@ -633,10 +678,13 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   obs::Tracer* tracer_ptr = cli.trace_out.empty() ? nullptr : &tracer;
-  // The watchdog wants the stall counter even without --metrics-out.
+  // The watchdog wants the stall counter even without --metrics-out, and
+  // the "fault:" summary line wants the fault.*/retry.* counters.
   const bool monitor_on = cli.progress || cli.watchdog_preempt;
+  const bool fault_on = !cli.fault_inject.empty();
   obs::MetricsRegistry* metrics_ptr =
-      (cli.metrics_out.empty() && !monitor_on) ? nullptr : &metrics;
+      (cli.metrics_out.empty() && !monitor_on && !fault_on) ? nullptr
+                                                            : &metrics;
   obs::PhaseProfiler profiler;
   obs::PhaseProfiler* profiler_ptr =
       (cli.profile_out.empty() && cli.profile_folded.empty()) ? nullptr
@@ -681,6 +729,7 @@ int main(int argc, char** argv) {
     opts.cache_dir = cli.cache_dir;
     opts.order = order;
     opts.sim_filter = sim_opts;
+    opts.fault_plan = cli.fault_inject;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
     opts.progress = board_ptr;
@@ -697,6 +746,7 @@ int main(int argc, char** argv) {
     opts.time_limit_per_property = cli.time_limit;
     opts.order = order;
     opts.sim_filter = sim_opts;
+    opts.fault_plan = cli.fault_inject;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
     opts.progress = board_ptr;
@@ -724,6 +774,7 @@ int main(int argc, char** argv) {
     opts.ic3_use_template = cli.ic3_template;
     opts.cache_dir = cli.cache_dir;
     opts.sim_filter = sim_opts;
+    opts.fault_plan = cli.fault_inject;
     opts.tracer = tracer_ptr;
     opts.metrics = metrics_ptr;
     opts.progress = board_ptr;
@@ -744,6 +795,7 @@ int main(int argc, char** argv) {
     opts.engine.cache_dir = cli.cache_dir;
     opts.engine.order = order;
     opts.engine.sim_filter = sim_opts;
+    opts.engine.fault_plan = cli.fault_inject;
     opts.engine.tracer = tracer_ptr;
     opts.engine.metrics = metrics_ptr;
     opts.engine.progress = board_ptr;
@@ -764,6 +816,7 @@ int main(int argc, char** argv) {
     opts.base.engine.cache_dir = cli.cache_dir;
     opts.base.engine.order = order;
     opts.base.engine.sim_filter = sim_opts;
+    opts.base.engine.fault_plan = cli.fault_inject;
     opts.base.engine.tracer = tracer_ptr;
     opts.base.engine.metrics = metrics_ptr;
     opts.base.engine.progress = board_ptr;
@@ -859,6 +912,21 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.load_errors),
                  cs.load_errors == 1 ? "y" : "ies",
                  static_cast<unsigned long long>(cs.store_errors));
+  }
+  if (fault_on) {
+    // Run-level resilience accounting; per-property detail (failure
+    // chains, final rung) is in the report above.
+    const obs::MetricsSnapshot& ms = result.metrics;
+    std::fprintf(info,
+                 "fault: %llu injected, %llu caught; %llu retr%s "
+                 "(%llu recovered, %llu exhausted)\n",
+                 static_cast<unsigned long long>(ms.counter("fault.injected")),
+                 static_cast<unsigned long long>(ms.counter("fault.caught")),
+                 static_cast<unsigned long long>(ms.counter("retry.attempts")),
+                 ms.counter("retry.attempts") == 1 ? "y" : "ies",
+                 static_cast<unsigned long long>(ms.counter("retry.recovered")),
+                 static_cast<unsigned long long>(
+                     ms.counter("retry.exhausted")));
   }
 
   if (!cli.trace_out.empty()) {

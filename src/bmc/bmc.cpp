@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "base/log.h"
+#include "fault/fault.h"
 
 namespace javer::bmc {
 
@@ -184,6 +185,7 @@ BmcResult Bmc::run(const std::vector<std::size_t>& targets,
     }
     solver_.add_clause(clause);
 
+    fault::inject_point("bmc.solve");
     sat::SolveResult res;
     {
       obs::ProfileTimer timer(prof_solve);

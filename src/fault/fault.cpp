@@ -1,0 +1,226 @@
+#include "fault/fault.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace javer::fault {
+
+namespace detail {
+std::atomic<FaultInjector*> g_injector{nullptr};
+thread_local long long t_current_prop = -1;
+
+void fire_point(FaultInjector& injector, const char* site) {
+  std::optional<FaultHit> hit = injector.evaluate(site, t_current_prop);
+  if (!hit) return;
+  if (hit->kind == FaultKind::BadAlloc) throw InjectedBadAlloc();
+  throw InjectedFault(site);
+}
+}  // namespace detail
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::BadAlloc:
+      return "bad_alloc";
+    case FaultKind::Error:
+      return "error";
+    case FaultKind::IoError:
+      return "io_error";
+    case FaultKind::IoCrash:
+      return "io_crash";
+    case FaultKind::Stall:
+      return "stall";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> kind_for_site(std::string_view site) {
+  if (site == "sat.alloc") return FaultKind::BadAlloc;
+  if (site == "ic3.consecution" || site == "ic3.mic" || site == "bmc.solve") {
+    return FaultKind::Error;
+  }
+  if (site == "persist.store" || site == "persist.load") {
+    return FaultKind::IoError;
+  }
+  if (site == "persist.store.crash") return FaultKind::IoCrash;
+  if (site == "task.stall") return FaultKind::Stall;
+  return std::nullopt;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("fault plan: " + msg);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(std::string_view s, const std::string& what) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    fail("bad " + what + " '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view s, const std::string& what) {
+  std::string buf(s);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end != buf.c_str() + buf.size()) {
+    fail("bad " + what + " '" + buf + "'");
+  }
+  return value;
+}
+
+// splitmix64-style mix; one draw per (seed, entry, hit) in [0, 1).
+double coin(std::uint64_t seed, std::size_t entry, std::uint64_t hit) {
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ULL +
+                    (entry + 1) * 0xBF58476D1CE4E5B9ULL + hit;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    std::string_view item = trim(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (item.empty()) continue;
+
+    if (item.starts_with("seed=")) {
+      plan.seed = parse_u64(item.substr(5), "seed");
+      continue;
+    }
+
+    FaultSpec entry;
+    std::string_view head = item;
+    std::string_view opts;
+    if (std::size_t colon = item.find(':'); colon != std::string_view::npos) {
+      head = trim(item.substr(0, colon));
+      opts = item.substr(colon + 1);
+    }
+    if (!head.empty() && head.back() == '+') {
+      entry.persistent = true;
+      head.remove_suffix(1);
+    }
+    if (std::size_t at = head.find('@'); at != std::string_view::npos) {
+      entry.at = parse_u64(head.substr(at + 1), "hit ordinal");
+      if (entry.at == 0) fail("hit ordinals are 1-based ('@0' never fires)");
+      head = head.substr(0, at);
+    }
+    entry.site = std::string(head);
+    if (!kind_for_site(entry.site)) {
+      fail("unknown site '" + entry.site + "'");
+    }
+
+    while (!opts.empty()) {
+      std::size_t comma = opts.find(',');
+      std::string_view opt = trim(opts.substr(0, comma));
+      opts = comma == std::string_view::npos ? std::string_view()
+                                             : opts.substr(comma + 1);
+      if (opt.empty()) continue;
+      if (opt.starts_with("prop=")) {
+        entry.prop =
+            static_cast<long long>(parse_u64(opt.substr(5), "property"));
+      } else if (opt.starts_with("stall=")) {
+        entry.stall_seconds = parse_double(opt.substr(6), "stall seconds");
+        if (entry.stall_seconds < 0.0) fail("stall seconds must be >= 0");
+      } else if (opt.starts_with("p=")) {
+        entry.probability = parse_double(opt.substr(2), "probability");
+        if (entry.probability < 0.0 || entry.probability > 1.0) {
+          fail("probability must be in [0, 1]");
+        }
+      } else {
+        fail("unknown option '" + std::string(opt) + "'");
+      }
+    }
+    plan.entries.push_back(std::move(entry));
+  }
+  if (plan.entries.empty()) fail("no injection entries");
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultSpec& e : entries) {
+    out += ';';
+    out += e.site;
+    out += '@' + std::to_string(e.at);
+    if (e.persistent) out += '+';
+    std::string opts;
+    if (e.prop >= 0) opts += "prop=" + std::to_string(e.prop);
+    if (e.probability >= 0.0) {
+      if (!opts.empty()) opts += ',';
+      opts += "p=" + std::to_string(e.probability);
+    }
+    if (e.site == "task.stall") {
+      if (!opts.empty()) opts += ',';
+      opts += "stall=" + std::to_string(e.stall_seconds);
+    }
+    if (!opts.empty()) out += ':' + opts;
+  }
+  return out;
+}
+
+std::optional<FaultHit> FaultInjector::evaluate(std::string_view site,
+                                                long long prop) {
+  std::optional<FaultHit> result;
+  for (std::size_t i = 0; i < plan_.entries.size(); ++i) {
+    const FaultSpec& e = plan_.entries[i];
+    if (e.site != site) continue;
+    if (e.prop >= 0 && e.prop != prop) continue;
+    // Every matching entry counts the hit, even when an earlier entry
+    // already fired — the ordinal sequence must not depend on which
+    // sibling entries exist.
+    std::uint64_t hit =
+        state_[i].hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fires;
+    if (e.probability >= 0.0) {
+      fires = coin(plan_.seed, i, hit) < e.probability;
+    } else if (e.persistent) {
+      fires = hit >= e.at;
+    } else {
+      fires = hit == e.at;
+    }
+    if (!fires || result) continue;
+    state_[i].fired.fetch_add(1, std::memory_order_relaxed);
+    total_fired_.fetch_add(1, std::memory_order_relaxed);
+    result = FaultHit{kind_for_site(e.site).value_or(FaultKind::Error),
+                      e.stall_seconds, i};
+    if (metrics_ != nullptr) metrics_->add("fault.injected");
+    if (tracer_ != nullptr) {
+      obs::TraceSink sink(tracer_, -1, prop);
+      std::string args = "\"site\":\"";
+      obs::detail::append_json_escaped(args, site);
+      args += "\",\"kind\":\"";
+      args += kind_name(result->kind);
+      args += '"';
+      sink.instant("fault", "inject", -1, std::move(args));
+    }
+  }
+  return result;
+}
+
+}  // namespace javer::fault

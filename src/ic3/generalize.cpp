@@ -2,6 +2,7 @@
 // literal dropping, and forward pushing of blocked cubes.
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "ic3/ic3.h"
 
 namespace javer::ic3 {
@@ -39,6 +40,7 @@ ts::Cube Ic3::repair_init_intersection(const ts::Cube& shrunk,
 }
 
 ts::Cube Ic3::mic(ts::Cube cube, int level) {
+  fault::inject_point("ic3.mic");
   // Try to drop each literal once; accept a drop when the weakened cube is
   // still init-disjoint and relatively inductive at `level` (the UNSAT
   // core shrinks it further for free).

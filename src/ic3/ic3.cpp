@@ -7,6 +7,7 @@
 
 #include "aig/sim.h"
 #include "base/log.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 
@@ -336,6 +337,7 @@ void Ic3::rebuild_mono() {
 sat::SolveResult Ic3::consecution(int k, const ts::Cube& cube,
                                   bool add_negation,
                                   std::vector<std::size_t>* core) {
+  fault::inject_point("ic3.consecution");
   if (monolithic()) return mono().query_consecution(k, cube, add_negation, core);
   if (k == kLevelInf) return inf_ctx().query_consecution(cube, add_negation, core);
   return ctx(k).query_consecution(cube, add_negation, core);

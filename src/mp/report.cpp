@@ -65,7 +65,13 @@ void print_report(std::ostream& out, const ts::TransitionSystem& ts,
     if (r.spurious_restarts > 0) {
       out << ", " << r.spurious_restarts << " strict-lifting restart(s)";
     }
+    if (r.retries > 0) {
+      out << ", " << r.retries << " retry(ies) [rung " << r.final_rung << "]";
+    }
     out << "]\n";
+    for (const std::string& f : r.failure_chain) {
+      out << "      failure: " << f << '\n';
+    }
   }
   for (std::size_t s = 0; s < result.exchange_per_shard.size(); ++s) {
     const exchange::ExchangeStats& xs = result.exchange_per_shard[s];

@@ -44,6 +44,15 @@ struct PropertyResult {
   int slices = 0;             // scheduler budget slices this task consumed
   double slice_scale = 1.0;   // final adaptive slice-size multiplier
   ic3::Ic3Stats engine_stats;
+  // Resilience (src/fault + the degrade-and-retry ladder in
+  // mp/sched/property_task.h): one entry per caught task failure, as
+  // "<rung the failure happened on>: <reason>"; `retries` counts the
+  // ladder restarts and `final_rung` is the config rung the last engine
+  // ran at (0 = default config, never degraded). A verdict reached with
+  // retries > 0 has passed the witness/certify oracle re-validation.
+  std::vector<std::string> failure_chain;
+  int retries = 0;
+  int final_rung = 0;
 };
 
 struct MultiResult {

@@ -40,6 +40,13 @@ class BmcSweep {
                     double remaining_seconds);
 
   bool exhausted() const { return exhausted_; }
+  // Quarantines the sweep after a caught failure (fault isolation): the
+  // shared unrolling is marked exhausted and pending seeds are dropped,
+  // so the IC3 slices carry the remaining work alone.
+  void disable() {
+    exhausted_ = true;
+    seeds_.clear();
+  }
   int depth_done() const { return depth_done_; }
   const std::vector<std::size_t>& assumed() const { return assumed_; }
 

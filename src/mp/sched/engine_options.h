@@ -94,6 +94,17 @@ struct EngineOptions {
   // stalled task for the watchdog/preemption tests. SIZE_MAX = off.
   std::size_t debug_stall_prop = static_cast<std::size_t>(-1);
   double debug_stall_seconds = 0.0;
+  // Deterministic fault injection (src/fault): a --fault-inject spec the
+  // task-based schedulers parse into the run's FaultPlan and install for
+  // the run's duration. Empty = no injection (the default; every
+  // instrumented site then costs one relaxed atomic load).
+  std::string fault_plan;
+  // Degrade-and-retry ladder: how many times a task whose slice threw
+  // (engine exception, bad_alloc, injected fault) is retried — with a
+  // fresh engine under a progressively safer config each rung — before
+  // it lands at PropertyVerdict::Unknown with its failure chain. 0 =
+  // quarantine on the first failure.
+  int max_task_retries = 4;
 };
 
 }  // namespace javer::mp::sched

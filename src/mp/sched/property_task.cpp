@@ -5,6 +5,8 @@
 
 #include "base/log.h"
 #include "base/timer.h"
+#include "fault/fault.h"
+#include "ic3/certify.h"
 #include "obs/monitor.h"
 #include "ts/trace.h"
 
@@ -66,6 +68,32 @@ double next_slice_scale(const EngineOptions& opts, double scale, bool budgeted,
   return scale;
 }
 
+int num_ladder_rungs() { return 4; }
+
+const char* rung_name(int rung) {
+  switch (rung) {
+    case 0: return "default";
+    case 1: return "per-frame";
+    case 2: return "direct-tseitin";
+    case 3: return "simplify-off";
+    case 4: return "isolated";
+  }
+  return "?";
+}
+
+EngineOptions degrade_for_rung(EngineOptions opts, int rung) {
+  // Cumulative: rung N keeps every downgrade of rung N-1, so re-applying
+  // the ladder to already-degraded options is idempotent.
+  if (rung >= 1) opts.ic3_solver = ic3::Ic3SolverMode::PerFrame;
+  if (rung >= 2) opts.ic3_use_template = false;
+  if (rung >= 3) opts.simplify = false;
+  if (rung >= 4) {
+    opts.clause_reuse = false;
+    opts.sim_filter.mode = simfilter::SimFilterMode::Off;
+  }
+  return opts;
+}
+
 PropertyTask::PropertyTask(const ts::TransitionSystem& ts, std::size_t prop,
                            std::vector<std::size_t> assumed,
                            const EngineOptions& engine, bool local_mode)
@@ -114,7 +142,10 @@ void PropertyTask::ensure_engine(ClauseDb* db) {
   if (engine_opts_.clause_reuse && db != nullptr && !seeds_) {
     seeds_ = db->shared_snapshot();
   }
-  if (seeds_) opts.seed_clauses = *seeds_;
+  // The rung-4 ("isolated") retry config keeps the snapshot around but
+  // stops feeding it: a poisoned seed set must not follow the task up
+  // the ladder.
+  if (seeds_ && engine_opts_.clause_reuse) opts.seed_clauses = *seeds_;
   engine_ = std::make_unique<ic3::Ic3>(ts_, prop_, std::move(opts));
 }
 
@@ -152,6 +183,15 @@ void PropertyTask::fold_final_metrics() {
   engine_opts_.metrics->add(
       "task.spurious_restarts",
       static_cast<std::uint64_t>(result_.spurious_restarts));
+  // Every close path funnels through here *after* the verdict is set, so
+  // this is the one place the retry outcome is known: a retried task
+  // either recovered to a (re-validated) verdict or exhausted the ladder
+  // into Unknown. retry.attempts is counted live in fail_slice.
+  if (result_.retries > 0) {
+    engine_opts_.metrics->add(result_.verdict == PropertyVerdict::Unknown
+                                  ? "retry.exhausted"
+                                  : "retry.recovered");
+  }
 }
 
 void PropertyTask::attach_exchange(exchange::LemmaBus* bus,
@@ -181,6 +221,74 @@ void PropertyTask::close_unknown() {
 
 void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   if (!open()) return;
+  // Tag the thread with this property so deep fault sites (a SAT
+  // allocation five frames down, a persist write) match prop= filters.
+  fault::TaskScope fault_scope(static_cast<long long>(prop_));
+  try {
+    run_slice_impl(budget, db);
+  } catch (const std::exception& e) {
+    fail_slice(e.what());
+  } catch (...) {
+    fail_slice("unknown exception");
+  }
+}
+
+void PropertyTask::fail_slice(const std::string& reason) {
+  const obs::TraceSink sink(engine_opts_.tracer, obs_shard_,
+                            static_cast<long long>(prop_));
+  result_.failure_chain.push_back(std::string(rung_name(rung_)) + ": " +
+                                  reason);
+  JAVER_LOG(Info) << "sched: P" << prop_ << " slice failed on rung '"
+                  << rung_name(rung_) << "': " << reason;
+  if (engine_opts_.metrics != nullptr) engine_opts_.metrics->add("fault.caught");
+  if (sink.enabled()) {
+    std::string args = "\"rung\":\"";
+    args += rung_name(rung_);
+    args += "\",\"reason\":\"";
+    obs::detail::append_json_escaped(args, reason);
+    args += '"';
+    sink.instant("fault", "task_failure", result_.slices, std::move(args));
+  }
+
+  // Discard everything the failed engine touched — same full reset as the
+  // §7-A strict-lifting retry, cursor included (queued lemmas must reach
+  // the fresh engine).
+  engine_.reset();
+  engine_seconds_ = 0.0;
+  reported_imported_ = reported_rejected_ = reported_known_ = 0;
+  last_frames_ = 0;
+  last_clauses_ = last_obligations_ = 0;
+  slice_scale_ = 1.0;
+  result_.slice_scale = slice_scale_;
+  bus_cursor_ = {};
+
+  if (result_.retries >= engine_opts_.max_task_retries) {
+    JAVER_LOG(Info) << "sched: P" << prop_
+                    << " exhausted the retry ladder; closing Unknown";
+    close_unknown();
+    return;
+  }
+  result_.retries++;
+  rung_ = std::min(result_.retries, num_ladder_rungs());
+  result_.final_rung = rung_;
+  engine_opts_ = degrade_for_rung(std::move(engine_opts_), rung_);
+  if (rung_ >= num_ladder_rungs()) {
+    // "isolated": detach the lemma exchange along with seeds/prefilter.
+    bus_ = nullptr;
+  }
+  if (engine_opts_.metrics != nullptr) {
+    engine_opts_.metrics->add("retry.attempts");
+  }
+  if (sink.enabled()) {
+    std::string args = "\"rung\":\"";
+    args += rung_name(rung_);
+    args += '"';
+    sink.instant("fault", "retry", result_.slices, std::move(args));
+  }
+  publish_state();  // still open; the next slice runs the safer config
+}
+
+void PropertyTask::run_slice_impl(const TaskBudget& budget, ClauseDb* db) {
   double per_prop = engine_opts_.time_limit_per_property;
   double remaining = per_prop > 0 ? per_prop - engine_seconds_ : 0.0;
   if (per_prop > 0 && remaining <= 0) {
@@ -210,6 +318,16 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
     // cell whose heartbeat age keeps growing.
     Timer stall_timer;
     while (stall_timer.seconds() < engine_opts_.debug_stall_seconds) {
+      if (progress_ != nullptr && progress_->preempt_requested()) break;
+    }
+  }
+  // Injected stall (fault plan site "task.stall"): same busy-wait shape
+  // as the debug hook — no activity published, so the watchdog sees a
+  // genuinely wedged slice — and the same preempt escape hatch, so
+  // --watchdog-preempt can still cut it short.
+  if (double stall = fault::inject_stall("task.stall"); stall > 0) {
+    Timer stall_timer;
+    while (stall_timer.seconds() < stall) {
       if (progress_ != nullptr && progress_->preempt_requested()) break;
     }
   }
@@ -307,6 +425,17 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
   const char* outcome = nullptr;
   switch (er.status) {
     case CheckStatus::Holds:
+      // A proof from a post-retry engine only counts once an independent
+      // certifier accepts it: a failing check is one more task failure
+      // (the wrapper catches the throw), never a wrong verdict.
+      if (result_.retries > 0) {
+        ic3::CertificateCheck check = ic3::certify_strengthening(
+            ts_, prop_, assumed_, er.invariant);
+        if (!check.ok()) {
+          throw std::runtime_error("post-retry certification failed: " +
+                                   check.failure);
+        }
+      }
       close_holds(std::move(er.invariant), db);
       outcome = "holds";
       break;
@@ -336,6 +465,17 @@ void PropertyTask::run_slice(const TaskBudget& budget, ClauseDb* db) {
         sink.instant("task", "spurious_restart", slice_index);
         outcome = "spurious_restart";  // still open; next slice is strict
         break;
+      }
+      // Same oracle discipline for counterexamples from a post-retry
+      // engine: the witness checker must accept the trace.
+      if (result_.retries > 0) {
+        bool cex_ok = local_mode_
+                          ? ts::is_local_cex(ts_, er.cex, prop_, assumed_)
+                          : ts::is_global_cex(ts_, er.cex, prop_);
+        if (!cex_ok) {
+          throw std::runtime_error(
+              "post-retry counterexample failed the witness oracle");
+        }
       }
       finish_fails(std::move(er.cex));
       outcome = "fails";

@@ -80,6 +80,23 @@ double next_slice_scale(const EngineOptions& opts, double scale, bool budgeted,
                         std::uint64_t clauses_before,
                         std::uint64_t obligations_before);
 
+// --- degrade-and-retry ladder (resilience) --------------------------------
+//
+// A task whose slice throws (engine exception, std::bad_alloc, injected
+// fault) is retried with a fresh engine under a progressively *safer*
+// config. The rungs are cumulative — each keeps every downgrade below it:
+//   0  default        the configured options, untouched
+//   1  per-frame      monolithic solver -> classic one-context-per-frame
+//   2  direct-tseitin CNF template replay -> direct Tseitin encoding
+//   3  simplify-off   no SAT preprocessing pass
+//   4  isolated       no clause-reuse seeds, lemma exchange detached,
+//                     sim-prefilter off: the engine runs from first
+//                     principles with nothing shared
+// Pure helpers so tests can pin the rung order and contents.
+int num_ladder_rungs();
+const char* rung_name(int rung);
+EngineOptions degrade_for_rung(EngineOptions opts, int rung);
+
 class PropertyTask {
  public:
   // `local_mode` selects the verdict labels (Locally/Globally) and enables
@@ -117,6 +134,14 @@ class PropertyTask {
   // Runs one engine slice (respecting the per-property time budget). When
   // `db` is non-null and clause re-use is on, the engine is seeded from it
   // and completed proofs publish their strengthenings back.
+  //
+  // Isolation boundary: any exception escaping the slice (engine failure,
+  // bad_alloc, injected fault) is caught here, recorded in the result's
+  // failure_chain, and answered with a degrade-and-retry ladder restart —
+  // never rethrown, so one bad property cannot take down its siblings. A
+  // verdict reached after a retry is re-validated through the witness /
+  // certify oracles before it is accepted (an oracle failure counts as
+  // another task failure), so faults can never flip a verdict.
   void run_slice(const TaskBudget& budget, ClauseDb* db);
 
   // Closes the task with a failure verdict from an externally found
@@ -134,6 +159,11 @@ class PropertyTask {
   double slice_scale() const { return slice_scale_; }
 
  private:
+  // The real slice body; run_slice wraps it in the isolation boundary.
+  void run_slice_impl(const TaskBudget& budget, ClauseDb* db);
+  // Handles one caught slice failure: records it, discards the engine,
+  // and either climbs the retry ladder or closes the task Unknown.
+  void fail_slice(const std::string& reason);
   void ensure_engine(ClauseDb* db);
   // Publishes state (and touches activity) on the progress cell, if any.
   void publish_state();
@@ -153,6 +183,7 @@ class PropertyTask {
   EngineOptions engine_opts_;
   bool local_mode_;
   bool strict_lifting_ = false;  // set after a spurious-CEX retry
+  int rung_ = 0;  // current degrade-ladder rung (== min(retries, rungs))
 
   TaskState state_ = TaskState::Pending;
   std::unique_ptr<ic3::Ic3> engine_;

@@ -7,6 +7,7 @@
 #include "aig/sim.h"
 #include "base/log.h"
 #include "base/timer.h"
+#include "fault/fault.h"
 #include "mp/joint_verifier.h"
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/worker_pool.h"
@@ -53,6 +54,21 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
 
   const obs::TraceSink sink(opts_.engine.tracer);
   obs::MetricsRegistry* metrics = opts_.engine.metrics;
+
+  // Fault injection (src/fault): parse EngineOptions::fault_plan and
+  // install the injector for the run's duration. A malformed plan throws
+  // here, before any work — that is a configuration error, not a fault
+  // to isolate. First-wins semantics make a nested scheduler under an
+  // injected outer run a no-op; declared before every task/pool object
+  // so the scope outlives all instrumented call paths.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!opts_.engine.fault_plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::parse(opts_.engine.fault_plan));
+    injector->set_observability(opts_.engine.tracer, metrics);
+  }
+  fault::ScopedInjection injection(injector.get());
+
   const bool local = opts_.proof_mode == ProofMode::Local;
   // One template memo for the whole run: in local mode every non-ETF
   // target's {target} ∪ assumed set is the same property set, so all those
@@ -148,7 +164,18 @@ MultiResult Scheduler::run_tasks(ClauseDb& db) {
       const std::uint64_t round_begin = sink.begin();
       double remaining =
           total_limit > 0 ? total_limit - total.seconds() : 0.0;
-      sweep.sweep(task_ptrs, remaining);
+      try {
+        sweep.sweep(task_ptrs, remaining);
+      } catch (const std::exception& e) {
+        // The sweep runs on the caller thread outside any task's
+        // isolation boundary; quarantine it and let the IC3 slices
+        // finish the run alone.
+        JAVER_LOG(Info) << "sched: BMC sweep failed, disabling: "
+                        << e.what();
+        sweep.disable();
+        if (metrics != nullptr) metrics->add("fault.caught");
+        sink.instant("fault", "sweep_failure", round);
+      }
 
       std::vector<std::size_t> open;
       for (std::size_t i = 0; i < tasks.size(); ++i) {

@@ -42,9 +42,13 @@ void WorkerPool::drain(bool caller) {
     try {
       (*fn_)(i);
     } catch (...) {
+      // Record the first error for run() to rethrow, but keep draining:
+      // one bad item must not starve the healthy ones still queued.
+      // Fail-fast mode (tests, abort-on-first-error callers) restores
+      // the old skip-everything behavior.
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
-      next_.store(count_);  // skip the remaining items
+      if (fail_fast_) next_.store(count_);
     }
   }
   if (metrics_ != nullptr) {

@@ -47,9 +47,18 @@ class WorkerPool {
   }
 
   // Runs fn(i) for every i in [0, n); blocks until all items completed.
-  // The caller participates. If any fn throws, remaining items are
-  // skipped and the first exception is rethrown here.
+  // The caller participates. If any fn throws, the first exception is
+  // rethrown here — but the remaining queued items still run (isolation:
+  // one bad item must not starve its siblings). With set_fail_fast(true)
+  // the old behavior is restored: the first throw skips everything still
+  // queued (items already started elsewhere complete either way).
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Fail-fast is an explicit opt-in for tests and abort-on-first-error
+  // callers; the production schedulers keep the default (isolate). Call
+  // between run() calls, not during one.
+  void set_fail_fast(bool fail_fast) { fail_fast_ = fail_fast; }
+  bool fail_fast() const { return fail_fast_; }
 
   // Observability (src/obs): per-drain "pool" spans on `sink`'s tracer
   // and pool.items_caller / pool.items_stolen / pool.idle_wakeups
@@ -81,6 +90,7 @@ class WorkerPool {
   std::size_t active_ = 0;       // spawned workers still inside the job
   std::uint64_t generation_ = 0;
   bool shutdown_ = false;
+  bool fail_fast_ = false;
   std::exception_ptr error_;
 
   // Observability handles (value sink; null tracer/metrics = off).

@@ -8,6 +8,7 @@
 #include "aig/aig.h"
 #include "base/log.h"
 #include "base/timer.h"
+#include "fault/fault.h"
 #include "mp/sched/bmc_sweep.h"
 #include "mp/sched/property_task.h"
 #include "mp/sched/worker_pool.h"
@@ -70,6 +71,19 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
   exchange_stats_ = {};
   const obs::TraceSink sink(opts_.base.engine.tracer);
   obs::MetricsRegistry* metrics = opts_.base.engine.metrics;
+
+  // Fault injection (src/fault): one injector for the whole sharded run,
+  // installed before any pool/task/sweep exists so the scope outlives
+  // every instrumented call path. A malformed plan throws here (config
+  // error, not a fault to isolate).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!opts_.base.engine.fault_plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::parse(opts_.base.engine.fault_plan));
+    injector->set_observability(opts_.base.engine.tracer, metrics);
+  }
+  fault::ScopedInjection injection(injector.get());
+
   const bool local = opts_.base.proof_mode == sched::ProofMode::Local;
   const bool hybrid =
       opts_.base.dispatch == sched::DispatchPolicy::HybridBmcIc3;
@@ -282,32 +296,43 @@ MultiResult ShardedScheduler::run_tasks(ClauseDb* external) {
         if (out_of_time()) return;
         double remaining =
             total_limit > 0 ? total_limit - total.seconds() : 0.0;
-        if (bus.enabled()) {
-          std::vector<exchange::Lemma> lemmas =
-              bus.poll(s.id, s.bmc_cursor,
-                       exchange::LemmaKind::Ic3Strengthening,
-                       exchange::kBmcProducer);
-          if (!lemmas.empty()) {
-            std::vector<ts::Cube> cubes;
-            cubes.reserve(lemmas.size());
-            for (exchange::Lemma& l : lemmas) {
-              if (producer_compatible(l.producer, *s.sweep)) {
-                cubes.push_back(std::move(l.cube));
+        try {
+          if (bus.enabled()) {
+            std::vector<exchange::Lemma> lemmas =
+                bus.poll(s.id, s.bmc_cursor,
+                         exchange::LemmaKind::Ic3Strengthening,
+                         exchange::kBmcProducer);
+            if (!lemmas.empty()) {
+              std::vector<ts::Cube> cubes;
+              cubes.reserve(lemmas.size());
+              for (exchange::Lemma& l : lemmas) {
+                if (producer_compatible(l.producer, *s.sweep)) {
+                  cubes.push_back(std::move(l.cube));
+                }
               }
+              std::size_t installed = s.sweep->install_invariant_cubes(cubes);
+              // Incompatible producers are rejections; compatible lemmas
+              // the unrolling already had (or could no longer use) are
+              // redundant deliveries.
+              bus.record_import(s.id, installed, lemmas.size() - cubes.size(),
+                                cubes.size() - installed);
             }
-            std::size_t installed = s.sweep->install_invariant_cubes(cubes);
-            // Incompatible producers are rejections; compatible lemmas
-            // the unrolling already had (or could no longer use) are
-            // redundant deliveries.
-            bus.record_import(s.id, installed, lemmas.size() - cubes.size(),
-                              cubes.size() - installed);
           }
-        }
-        s.sweep->sweep(open_in(s), remaining);
-        if (bus.enabled()) {
-          bus.publish(s.id, exchange::LemmaKind::BmcUnit,
-                      exchange::kBmcProducer,
-                      s.sweep->harvest_unit_candidates());
+          s.sweep->sweep(open_in(s), remaining);
+          if (bus.enabled()) {
+            bus.publish(s.id, exchange::LemmaKind::BmcUnit,
+                        exchange::kBmcProducer,
+                        s.sweep->harvest_unit_candidates());
+          }
+        } catch (const std::exception& e) {
+          // A sweep failure is quarantined to its shard: mark the sweep
+          // exhausted and let the shard's IC3 tasks finish on their own.
+          JAVER_LOG(Info) << "shard " << s.id
+                          << ": BMC sweep failed, disabling: " << e.what();
+          s.sweep->disable();
+          if (metrics != nullptr) metrics->add("fault.caught");
+          sink.with_shard(static_cast<int>(s.id))
+              .instant("fault", "sweep_failure", round);
         }
       });
 
@@ -424,6 +449,10 @@ MultiResult ShardedScheduler::run_joint() {
     so.num_threads = 1;  // parallelism lives at the shard level here
     so.engine.total_time_limit = shard_limit;
     so.engine.order.clear();  // global indices mean nothing to the sub-TS
+    // Injection is per-run, not per-sub-scheduler: global property
+    // indices in prop= filters mean nothing to the sub-TS either (the
+    // CLI rejects --fault-inject for the aggregate policies anyway).
+    so.engine.fault_plan.clear();
     sub_results[i] = sched::Scheduler(sub_ts, so).run();
   });
 

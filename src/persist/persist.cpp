@@ -10,8 +10,10 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "base/log.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace javer::persist {
@@ -24,6 +26,7 @@ void fold_stats(obs::MetricsRegistry& metrics, const PersistStats& stats) {
   metrics.add("persist.cubes_loaded", stats.cubes_loaded);
   metrics.add("persist.load_errors", stats.load_errors);
   metrics.add("persist.store_errors", stats.store_errors);
+  metrics.add("persist.store_retries", stats.store_retries);
 }
 
 namespace fs = std::filesystem;
@@ -223,25 +226,48 @@ bool PersistCache::write_entry(const std::string& name, std::uint16_t kind,
       fs::path(dir_) / (name + ".tmp." + std::to_string(::getpid()) + "." +
                         std::to_string(tmp_serial.fetch_add(1)));
   std::lock_guard<std::mutex> lock(mu_);
-  {
+
+  // Injected mid-write crash (fault plan site "persist.store.crash"):
+  // leave a partially written staging file behind — exactly the footprint
+  // a real crash or disk-full cut-off leaves — and fail the store with no
+  // retry. The orphan is swept by the next collect_garbage pass; readers
+  // never see it (only the atomic rename publishes).
+  if (fault::inject_io("persist.store.crash")) {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(file.data(), static_cast<std::streamsize>(file.size()));
-    out.flush();
-    if (!out) {
-      stats_.store_errors++;
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      return false;
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
+    out.write(file.data(), static_cast<std::streamsize>(file.size() / 2));
     stats_.store_errors++;
-    fs::remove(tmp, ec);
     return false;
   }
-  return true;
+
+  // Transient store I/O (short write, EIO/ENOSPC that clears): bounded
+  // retry with a short backoff, re-staging from scratch each attempt. An
+  // injected "persist.store" fault fails exactly one attempt, so a
+  // one-shot plan entry exercises the recovery path and a persistent one
+  // the exhaustion path. Distinct from the corrupt-entry cold-degrade on
+  // the load side: these bytes are good, the device hiccuped.
+  constexpr int kStoreAttempts = 3;
+  for (int attempt = 0; attempt < kStoreAttempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.store_retries++;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    }
+    bool wrote = false;
+    if (!fault::inject_io("persist.store")) {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out.write(file.data(), static_cast<std::streamsize>(file.size()));
+      out.flush();
+      wrote = static_cast<bool>(out);
+    }
+    if (wrote) {
+      std::error_code ec;
+      fs::rename(tmp, path, ec);
+      if (!ec) return true;
+    }
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  }
+  stats_.store_errors++;
+  return false;
 }
 
 std::optional<std::string> PersistCache::read_entry(const std::string& name,
@@ -257,6 +283,10 @@ std::optional<std::string> PersistCache::read_entry(const std::string& name,
     stats_.load_errors++;
     return std::nullopt;
   };
+
+  // Injected read-side EIO (fault plan site "persist.load"): exercises
+  // the existing cold-degrade path — the entry is ignored, never trusted.
+  if (fault::inject_io("persist.load")) return reject("injected I/O error");
 
   std::ifstream in(path, std::ios::binary);
   if (!in) return reject("unreadable");

@@ -69,6 +69,11 @@ struct PersistStats {
   std::uint64_t cubes_loaded = 0;      // cubes across all loaded snapshots
   std::uint64_t load_errors = 0;       // corrupt/mismatched entries ignored
   std::uint64_t store_errors = 0;      // failed writes (cache left as-is)
+  // Transient-I/O retries during store: a write attempt failed (short
+  // write, EIO/ENOSPC, injected fault) and was re-staged after a short
+  // backoff. A store that eventually lands counts retries but no
+  // store_error; only exhausting every attempt counts a store_error.
+  std::uint64_t store_retries = 0;
 };
 
 // Folds a cache's final stats into an obs::MetricsRegistry under the

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "fault/fault.h"
+
 namespace javer::sat {
 
 namespace {
@@ -114,6 +116,7 @@ bool Solver::add_clause(std::span<const Lit> lits) {
 }
 
 CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
+  fault::inject_point("sat.alloc");
   return ca_.alloc(lits, learnt);
 }
 

@@ -68,6 +68,16 @@ POLICY = {
             "shallow_sat_contexts": {"mode": "exact"},
         },
     },
+    "table15": {
+        "skip_shape_claims": ["wall-time"],
+        # Retry/quarantine rows under a generous per-property budget are
+        # deterministic; only the overhead shape is machine-speed bound.
+        "metrics": {
+            "designs": {"mode": "exact"},
+            "targeted_unknowns": {"mode": "exact"},
+            "recover_retries": {"mode": "min", "value": 1},
+        },
+    },
 }
 
 

@@ -23,8 +23,10 @@ span tagged with both shard and property — the shape a sharded scheduler
 run must produce.
 
 With --expect-span CAT/NAME (repeatable), additionally require at least
-one "X" span with that category and name — e.g. --expect-span sim/sweep
-gates on the simulation prefilter having traced its sweep.
+one "X" span or "i" instant with that category and name — e.g.
+--expect-span sim/sweep gates on the simulation prefilter having traced
+its sweep, and --expect-span fault/inject gates on the fault injector
+having fired (injection sites record instants, not spans).
 
 With --metrics METRICS.jsonl (the --metrics-out export), validate the
 JSONL schema (heartbeat records then one final record), and gate final
@@ -138,7 +140,7 @@ def check_trace_doc(doc, expect_slices=False, expect_spans=()):
     for spec in expect_spans:
         cat, name = spec.split("/", 1)
         if not any(
-            ev["ph"] == "X" and ev["cat"] == cat and ev["name"] == name
+            ev["ph"] in ("X", "i") and ev["cat"] == cat and ev["name"] == name
             for ev in events
         ):
             fail(f"no {cat}/{name} span found")
@@ -329,6 +331,13 @@ def self_test():
         lambda: check_trace_doc({"traceEvents": good},
                                 expect_spans=["sim/sweep"]),
     )
+    # An instant satisfies --expect-span too (fault/inject is an "i").
+    fault_trace = good + [_instant(60, name="inject", cat="fault")]
+    expect_ok(
+        "instant satisfies expect-span",
+        lambda: check_trace_doc({"traceEvents": fault_trace},
+                                expect_spans=["fault/inject"]),
+    )
     tagged = [_span(0, 5, name="slice", cat="task", shard=0, property=3)]
     expect_ok(
         "expect-slices",
@@ -404,7 +413,8 @@ def main():
         action="append",
         default=[],
         metavar="CAT/NAME",
-        help="require >=1 'X' span with this category and name; repeatable",
+        help="require >=1 'X' span or 'i' instant with this category and "
+        "name; repeatable",
     )
     parser.add_argument(
         "--metrics",
