@@ -195,10 +195,13 @@ Aig read_aiger(std::istream& in, const AigerReadOptions& opts) {
     if (v > h.m) fail("literal out of range");
     return var_map[v] ^ ((lit & 1) != 0);
   };
-  // Iterative DFS so deep chains do not overflow the stack.
+  // Iterative DFS so deep chains do not overflow the stack. Roots are
+  // visited in file order (not def_of iteration order): node creation
+  // happens inside this loop, so walking the unordered_map here would
+  // make AIG variable numbering depend on hash iteration order.
   std::vector<std::uint64_t> stack;
-  for (const auto& [root, unused_idx] : def_of) {
-    (void)unused_idx;
+  for (const PendingAnd& root_line : and_lines) {
+    std::uint64_t root = root_line.lhs >> 1;
     if (resolved[root]) continue;
     stack.push_back(root);
     while (!stack.empty()) {

@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "base/sync.h"
 
 namespace javer {
 
 namespace {
+// Relaxed: the level is a monotonic-ish tuning knob; a racing reader
+// seeing the old level logs (or drops) one extra line, never tears.
 std::atomic<int> g_level{static_cast<int>(LogLevel::Silent)};
-std::mutex g_log_mutex;
+// Serializes whole lines onto stderr (interleaved fprintf is legal but
+// unreadable); guards no data member.
+base::Mutex g_log_mutex;
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -29,7 +34,7 @@ std::optional<LogLevel> parse_log_level(const std::string& text) {
 
 void log_line(LogLevel level, const std::string& message) {
   if (log_level() < level) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  base::MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[javer] %s\n", message.c_str());
 }
 

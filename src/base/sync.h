@@ -1,0 +1,97 @@
+// Annotated synchronization primitives (base): thin zero-cost wrappers
+// over the std primitives that carry the Clang thread-safety attributes
+// from base/thread_annotations.h. libstdc++'s std::mutex has no such
+// attributes, so code locking it directly is invisible to
+// `-Wthread-safety`; code locking a base::Mutex is fully checked — a
+// GUARDED_BY field touched without the lock is a build error in the CI
+// static-analysis job.
+//
+// Rules of use (enforced by that job):
+//  * shared state is guarded by a base::Mutex member and every guarded
+//    field declares it: `std::set<Cube> cubes_ GUARDED_BY(mutex_);`
+//  * lock with base::MutexLock (scoped) or explicit lock()/unlock() —
+//    never std::lock_guard/std::unique_lock over a base::Mutex (those
+//    erase the acquire/release from the analysis);
+//  * condition waits go through base::CondVar with an explicit
+//    `while (!pred) cv.wait(mu);` loop. Predicate-lambda waits are
+//    deliberately not offered: the analysis checks lambda bodies as
+//    separate functions, so a predicate touching guarded fields would
+//    need its own annotation escape hatch.
+#ifndef JAVER_BASE_SYNC_H
+#define JAVER_BASE_SYNC_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace javer::base {
+
+// std::mutex with the capability attributes the thread-safety analysis
+// tracks. Same size, same cost: every method is an inline forward.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Scoped lock over a base::Mutex (the std::lock_guard shape, visible to
+// the analysis). Also usable on another object's mutex — e.g. a copy
+// constructor locking `other.mutex_` — the analysis resolves the guarded
+// fields per object.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over base::Mutex. Built on
+// std::condition_variable_any, which takes any BasicLockable — the
+// wait-side unlock/relock happens inside the standard library, so the
+// caller's lock set is identical before and after wait(), exactly what
+// the analysis assumes. The wakeup paths here are parked-thread control
+// plane (worker pools between rounds, the monitor's sampling tick), not
+// hot paths, so condition_variable_any's extra internal mutex is noise.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified (or spuriously); always re-check the predicate
+  // in a while loop. `mu` must be held.
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  // Blocks up to `dur`; returns std::cv_status::timeout on expiry.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, dur);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace javer::base
+
+#endif  // JAVER_BASE_SYNC_H

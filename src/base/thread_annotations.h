@@ -1,0 +1,95 @@
+// Clang thread-safety-analysis capability macros (base): the compile-time
+// half of the concurrency contract. Every shared-state class in the tree
+// declares which mutex guards which field with GUARDED_BY, which lock a
+// private helper expects with REQUIRES, and which capabilities a lock
+// type itself models with CAPABILITY/ACQUIRE/RELEASE — so a forgotten
+// lock is a `-Wthread-safety` build error under Clang (the CI
+// static-analysis job compiles with -Werror=thread-safety) instead of a
+// TSan lottery ticket.
+//
+// Under GCC (the default local toolchain) every macro expands to nothing:
+// the annotations are zero-cost documentation there and the build is
+// byte-identical.
+//
+// The analysis only understands lock types that carry these attributes —
+// libstdc++'s std::mutex does not — so annotated code locks through the
+// base::Mutex / base::MutexLock / base::CondVar wrappers in
+// base/sync.h, never std::mutex directly.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#ifndef JAVER_BASE_THREAD_ANNOTATIONS_H
+#define JAVER_BASE_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && (!defined(SWIG))
+#define JAVER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define JAVER_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+// --- on lock types ----------------------------------------------------------
+
+// Marks a class as a capability (a lockable resource). The string names
+// the capability kind in diagnostics ("mutex").
+#define CAPABILITY(x) JAVER_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII guard class whose constructor acquires and destructor
+// releases a capability.
+#define SCOPED_CAPABILITY JAVER_THREAD_ANNOTATION(scoped_lockable)
+
+// --- on data members --------------------------------------------------------
+
+// The member may only be read or written while holding `x`.
+#define GUARDED_BY(x) JAVER_THREAD_ANNOTATION(guarded_by(x))
+
+// The *pointed-to* data may only be accessed while holding `x` (the
+// pointer itself is unguarded).
+#define PT_GUARDED_BY(x) JAVER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// --- on functions -----------------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry; it is
+// still held on exit.
+#define REQUIRES(...) \
+  JAVER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  JAVER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability (and does not release it).
+#define ACQUIRE(...) JAVER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  JAVER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (held on entry).
+#define RELEASE(...) JAVER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  JAVER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  JAVER_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock guard for public entry
+// points of self-locking classes).
+#define EXCLUDES(...) JAVER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Declares a lock-acquisition ordering between two capabilities.
+#define ACQUIRED_BEFORE(...) \
+  JAVER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  JAVER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// The function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) JAVER_THREAD_ANNOTATION(lock_returned(x))
+
+// Tells the analysis the capability is held without acquiring it (for
+// fatal-error asserts).
+#define ASSERT_CAPABILITY(x) \
+  JAVER_THREAD_ANNOTATION(assert_capability(x))
+
+// Opts a function out of the analysis entirely. Every use MUST carry an
+// inline justification comment — tools/lint_project.py has no rule for
+// this today, but reviewers treat a bare suppression as a bug.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  JAVER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // JAVER_BASE_THREAD_ANNOTATIONS_H

@@ -171,7 +171,7 @@ std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
   std::shared_future<std::shared_ptr<const CnfTemplate>> future;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       stats_.hits++;
@@ -196,7 +196,7 @@ std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
       tmpl = std::make_shared<const CnfTemplate>(ts, std::move(spec));
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       if (loaded) {
         stats_.store_loads++;
       } else {
@@ -209,7 +209,7 @@ std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
     // Drop the poisoned entry so a later request retries the build;
     // current waiters observe the exception through the future.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       map_.erase(key);
     }
     promise.set_exception(std::current_exception());
@@ -230,7 +230,7 @@ std::shared_ptr<const CnfTemplate> TemplateCache::get_or_build(
 }
 
 TemplateCacheStats TemplateCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return stats_;
 }
 

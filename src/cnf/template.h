@@ -24,11 +24,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "aig/aig.h"
+#include "base/sync.h"
 #include "sat/simp/simplifier.h"
 #include "sat/solver.h"
 #include "sat/types.h"
@@ -190,14 +190,16 @@ class TemplateCache {
  private:
   const ts::TransitionSystem& ts_;
   const std::uint64_t fingerprint_;  // of ts_, precomputed
+  // Written by attach_store before concurrent use only (see above);
+  // read by builders without the mutex.
   TemplateStore* store_ = nullptr;
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_;
   // Each entry is a future so one thread builds while same-spec waiters
   // block on the entry and different-spec builds proceed concurrently.
   std::map<std::tuple<std::uint64_t, std::vector<std::size_t>, bool>,
            std::shared_future<std::shared_ptr<const CnfTemplate>>>
-      map_;
-  TemplateCacheStats stats_;
+      map_ GUARDED_BY(mu_);
+  TemplateCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace javer::cnf

@@ -165,6 +165,8 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::vector<EntryState> state_;  // sized once; never reallocated
+  // Relaxed counter (like EntryState::hits/fired): sites only tally;
+  // readers want totals after the run, not ordering with the throws.
   std::atomic<std::uint64_t> total_fired_{0};
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -173,6 +175,9 @@ class FaultInjector {
 namespace detail {
 // The process-global injector slot the inline fast paths read. Null in
 // every run without a fault plan; one acquire load per would-be site.
+// Memory-order contract: ScopedInjection publishes with acq_rel CAS /
+// release store, sites load with acquire, so a site that observes the
+// pointer also observes the injector's fully-constructed plan/state.
 extern std::atomic<FaultInjector*> g_injector;
 // Property the calling thread is currently serving (-1 = none); set by
 // fault::TaskScope around each task slice.

@@ -7,13 +7,13 @@
 namespace javer::mp {
 
 ClauseDb::ClauseDb(const ClauseDb& other) {
-  std::lock_guard<std::mutex> lock(other.mutex_);
+  base::MutexLock lock(other.mutex_);
   cubes_ = other.cubes_;
   version_ = other.version_;
 }
 
 std::size_t ClauseDb::add(const std::vector<ts::Cube>& cubes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   std::size_t added = 0;
   for (const ts::Cube& c : cubes) {
     ts::Cube sorted = c;
@@ -31,7 +31,7 @@ std::vector<ts::Cube> ClauseDb::snapshot() const { return *shared_snapshot(); }
 
 std::shared_ptr<const std::vector<ts::Cube>> ClauseDb::shared_snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (!cache_) {
     cache_ = std::make_shared<const std::vector<ts::Cube>>(cubes_.begin(),
                                                            cubes_.end());
@@ -40,17 +40,17 @@ std::shared_ptr<const std::vector<ts::Cube>> ClauseDb::shared_snapshot()
 }
 
 std::uint64_t ClauseDb::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   return version_;
 }
 
 std::size_t ClauseDb::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   return cubes_.size();
 }
 
 void ClauseDb::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   cubes_.clear();
   version_++;
   cache_.reset();

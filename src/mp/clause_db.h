@@ -10,11 +10,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
 #include "ts/transition_system.h"
 
 namespace javer::mp {
@@ -46,11 +46,12 @@ class ClauseDb {
   std::size_t load_file(const std::string& path);
 
  private:
-  mutable std::mutex mutex_;
-  std::set<ts::Cube> cubes_;
-  std::uint64_t version_ = 0;
+  mutable base::Mutex mutex_;
+  std::set<ts::Cube> cubes_ GUARDED_BY(mutex_);
+  std::uint64_t version_ GUARDED_BY(mutex_) = 0;
   // Cache of the current version's snapshot; invalidated on mutation.
-  mutable std::shared_ptr<const std::vector<ts::Cube>> cache_;
+  mutable std::shared_ptr<const std::vector<ts::Cube>> cache_
+      GUARDED_BY(mutex_);
 };
 
 // ShardedClauseDb: one independent ClauseDb per cluster shard (the
@@ -83,6 +84,9 @@ class ShardedClauseDb {
   std::size_t total_size() const;
 
  private:
+  // No lock of its own: built once at construction and never resized;
+  // all mutable state lives in the per-shard ClauseDbs, each behind its
+  // own mutex.
   std::vector<std::unique_ptr<ClauseDb>> shards_;
 };
 

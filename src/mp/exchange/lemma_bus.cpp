@@ -34,13 +34,13 @@ std::size_t LemmaBus::publish(std::size_t shard, LemmaKind kind,
   if (mode_ == ExchangeMode::Off ||
       (mode_ == ExchangeMode::Units && kind != LemmaKind::BmcUnit)) {
     mode_filtered_ += cubes.size();
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    base::MutexLock lock(ch.mutex);
     ch.stats.mode_filtered += cubes.size();
     return 0;
   }
   std::size_t accepted = 0;
   {
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    base::MutexLock lock(ch.mutex);
     for (const ts::Cube& c : cubes) {
       if (c.empty()) continue;
       ts::Cube sorted = c;
@@ -72,7 +72,7 @@ std::vector<Lemma> LemmaBus::poll(std::size_t shard, Cursor& cursor,
   if (shard >= channels_.size()) return out;
   Channel& ch = *channels_[shard];
   {
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    base::MutexLock lock(ch.mutex);
     for (; cursor.next < ch.log.size(); ++cursor.next) {
       const Lemma& l = ch.log[cursor.next];
       if (kind && l.kind != *kind) continue;
@@ -96,7 +96,7 @@ void LemmaBus::record_import(std::size_t shard, std::uint64_t imported,
   redundant_ += redundant;
   if (shard >= channels_.size()) return;
   Channel& ch = *channels_[shard];
-  std::lock_guard<std::mutex> lock(ch.mutex);
+  base::MutexLock lock(ch.mutex);
   ch.stats.imported += imported;
   ch.stats.rejected += rejected;
   ch.stats.redundant += redundant;
@@ -105,7 +105,7 @@ void LemmaBus::record_import(std::size_t shard, std::uint64_t imported,
 std::size_t LemmaBus::log_size(std::size_t shard) const {
   if (shard >= channels_.size()) return 0;
   Channel& ch = *channels_[shard];
-  std::lock_guard<std::mutex> lock(ch.mutex);
+  base::MutexLock lock(ch.mutex);
   return ch.log.size();
 }
 
@@ -124,7 +124,7 @@ ExchangeStats LemmaBus::stats() const {
 ExchangeStats LemmaBus::channel_stats(std::size_t shard) const {
   if (shard >= channels_.size()) return {};
   Channel& ch = *channels_[shard];
-  std::lock_guard<std::mutex> lock(ch.mutex);
+  base::MutexLock lock(ch.mutex);
   return ch.stats;
 }
 

@@ -22,12 +22,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
 #include "obs/trace.h"
 #include "ts/transition_system.h"
 
@@ -128,15 +128,20 @@ class LemmaBus {
 
  private:
   struct Channel {
-    std::mutex mutex;
-    std::vector<Lemma> log;       // append-only
-    std::set<ts::Cube> seen;      // per-channel dedup
-    ExchangeStats stats;          // this channel's share of the totals
+    base::Mutex mutex;
+    std::vector<Lemma> log GUARDED_BY(mutex);   // append-only
+    std::set<ts::Cube> seen GUARDED_BY(mutex);  // per-channel dedup
+    // This channel's share of the totals.
+    ExchangeStats stats GUARDED_BY(mutex);
   };
 
   ExchangeMode mode_;
   obs::TraceSink trace_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  // Process-wide totals, updated outside the per-channel mutexes.
+  // Relaxed accumulators: each is an independent monotonic counter;
+  // stats() reads are point-in-time sums, not a consistent cut across
+  // counters (the per-channel stats under their mutex are).
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<std::uint64_t> mode_filtered_{0};

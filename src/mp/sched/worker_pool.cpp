@@ -26,29 +26,39 @@ WorkerPool::WorkerPool(unsigned num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::drain(bool caller) {
+void WorkerPool::set_fail_fast(bool fail_fast) {
+  base::MutexLock lock(mutex_);
+  fail_fast_ = fail_fast;
+}
+
+bool WorkerPool::fail_fast() const {
+  base::MutexLock lock(mutex_);
+  return fail_fast_;
+}
+
+void WorkerPool::drain(const Job& job, bool caller) {
   const std::uint64_t begin = trace_.begin();
   std::uint64_t executed = 0;
   std::size_t i;
-  while ((i = next_.fetch_add(1)) < count_) {
+  while ((i = next_.fetch_add(1)) < job.count) {
     executed++;
     try {
-      (*fn_)(i);
+      (*job.fn)(i);
     } catch (...) {
       // Record the first error for run() to rethrow, but keep draining:
       // one bad item must not starve the healthy ones still queued.
       // Fail-fast mode (tests, abort-on-first-error callers) restores
       // the old skip-everything behavior.
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
-      if (fail_fast_) next_.store(count_);
+      if (fail_fast_) next_.store(job.count);
     }
   }
   if (metrics_ != nullptr) {
@@ -66,16 +76,17 @@ void WorkerPool::drain(bool caller) {
 void WorkerPool::worker_loop() {
   std::uint64_t seen = 0;
   while (true) {
+    Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
+      base::MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen) start_cv_.wait(mutex_);
       if (shutdown_) return;
       seen = generation_;
+      job = job_;
     }
-    drain(/*caller=*/false);
+    drain(job, /*caller=*/false);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       active_--;
     }
     done_cv_.notify_one();
@@ -85,20 +96,20 @@ void WorkerPool::worker_loop() {
 void WorkerPool::run(std::size_t n,
                      const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  Job job{&fn, n};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    fn_ = &fn;
-    count_ = n;
+    base::MutexLock lock(mutex_);
+    job_ = job;
     next_.store(0);
     active_ = workers_.size();
     error_ = nullptr;
     generation_++;
   }
   start_cv_.notify_all();
-  drain(/*caller=*/true);  // the caller is a worker too
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return active_ == 0; });
-  fn_ = nullptr;
+  drain(job, /*caller=*/true);  // the caller is a worker too
+  base::MutexLock lock(mutex_);
+  while (active_ != 0) done_cv_.wait(mutex_);
+  job_ = Job{};
   if (error_) {
     std::exception_ptr e = error_;
     error_ = nullptr;

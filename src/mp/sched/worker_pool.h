@@ -7,18 +7,25 @@
 //
 // Threads are spawned once and parked between run() calls, so per-round
 // dispatch (the hybrid policy calls run() every round) costs no respawn.
+//
+// Concurrency contract (checked by -Wthread-safety, see
+// base/thread_annotations.h): the job descriptor and pool control state
+// are guarded by mutex_; a parked worker observes the new generation
+// under the lock and copies the job descriptor out before draining, so
+// the drain loop itself touches only the atomic cursor. next_ needs
+// atomicity only (each fetch_add claims a distinct index; the job data
+// it indexes is published by the mutex handshake).
 #ifndef JAVER_MP_SCHED_WORKER_POOL_H
 #define JAVER_MP_SCHED_WORKER_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/sync.h"
 #include "obs/trace.h"
 
 namespace javer::obs {
@@ -52,18 +59,22 @@ class WorkerPool {
   // one bad item must not starve its siblings). With set_fail_fast(true)
   // the old behavior is restored: the first throw skips everything still
   // queued (items already started elsewhere complete either way).
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mutex_);
 
   // Fail-fast is an explicit opt-in for tests and abort-on-first-error
-  // callers; the production schedulers keep the default (isolate). Call
-  // between run() calls, not during one.
-  void set_fail_fast(bool fail_fast) { fail_fast_ = fail_fast; }
-  bool fail_fast() const { return fail_fast_; }
+  // callers. Mutex-guarded (the annotation pass surfaced the previous
+  // unsynchronized write racing drain()'s locked read), so flipping it
+  // concurrently with a run is safe; items already claimed when the
+  // flag changes complete either way.
+  void set_fail_fast(bool fail_fast) EXCLUDES(mutex_);
+  bool fail_fast() const EXCLUDES(mutex_);
 
   // Observability (src/obs): per-drain "pool" spans on `sink`'s tracer
   // and pool.items_caller / pool.items_stolen / pool.idle_wakeups
   // counters on `metrics` (either may be disabled/null). Call between
-  // run() calls, not during one.
+  // run() calls, not during one: the handles are read by drains without
+  // the mutex, under the quiescence run() guarantees on return.
   void set_observability(const obs::TraceSink& sink,
                          obs::MetricsRegistry* metrics) {
     trace_ = sink;
@@ -71,29 +82,38 @@ class WorkerPool {
   }
 
  private:
-  void worker_loop();
-  // One participant's share of the current job; `caller` distinguishes
-  // the calling thread from the spawned (stealing) workers in the
-  // counters.
-  void drain(bool caller);
+  // One dispatched run(): what a participant needs to drain it. Copied
+  // out of the guarded members under mutex_, then used lock-free.
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+  };
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  void worker_loop();
+  // One participant's share of job `job`; `caller` distinguishes the
+  // calling thread from the spawned (stealing) workers in the counters.
+  void drain(const Job& job, bool caller) EXCLUDES(mutex_);
+
+  mutable base::Mutex mutex_;
+  base::CondVar start_cv_;
+  base::CondVar done_cv_;
   std::vector<std::thread> workers_;
 
-  // Current job, guarded by mutex_ for publication; workers race on
-  // next_ only.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
+  // Current job, guarded by mutex_ for publication; participants copy it
+  // into a local Job under the lock and then race on next_ only.
+  Job job_ GUARDED_BY(mutex_);
+  // Work cursor: claims item indices. Atomicity is the whole contract —
+  // the data a claimed index addresses is published by the mutex_
+  // generation handshake, not by this variable's ordering.
   std::atomic<std::size_t> next_{0};
-  std::size_t active_ = 0;       // spawned workers still inside the job
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
-  bool fail_fast_ = false;
-  std::exception_ptr error_;
+  std::size_t active_ GUARDED_BY(mutex_) = 0;  // workers inside the job
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  bool fail_fast_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ GUARDED_BY(mutex_);
 
-  // Observability handles (value sink; null tracer/metrics = off).
+  // Observability handles (value sink; null tracer/metrics = off). Set
+  // between runs only — see set_observability.
   obs::TraceSink trace_;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

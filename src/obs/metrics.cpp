@@ -70,7 +70,7 @@ double MetricsSnapshot::gauge(std::string_view name) const {
 
 void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
   if (delta == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -82,7 +82,7 @@ void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
 
 void MetricsRegistry::raise(std::string_view name, std::uint64_t value) {
   if (value == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), value);
@@ -93,7 +93,7 @@ void MetricsRegistry::raise(std::string_view name, std::uint64_t value) {
 }
 
 void MetricsRegistry::add_gauge(std::string_view name, double delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), delta);
@@ -104,7 +104,7 @@ void MetricsRegistry::add_gauge(std::string_view name, double delta) {
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -115,7 +115,7 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
 }
 
 void MetricsRegistry::max_gauge(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -126,13 +126,13 @@ void MetricsRegistry::max_gauge(std::string_view name, double value) {
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::gauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
@@ -149,12 +149,12 @@ MetricsSnapshot MetricsRegistry::snapshot_locked(
 }
 
 MetricsSnapshot MetricsRegistry::snapshot(double elapsed_seconds) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return snapshot_locked(elapsed_seconds);
 }
 
 void MetricsRegistry::heartbeat(double elapsed_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   // Rebuild the shared key snapshots only when a name was inserted
   // since the last beat; steady-state heartbeats copy two POD arrays
   // and bump two refcounts — no string copies, and no dependence on
@@ -202,7 +202,7 @@ MetricsSnapshot MetricsRegistry::materialize(const HeartbeatRec& rec) {
 
 std::vector<MetricsSnapshot> MetricsRegistry::heartbeats() const {
   std::vector<MetricsSnapshot> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   out.reserve(heartbeats_.size());
   for (const HeartbeatRec& rec : heartbeats_) {
     out.push_back(materialize(rec));
@@ -211,7 +211,7 @@ std::vector<MetricsSnapshot> MetricsRegistry::heartbeats() const {
 }
 
 std::size_t MetricsRegistry::heartbeat_name_tables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::size_t distinct = 0;
   const void* last = nullptr;
   for (const HeartbeatRec& rec : heartbeats_) {
@@ -229,7 +229,7 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
   std::vector<MetricsSnapshot> beats = heartbeats();
   MetricsSnapshot final_state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     double elapsed =
         heartbeats_.empty() ? 0.0 : heartbeats_.back().elapsed_seconds;
     final_state = snapshot_locked(elapsed);

@@ -22,11 +22,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace javer::obs {
 
@@ -95,17 +96,18 @@ class MetricsRegistry {
     std::vector<double> gauge_values;
   };
 
-  MetricsSnapshot snapshot_locked(double elapsed_seconds) const;
+  MetricsSnapshot snapshot_locked(double elapsed_seconds) const
+      REQUIRES(mu_);
   static MetricsSnapshot materialize(const HeartbeatRec& rec);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
+  mutable base::Mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ GUARDED_BY(mu_);
   // Sorted key snapshots, rebuilt only when a new name is inserted;
   // aligned with the maps' iteration order.
-  NameTable counter_names_;
-  NameTable gauge_names_;
-  std::vector<HeartbeatRec> heartbeats_;
+  NameTable counter_names_ GUARDED_BY(mu_);
+  NameTable gauge_names_ GUARDED_BY(mu_);
+  std::vector<HeartbeatRec> heartbeats_ GUARDED_BY(mu_);
 };
 
 }  // namespace javer::obs

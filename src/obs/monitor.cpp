@@ -62,13 +62,13 @@ std::int64_t ProgressBoard::now_us() const {
 }
 
 TaskProgress* ProgressBoard::register_task(long long property, int shard) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   cells_.emplace_back(this, property, shard);
   return &cells_.back();
 }
 
 std::vector<TaskProgress*> ProgressBoard::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::vector<TaskProgress*> out;
   out.reserve(cells_.size());
   for (const TaskProgress& cell : cells_) {
@@ -86,19 +86,21 @@ ProgressMonitor::ProgressMonitor(ProgressBoard* board, MonitorOptions opts,
 ProgressMonitor::~ProgressMonitor() { stop(); }
 
 void ProgressMonitor::start() {
+  base::MutexLock control(control_mu_);
+  if (thread_.joinable()) {
+    return;
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (thread_.joinable()) {
-      return;
-    }
+    base::MutexLock lock(mu_);
     stop_requested_ = false;
   }
   thread_ = std::thread([this] { thread_main(); });
 }
 
 void ProgressMonitor::stop() {
+  base::MutexLock control(control_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stop_requested_ = true;
   }
   cv_.notify_all();
@@ -118,16 +120,17 @@ void ProgressMonitor::stop() {
 void ProgressMonitor::thread_main() {
   auto interval = std::chrono::duration<double>(
       opts_.interval_seconds > 0.0 ? opts_.interval_seconds : 1.0);
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   while (!stop_requested_) {
-    cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    cv_.wait_for(mu_, interval);
     if (stop_requested_) {
       break;
     }
-    lock.unlock();
+    mu_.unlock();
     poll();
-    lock.lock();
+    mu_.lock();
   }
+  mu_.unlock();
 }
 
 void ProgressMonitor::poll() {

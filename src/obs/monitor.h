@@ -31,13 +31,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace javer::obs {
 
@@ -160,8 +160,8 @@ class ProgressBoard {
 
  private:
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::deque<TaskProgress> cells_;
+  mutable base::Mutex mu_;
+  std::deque<TaskProgress> cells_ GUARDED_BY(mu_);
 };
 
 struct MonitorOptions {
@@ -182,9 +182,13 @@ class ProgressMonitor {
   ProgressMonitor(const ProgressMonitor&) = delete;
   ProgressMonitor& operator=(const ProgressMonitor&) = delete;
 
-  void start();
-  // Joins the thread (if started) and renders the final summary line.
-  void stop();
+  // start/stop are safe to call from any thread in any order (a second
+  // concurrent stop() waits for the first to finish joining before it
+  // returns); each is serialized by control_mu_.
+  void start() EXCLUDES(control_mu_, mu_);
+  // Joins the thread (if started) and renders the final summary line
+  // exactly once across all stop() calls.
+  void stop() EXCLUDES(control_mu_, mu_);
 
   // One sampling pass: watchdog, then (if `out`) one progress report.
   // Public so tests drive it without the background thread.
@@ -218,14 +222,24 @@ class ProgressMonitor {
   Tracer* tracer_;
   MetricsRegistry* metrics_;
 
+  // Relaxed counters: monotonic tallies read via the accessors; no
+  // ordering with the stall episodes they count is required.
   std::atomic<std::uint64_t> stalls_{0};
   std::atomic<std::uint64_t> preempts_{0};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
-  bool final_rendered_ = false;
-  std::thread thread_;
+  // Serializes start()/stop() against each other (the annotation pass
+  // surfaced the previous scheme: thread_ was assigned outside any lock
+  // and two concurrent stop() calls could double-join and render the
+  // final line twice). thread_main never takes control_mu_, so stop()
+  // may join while holding it.
+  base::Mutex control_mu_ ACQUIRED_BEFORE(mu_);
+  std::thread thread_ GUARDED_BY(control_mu_);
+  bool final_rendered_ GUARDED_BY(control_mu_) = false;
+
+  // Handshake with the sampling thread only.
+  base::Mutex mu_;
+  base::CondVar cv_;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace javer::obs

@@ -9,7 +9,7 @@ namespace javer::obs {
 
 LatencyHisto* PhaseProfiler::slot(std::string_view phase, int shard,
                                   long long property) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   Key key{std::string(phase), shard, property};
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -22,7 +22,7 @@ LatencyHisto* PhaseProfiler::slot(std::string_view phase, int shard,
 }
 
 std::vector<PhaseProfiler::SlotView> PhaseProfiler::slots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::vector<SlotView> out;
   out.reserve(slots_.size());
   for (const Slot& s : slots_) {
@@ -32,7 +32,7 @@ std::vector<PhaseProfiler::SlotView> PhaseProfiler::slots() const {
 }
 
 std::uint64_t PhaseProfiler::phase_count(std::string_view phase) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const Slot& s : slots_) {
     if (s.phase == phase) {
@@ -43,7 +43,7 @@ std::uint64_t PhaseProfiler::phase_count(std::string_view phase) const {
 }
 
 std::uint64_t PhaseProfiler::phase_total_us(std::string_view phase) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const Slot& s : slots_) {
     if (s.phase == phase) {

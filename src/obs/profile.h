@@ -36,11 +36,12 @@
 #include <deque>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <tuple>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace javer::obs {
 
@@ -142,9 +143,13 @@ class PhaseProfiler {
   };
   using Key = std::tuple<std::string, int, long long>;
 
-  mutable std::mutex mu_;
-  std::deque<Slot> slots_;  // deque: histogram addresses are stable
-  std::map<Key, Slot*, std::less<>> index_;
+  // Guards slot registration/introspection only; the histograms
+  // themselves are written lock-free (LatencyHisto is all relaxed
+  // atomics — independent monotonic counters whose totals are read
+  // after the run, so no ordering between them is required).
+  mutable base::Mutex mu_;
+  std::deque<Slot> slots_ GUARDED_BY(mu_);  // deque: stable addresses
+  std::map<Key, Slot*, std::less<>> index_ GUARDED_BY(mu_);
 };
 
 // The cheap handle instrumentation sites hold: a profiler (null =

@@ -102,7 +102,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   thread_local std::uint64_t cached_id = 0;
   thread_local ThreadBuffer* cached = nullptr;
   if (cached_id != id_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     buffers_.push_back(std::make_unique<ThreadBuffer>());
     cached = buffers_.back().get();
     cached->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
@@ -122,7 +122,7 @@ void Tracer::record(TraceEvent ev) {
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& buf : buffers_) n += buf->events.size();
   return n;
@@ -131,7 +131,7 @@ std::size_t Tracer::event_count() const {
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     for (const auto& buf : buffers_) {
       all.insert(all.end(), buf->events.begin(), buf->events.end());
     }

@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace javer::obs {
 
@@ -107,10 +108,17 @@ class Tracer {
 
   const std::uint64_t id_;  // process-unique, keys the thread-local cache
   const std::chrono::steady_clock::time_point epoch_;
+  // Read by record() without the mutex: set before the run starts (see
+  // set_buffer_cap), constant while recorders are live.
   std::size_t buffer_cap_ = kDefaultBufferCap;
+  // Relaxed counter: per-thread increments, summed totals only — no
+  // ordering relationship with the dropped event's buffer is needed.
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex mu_;  // guards buffers_ (registration + export)
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // Guards the buffer *registry*; each ThreadBuffer's contents are owned
+  // by their recording thread (export reads them only under the
+  // quiescence contract above).
+  mutable base::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 
 // The cheap handle instrumentation sites hold: a tracer (null = tracing

@@ -225,7 +225,7 @@ bool PersistCache::write_entry(const std::string& name, std::uint16_t kind,
   const fs::path tmp =
       fs::path(dir_) / (name + ".tmp." + std::to_string(::getpid()) + "." +
                         std::to_string(tmp_serial.fetch_add(1)));
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
 
   // Injected mid-write crash (fault plan site "persist.store.crash"):
   // leave a partially written staging file behind — exactly the footprint
@@ -279,7 +279,7 @@ std::optional<std::string> PersistCache::read_entry(const std::string& name,
   auto reject = [&](const char* why) -> std::optional<std::string> {
     JAVER_LOG(Info) << "persist: ignoring cache entry " << name << " ("
                     << why << ")";
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stats_.load_errors++;
     return std::nullopt;
   };
@@ -335,7 +335,7 @@ std::shared_ptr<const cnf::CnfTemplate> PersistCache::load_template(
   auto reject = [&](const char* why) {
     JAVER_LOG(Info) << "persist: ignoring template entry " << name << " ("
                     << why << ")";
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stats_.load_errors++;
     return nullptr;
   };
@@ -422,7 +422,7 @@ std::shared_ptr<const cnf::CnfTemplate> PersistCache::load_template(
     auto tmpl = std::make_shared<const cnf::CnfTemplate>(std::move(stored),
                                                          std::move(parts));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       stats_.templates_loaded++;
     }
     return tmpl;
@@ -464,7 +464,7 @@ void PersistCache::store_template(std::uint64_t fingerprint,
 
   if (write_entry(template_file_name(fingerprint, tmpl.spec()),
                   kKindTemplate, payload)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stats_.templates_stored++;
   }
 }
@@ -483,7 +483,7 @@ std::optional<std::vector<ts::Cube>> PersistCache::load_clause_db(
   auto reject = [&](const char* why) {
     JAVER_LOG(Info) << "persist: ignoring clause-db entry " << name << " ("
                     << why << ")";
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stats_.load_errors++;
     return std::nullopt;
   };
@@ -512,7 +512,7 @@ std::optional<std::vector<ts::Cube>> PersistCache::load_clause_db(
     }
     r.expect_end();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       stats_.dbs_loaded++;
       stats_.cubes_loaded += cubes.size();
     }
@@ -540,13 +540,13 @@ void PersistCache::store_clause_db(std::uint64_t fingerprint,
   }
   if (write_entry(clause_db_file_name(fingerprint, signature), kKindClauseDb,
                   payload)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stats_.dbs_stored++;
   }
 }
 
 PersistStats PersistCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return stats_;
 }
 

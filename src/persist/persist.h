@@ -37,11 +37,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
 #include "cnf/template.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -172,8 +172,11 @@ class PersistCache final : public cnf::TemplateStore {
                                         std::uint16_t kind);
 
   std::string dir_;
-  mutable std::mutex mu_;  // guards stats_ and temp-file staging
-  PersistStats stats_;
+  // Guards stats_ and serializes temp-file staging (write_entry holds it
+  // across stage+rename so two threads storing the same entry name
+  // cannot interleave their attempts).
+  mutable base::Mutex mu_;
+  PersistStats stats_ GUARDED_BY(mu_);
   obs::TraceSink trace_;
   obs::LatencyHisto* prof_load_ = nullptr;
   obs::LatencyHisto* prof_store_ = nullptr;

@@ -1,0 +1,585 @@
+#!/usr/bin/env python3
+"""Project lint suite: the invariants the compiler cannot check.
+
+Scans the C++ tree under --root (default: the repo this script lives in)
+and enforces:
+
+  * determinism  — no rand()/srand()/time()/std::random_device/
+    system_clock outside the seed plumbing (src/base/rng.*). Every
+    random or wall-clock dependency must flow through a seeded
+    SplitMix64 or a steady_clock duration, or reruns stop reproducing.
+
+  * unordered-iter — no range-for over a std::unordered_{map,set}: node
+    creation, export records, and verdict folds ordered by hash
+    iteration are nondeterministic across stdlib implementations. Lookup
+    is fine; iteration must go through a sorted copy or an ordered
+    index. A justified exception carries `lint:allow-unordered-iter`
+    on the declaration or loop line.
+
+  * trace-taxonomy — every (category, name) literal recorded through
+    TraceSink::instant/complete or TraceSpan appears in
+    tools/taxonomy/trace_events.txt, and nothing there is stale.
+
+  * phase-taxonomy — every PhaseProfiler/ProfileSink slot() phase
+    literal appears in tools/taxonomy/profile_phases.txt; two-way.
+
+  * metric-taxonomy — every metric name used with the MetricsRegistry
+    API appears in tools/taxonomy/metrics.txt; two-way.
+
+  * fault-taxonomy — every fault::inject_* site tag appears in
+    tools/taxonomy/fault_sites.txt, every listed tag is accepted by
+    kind_for_site() in src/fault/fault.cpp, and nothing is stale.
+
+Exit status: 0 clean, 1 violations (one `path:line: rule: message` per
+violation on stdout), 2 usage/config errors.
+
+Usage: lint_project.py [--root DIR]
+       lint_project.py --self-test
+
+--self-test builds throwaway trees with one seeded violation per rule
+(plus a clean tree) and checks each rule fires exactly where intended;
+CMake registers it as the lint_project_selftest ctest.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --- C++ text preprocessing --------------------------------------------------
+
+def strip_comments(text, blank_strings=False):
+    """Returns `text` with comments replaced by spaces (newlines kept, so
+    offsets and line numbers survive). With blank_strings, string and char
+    literal *contents* are blanked too (the quotes remain)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i:i + 2]
+        if two == "//":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif two == "/*":
+            out.append("  ")
+            i += 2
+            while i < n and text[i:i + 2] != "*/":
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  " if blank_strings else text[i:i + 2])
+                    i += 2
+                    continue
+                if text[i] == "\n":  # unterminated; bail out of the literal
+                    break
+                out.append(" " if blank_strings else text[i])
+                i += 1
+            if i < n and text[i] == quote:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def call_args(text, open_paren):
+    """Returns (args_text, end) for the parenthesized region starting at
+    `open_paren` (which must index a '('), or (None, open_paren)."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i], i
+    return None, open_paren
+
+
+def cpp_files(root, subdirs=("src",)):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if name.endswith((".cpp", ".h")):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def load_taxonomy(root, name):
+    """Returns {entry: line} from tools/taxonomy/<name>, or None if the
+    file is missing (reported as a config violation by the caller)."""
+    path = os.path.join(root, "tools", "taxonomy", name)
+    if not os.path.exists(path):
+        return None
+    entries = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries[line] = lineno
+    return entries
+
+
+# --- rule: determinism -------------------------------------------------------
+
+# Seed plumbing: the one place allowed to name the forbidden sources
+# (rng.h's docstring explains why random_device is banned).
+DETERMINISM_ALLOWED = ("src/base/rng.h", "src/base/rng.cpp")
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+]
+
+
+def rule_determinism(root, violations):
+    for path in cpp_files(root, ("src", "tests", "bench", "examples")):
+        rel = relpath(root, path)
+        if rel in DETERMINISM_ALLOWED:
+            continue
+        text = strip_comments(read(path), blank_strings=True)
+        for pattern, label in DETERMINISM_PATTERNS:
+            for m in pattern.finditer(text):
+                violations.append(
+                    (rel, line_of(text, m.start()), "determinism",
+                     f"{label} outside seed plumbing (use base::SplitMix64 "
+                     "with a plumbed seed, or steady_clock for durations)"))
+
+
+# --- rule: unordered-iter ----------------------------------------------------
+
+UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+ALLOW_UNORDERED = "lint:allow-unordered-iter"
+
+
+def unordered_names(text):
+    """Identifiers declared in `text` with an unordered container type."""
+    names = set()
+    for m in UNORDERED_DECL.finditer(text):
+        i, depth = m.end() - 1, 0
+        while i < len(text):  # skip the <...> argument list
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        decl = re.match(r"\s*&?\s*([A-Za-z_]\w*)", text[i + 1:])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def rule_unordered_iter(root, violations):
+    for path in cpp_files(root, ("src",)):
+        rel = relpath(root, path)
+        raw = read(path)
+        text = strip_comments(raw, blank_strings=True)
+        names = unordered_names(text)
+        if not names:
+            continue
+        raw_lines = raw.splitlines()
+        pattern = re.compile(
+            r"for\s*\([^;()]*:\s*(?:\w+\s*(?:\.|->)\s*)?("
+            + "|".join(sorted(names)) + r")\s*\)")
+        for m in pattern.finditer(text):
+            lineno = line_of(text, m.start())
+            window = raw_lines[max(0, lineno - 2):lineno]
+            if any(ALLOW_UNORDERED in line for line in window):
+                continue
+            violations.append(
+                (rel, lineno, "unordered-iter",
+                 f"range-for over unordered container '{m.group(1)}' "
+                 "(hash-order nondeterminism; iterate a sorted copy, or "
+                 f"justify with {ALLOW_UNORDERED})"))
+
+
+# --- taxonomy rules ----------------------------------------------------------
+
+ANY_LITERAL = re.compile(r'"((?:[^"\\\n]|\\.)*)"')
+NAME_SHAPE = re.compile(r"^[a-z][a-z0-9_./]*$")
+
+
+def name_literals(args_text, leading_only=False):
+    """The taxonomy-shaped string literals inside a call's argument text.
+    Quoted JSON fragments (the `args` payload convention) contain \\" and
+    ':' so they never match the name shape. With leading_only, stop at
+    the first non-name literal: later name-shaped strings (a "true" in
+    an args expression) are payload, not taxonomy names."""
+    out = []
+    for m in ANY_LITERAL.finditer(args_text):
+        if NAME_SHAPE.match(m.group(1)):
+            out.append((m.group(1), m.start(1)))
+        elif leading_only:
+            break
+    return out
+
+
+def scan_calls(text, site_pattern):
+    """Yields (args_text, args_offset) for every site_pattern match whose
+    trailing '(' opens a parseable argument list."""
+    for m in site_pattern.finditer(text):
+        args, _ = call_args(text, m.end() - 1)
+        if args is not None:
+            yield args, m.end()
+
+
+TRACE_SITE = re.compile(r"(?:\binstant|\bcomplete|\bTraceSpan\s+\w+)\s*\(")
+TRACE_IMPL = ("src/obs/trace.h", "src/obs/trace.cpp")
+
+
+def rule_trace_taxonomy(root, violations):
+    taxonomy = load_taxonomy(root, "trace_events.txt")
+    if taxonomy is None:
+        violations.append(("tools/taxonomy/trace_events.txt", 1,
+                           "trace-taxonomy", "taxonomy file missing"))
+        return
+    used = set()
+    for path in cpp_files(root, ("src",)):
+        rel = relpath(root, path)
+        if rel in TRACE_IMPL:
+            continue
+        text = strip_comments(read(path))
+        for args, offset in scan_calls(text, TRACE_SITE):
+            literals = name_literals(args, leading_only=True)
+            if len(literals) < 2:
+                continue  # dynamic category/name; nothing checkable
+            category = literals[0][0]
+            # Every further name-shaped literal is an event name (a
+            # conditional site lists the alternatives of one ternary).
+            for name, pos in literals[1:]:
+                event = f"{category}/{name}"
+                used.add(event)
+                if event not in taxonomy:
+                    violations.append(
+                        (rel, line_of(text, offset + pos), "trace-taxonomy",
+                         f"trace event '{event}' not in "
+                         "tools/taxonomy/trace_events.txt"))
+    for event, lineno in sorted(taxonomy.items()):
+        if event not in used:
+            violations.append(
+                ("tools/taxonomy/trace_events.txt", lineno, "trace-taxonomy",
+                 f"stale taxonomy entry '{event}' (no emitting site)"))
+
+
+PHASE_SITE = re.compile(r"\bslot\s*\(")
+PHASE_IMPL = ("src/obs/profile.h", "src/obs/profile.cpp")
+
+
+def rule_phase_taxonomy(root, violations):
+    taxonomy = load_taxonomy(root, "profile_phases.txt")
+    if taxonomy is None:
+        violations.append(("tools/taxonomy/profile_phases.txt", 1,
+                           "phase-taxonomy", "taxonomy file missing"))
+        return
+    used = set()
+    for path in cpp_files(root, ("src",)):
+        rel = relpath(root, path)
+        if rel in PHASE_IMPL:
+            continue
+        text = strip_comments(read(path))
+        for args, offset in scan_calls(text, PHASE_SITE):
+            for phase, pos in name_literals(args):
+                if "/" not in phase:
+                    continue  # not a phase-shaped literal
+                used.add(phase)
+                if phase not in taxonomy:
+                    violations.append(
+                        (rel, line_of(text, offset + pos), "phase-taxonomy",
+                         f"profiler phase '{phase}' not in "
+                         "tools/taxonomy/profile_phases.txt"))
+    for phase, lineno in sorted(taxonomy.items()):
+        if phase not in used:
+            violations.append(
+                ("tools/taxonomy/profile_phases.txt", lineno, "phase-taxonomy",
+                 f"stale taxonomy entry '{phase}' (no slot() site)"))
+
+
+METRIC_SITE = re.compile(
+    r"(?:\.|->)\s*(?:add|raise|add_gauge|set_gauge|max_gauge|counter|gauge)"
+    r"\s*\(")
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+$")
+METRIC_IMPL = ("src/obs/metrics.h", "src/obs/metrics.cpp")
+
+
+def rule_metric_taxonomy(root, violations):
+    taxonomy = load_taxonomy(root, "metrics.txt")
+    if taxonomy is None:
+        violations.append(("tools/taxonomy/metrics.txt", 1,
+                           "metric-taxonomy", "taxonomy file missing"))
+        return
+    used = set()
+    for path in cpp_files(root, ("src",)):
+        rel = relpath(root, path)
+        if rel in METRIC_IMPL:
+            continue
+        text = strip_comments(read(path))
+        for args, offset in scan_calls(text, METRIC_SITE):
+            for name, pos in name_literals(args):
+                if not METRIC_NAME.match(name):
+                    continue
+                used.add(name)
+                if name not in taxonomy:
+                    violations.append(
+                        (rel, line_of(text, offset + pos), "metric-taxonomy",
+                         f"metric '{name}' not in tools/taxonomy/metrics.txt"))
+    for name, lineno in sorted(taxonomy.items()):
+        if name not in used:
+            violations.append(
+                ("tools/taxonomy/metrics.txt", lineno, "metric-taxonomy",
+                 f"stale taxonomy entry '{name}' (no call site)"))
+
+
+FAULT_SITE = re.compile(r"\binject_(?:point|io|stall)\s*\(")
+FAULT_TABLE = "src/fault/fault.cpp"
+FAULT_TABLE_ENTRY = re.compile(r'site\s*==\s*"([a-z0-9_.]+)"')
+
+
+def rule_fault_taxonomy(root, violations):
+    taxonomy = load_taxonomy(root, "fault_sites.txt")
+    if taxonomy is None:
+        violations.append(("tools/taxonomy/fault_sites.txt", 1,
+                           "fault-taxonomy", "taxonomy file missing"))
+        return
+    used = set()
+    for path in cpp_files(root, ("src",)):
+        rel = relpath(root, path)
+        if rel == FAULT_TABLE:
+            continue
+        text = strip_comments(read(path))
+        for args, offset in scan_calls(text, FAULT_SITE):
+            for site, pos in name_literals(args):
+                used.add(site)
+                if site not in taxonomy:
+                    violations.append(
+                        (rel, line_of(text, offset + pos), "fault-taxonomy",
+                         f"fault site '{site}' not in "
+                         "tools/taxonomy/fault_sites.txt"))
+    table_path = os.path.join(root, FAULT_TABLE)
+    table = set()
+    if os.path.exists(table_path):
+        table = {m.group(1) for m in
+                 FAULT_TABLE_ENTRY.finditer(strip_comments(read(table_path)))}
+        for site in sorted(table - set(taxonomy)):
+            violations.append(
+                (FAULT_TABLE, 1, "fault-taxonomy",
+                 f"kind_for_site() accepts '{site}' but it is not in "
+                 "tools/taxonomy/fault_sites.txt"))
+    for site, lineno in sorted(taxonomy.items()):
+        if table and site not in table:
+            violations.append(
+                ("tools/taxonomy/fault_sites.txt", lineno, "fault-taxonomy",
+                 f"'{site}' not accepted by kind_for_site() in {FAULT_TABLE}"))
+        elif site not in used:
+            violations.append(
+                ("tools/taxonomy/fault_sites.txt", lineno, "fault-taxonomy",
+                 f"stale taxonomy entry '{site}' (no inject_* site)"))
+
+
+RULES = [
+    rule_determinism,
+    rule_unordered_iter,
+    rule_trace_taxonomy,
+    rule_phase_taxonomy,
+    rule_metric_taxonomy,
+    rule_fault_taxonomy,
+]
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def run_lint(root):
+    violations = []
+    for rule in RULES:
+        rule(root, violations)
+    return sorted(violations)
+
+
+# --- self-test (ctest-invoked) ----------------------------------------------
+
+# Minimal consistent taxonomy set for fixture trees (one site per file,
+# matching the fixture sources below, so a fixture seeded to violate one
+# rule stays clean under every other rule).
+CLEAN_TAXONOMY = {
+    "tools/taxonomy/trace_events.txt": "ic3/rebuild\n",
+    "tools/taxonomy/profile_phases.txt": "ic3/push\n",
+    "tools/taxonomy/metrics.txt": "ic3.obligations\n",
+    "tools/taxonomy/fault_sites.txt": "sat.alloc\n",
+}
+
+CLEAN_SOURCES = {
+    "src/engine.cpp": """
+// rand() in a comment and "time()" in a string must not fire.
+const char* kNote = "calls rand() and time() by name";
+void record(Sink& sink, Registry& m) {
+  sink.instant("ic3", "rebuild");
+  prof_.slot("ic3/push");
+  m.add("ic3.obligations", 2);
+  fault::inject_point("sat.alloc");
+}
+std::unordered_map<int, int> lookup_;
+int find(int k) { return lookup_.at(k); }  // lookup, not iteration
+""",
+    "src/fault/fault.cpp": """
+std::optional<FaultKind> kind_for_site(std::string_view site) {
+  if (site == "sat.alloc") return FaultKind::BadAlloc;
+  return std::nullopt;
+}
+""",
+}
+
+# rule name -> (extra/overriding files, substring expected in a message)
+FIXTURES = {
+    "determinism": (
+        {"src/seeded.cpp": "int f() { return rand(); }\n"},
+        "rand() outside seed plumbing"),
+    "determinism-time": (
+        {"tests/test_t.cpp": "long f() { return time(nullptr); }\n"},
+        "time() outside seed plumbing"),
+    "unordered-iter": (
+        {"src/walk.cpp": """
+std::unordered_map<int, int> m_;
+int sum() {
+  int s = 0;
+  for (const auto& [k, v] : m_) s += v;
+  return s;
+}
+"""},
+        "range-for over unordered container 'm_'"),
+    "unordered-iter-allowed": (
+        {"src/walk.cpp": """
+std::unordered_map<int, int> m_;
+int sum() {
+  int s = 0;
+  // lint:allow-unordered-iter -- fold is order-independent
+  for (const auto& [k, v] : m_) s += v;
+  return s;
+}
+"""},
+        None),
+    "trace-unlisted": (
+        {"src/extra.cpp":
+         'void g(Sink& s) { s.instant("ic3", "surprise"); }\n'},
+        "trace event 'ic3/surprise' not in"),
+    "trace-ternary": (
+        {"src/extra.cpp": """
+void g(Sink& s, bool unit) {
+  s.instant("exchange", unit ? "publish_units" : "publish_lemmas");
+}
+"""},
+        "trace event 'exchange/publish_units' not in"),
+    "trace-payload-literal": (
+        {"src/extra.cpp": r"""
+void g(Sink& s, bool hit) {
+  s.complete("ic3", "rebuild", 0, -1,
+             "\"hit\":" + std::string(hit ? "true" : "false"));
+}
+"""},
+        None),
+    "trace-stale": (
+        {"tools/taxonomy/trace_events.txt": "ic3/rebuild\nic3/retired\n"},
+        "stale taxonomy entry 'ic3/retired'"),
+    "phase-unlisted": (
+        {"src/extra.cpp": 'void g(Prof& p) { p.slot("ic3/mystery"); }\n'},
+        "profiler phase 'ic3/mystery' not in"),
+    "metric-unlisted": (
+        {"src/extra.cpp": 'void g(Registry& m) { m.add("ic3.rogue"); }\n'},
+        "metric 'ic3.rogue' not in"),
+    "metric-stale": (
+        {"tools/taxonomy/metrics.txt": "ic3.obligations\nic3.retired_ctr\n"},
+        "stale taxonomy entry 'ic3.retired_ctr'"),
+    "fault-unlisted": (
+        {"src/extra.cpp":
+         'void g() { fault::inject_point("ic3.rogue_site"); }\n'},
+        "fault site 'ic3.rogue_site' not in"),
+    "fault-table-drift": (
+        {"tools/taxonomy/fault_sites.txt": "sat.alloc\nbmc.ghost\n"},
+        "'bmc.ghost' not accepted by kind_for_site()"),
+}
+
+
+def build_tree(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+        clean_root = os.path.join(tmp, "clean")
+        build_tree(clean_root, {**CLEAN_TAXONOMY, **CLEAN_SOURCES})
+        got = run_lint(clean_root)
+        if got:
+            failures.append(f"clean tree not clean: {got}")
+        for name, (files, expected) in sorted(FIXTURES.items()):
+            root = os.path.join(tmp, name)
+            build_tree(root, {**CLEAN_TAXONOMY, **CLEAN_SOURCES, **files})
+            got = run_lint(root)
+            if expected is None:
+                if got:
+                    failures.append(f"{name}: expected clean, got {got}")
+            elif not any(expected in msg for (_, _, _, msg) in got):
+                failures.append(
+                    f"{name}: no violation containing {expected!r} in {got}")
+    for failure in failures:
+        print(f"lint_project: self-test FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"lint_project: self-test OK "
+          f"({len(FIXTURES)} fixtures + clean tree)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="javer project lint suite (see module docstring)")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repo root to lint (default: this script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-tests and exit")
+    opts = parser.parse_args()
+    if opts.self_test:
+        sys.exit(self_test())
+    violations = run_lint(opts.root)
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: {rule}: {msg}")
+    if violations:
+        print(f"lint_project: {len(violations)} violation(s)")
+        sys.exit(1)
+    print("lint_project: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

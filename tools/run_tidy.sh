@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy) over every C++ source in the
+# compilation database. Usage:
+#
+#   tools/run_tidy.sh [BUILD_DIR] [REPORT_FILE]
+#
+# BUILD_DIR defaults to ./build and must contain compile_commands.json
+# (CMakeLists.txt always exports it). REPORT_FILE (default:
+# BUILD_DIR/tidy_report.txt) receives the full diagnostic stream; the
+# CI job uploads it as an artifact. Exits 0 when clang-tidy is clean,
+# 1 on findings, 2 when the environment cannot run the check at all
+# (CI treats 2 as a hard failure; local developer machines without
+# clang-tidy get a clear message instead of a confusing crash).
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+report=${2:-"$build_dir/tidy_report.txt"}
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy" >/dev/null 2>&1; then
+    echo "run_tidy: $tidy not found (set CLANG_TIDY or install clang-tidy)" >&2
+    exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy: $build_dir/compile_commands.json missing" \
+         "(configure with cmake first)" >&2
+    exit 2
+fi
+
+# Lint exactly the translation units the build compiles, so the run can
+# never drift from the build graph.
+files=$(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' \
+        "$build_dir/compile_commands.json" | sort -u)
+if [ -z "$files" ]; then
+    echo "run_tidy: empty compilation database" >&2
+    exit 2
+fi
+
+status=0
+: > "$report"
+for f in $files; do
+    if ! "$tidy" --quiet -p "$build_dir" "$f" >> "$report" 2>&1; then
+        status=1
+    fi
+done
+
+count=$(grep -c "warning:\|error:" "$report" 2>/dev/null || true)
+echo "run_tidy: $count diagnostic(s); report: $report"
+if [ "$count" -gt 0 ] || [ "$status" -ne 0 ]; then
+    exit 1
+fi
+exit 0
